@@ -1,0 +1,360 @@
+//! K-Means Clustering (KMC): assign points to their nearest center and
+//! compute per-center coordinate sums and counts — one iteration of
+//! k-means, as benchmarked in the paper (§5.3.4).
+//!
+//! The paper's GPU adaptations, all reproduced here:
+//!
+//! * **Persistent threads** — each block reads many points coalesced and
+//!   processes them in a loop, instead of one thread per point;
+//! * **Atomic-free Accumulation** — the GT200 has no floating-point
+//!   atomics, so each block folds its sums into a per-block global-memory
+//!   pool and a second kernel reduces the pools (on a Fermi-class device
+//!   with FP atomics the pools are skipped — the ablation bench measures
+//!   the difference);
+//! * **Coalesced emission** — the GPU emits `(center * (D+1) + dim, sum)`
+//!   per dimension plus one count key per center, rather than the CPU's
+//!   `(center, point)` pairs;
+//! * **Per-center partitioning** — all keys of one center go to one GPU.
+
+use gpmr_core::{GpmrJob, KvSet, MapMode, PartitionMode, PipelineConfig, SliceChunk};
+use gpmr_primitives::Segments;
+use gpmr_sim_gpu::{Gpu, KernelCost, LaunchConfig, SimGpuResult, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Point dimensionality: 16-byte input elements (Table 1) = 4 x f32.
+pub const DIMS: usize = 4;
+
+/// A point.
+pub type Point = [f32; DIMS];
+
+/// The KMC job: one k-means iteration against a fixed set of centers.
+#[derive(Clone, Debug)]
+pub struct KmcJob {
+    centers: Vec<Point>,
+}
+
+/// Points handled per map block (persistent threads: 256 threads loop
+/// over the block's strip).
+const POINTS_PER_MAP_BLOCK: usize = 4096;
+
+impl KmcJob {
+    /// Build the job with the given cluster centers.
+    pub fn new(centers: Vec<Point>) -> Self {
+        assert!(!centers.is_empty(), "k-means needs at least one center");
+        KmcJob { centers }
+    }
+
+    /// The centers.
+    pub fn centers(&self) -> &[Point] {
+        &self.centers
+    }
+
+    /// Number of keys the job emits: `k * (DIMS + 1)` — per-dimension sums
+    /// plus one count per center.
+    pub fn key_count(&self) -> usize {
+        self.centers.len() * (DIMS + 1)
+    }
+}
+
+/// Nearest center by squared Euclidean distance (ties to the lower index).
+fn nearest_center(centers: &[Point], p: &Point) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (c, center) in centers.iter().enumerate() {
+        let mut d = 0.0f32;
+        for dim in 0..DIMS {
+            let diff = p[dim] - center[dim];
+            d += diff * diff;
+        }
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+impl GpmrJob for KmcJob {
+    type Chunk = SliceChunk<Point>;
+    type Key = u32;
+    type Value = f64;
+
+    fn pipeline(&self) -> PipelineConfig {
+        PipelineConfig {
+            map_mode: MapMode::Accumulate,
+            partition: PartitionMode::Custom,
+            ..PipelineConfig::default()
+        }
+    }
+
+    fn map(
+        &self,
+        _gpu: &mut Gpu,
+        at: SimTime,
+        _chunk: &Self::Chunk,
+    ) -> SimGpuResult<(KvSet<u32, f64>, SimTime)> {
+        // KMC always runs in Accumulate mode; plain map is unused.
+        Ok((KvSet::new(), at))
+    }
+
+    fn accumulate_init(
+        &self,
+        gpu: &mut Gpu,
+        at: SimTime,
+    ) -> SimGpuResult<(KvSet<u32, f64>, SimTime)> {
+        let n = self.key_count();
+        let cfg = LaunchConfig::grid(1, 256);
+        let (_, res) = gpu.launch(at, &cfg, |ctx| {
+            ctx.charge_write::<f32>(n);
+        })?;
+        let state: KvSet<u32, f64> = (0..n as u32).map(|k| (k, 0.0)).collect();
+        Ok((state, res.end))
+    }
+
+    fn map_accumulate(
+        &self,
+        gpu: &mut Gpu,
+        at: SimTime,
+        chunk: &Self::Chunk,
+        state: &mut KvSet<u32, f64>,
+    ) -> SimGpuResult<SimTime> {
+        let points = &chunk.items;
+        let n = points.len();
+        let k = self.centers.len();
+        let keys = self.key_count();
+        let cfg = LaunchConfig::for_items(n, POINTS_PER_MAP_BLOCK, 256)
+            .with_shared_bytes((keys.min(3000) * 4) as u32);
+
+        let (locals, res) = gpu.launch(at, &cfg, |ctx| {
+            let range = ctx.item_range(n);
+            // Coalesced block-wide point reads.
+            ctx.charge_read::<Point>(range.len());
+            // Distance to every center: DIMS mul + 2*DIMS add/sub per
+            // center, plus the block reductions per emitted key.
+            ctx.charge_flops((range.len() * k * (3 * DIMS)) as u64);
+            let mut sums = vec![0.0f64; keys];
+            for p in &points[range] {
+                let c = nearest_center(&self.centers, p);
+                let base = c * (DIMS + 1);
+                for dim in 0..DIMS {
+                    sums[base + dim] += f64::from(p[dim]);
+                }
+                sums[base + DIMS] += 1.0;
+            }
+            ctx.charge_flops(keys as u64); // block-wide reductions
+            sums
+        })?;
+
+        // Atomic-free accumulation: per-block pools flushed to global
+        // memory, then reduced by a second kernel (GT200 path). With FP
+        // atomics (Fermi) the pools are skipped and atomics are charged
+        // instead.
+        let blocks = locals.outputs.len() as u64;
+        if gpu.spec.has_fp_atomics {
+            let cost = KernelCost {
+                atomic_ops: blocks * keys as u64,
+                ..KernelCost::ZERO
+            };
+            gpu.charge_compute(res.end, &cost, 1.0);
+        } else {
+            let pool_cost = KernelCost {
+                flops: blocks * keys as u64,
+                bytes_coalesced: 2 * blocks * keys as u64 * 4,
+                ..KernelCost::ZERO
+            };
+            gpu.charge_compute(res.end, &pool_cost, 1.0);
+        }
+        let t_end = gpu.compute_free_at();
+
+        for block in locals.outputs {
+            for (i, s) in block.into_iter().enumerate() {
+                state.vals[i] += s;
+            }
+        }
+        Ok(t_end)
+    }
+
+    fn partition(&self, key: &u32, ranks: u32) -> u32 {
+        // All keys of one center to one GPU.
+        (key / (DIMS as u32 + 1)) % ranks.max(1)
+    }
+
+    fn reduce(
+        &self,
+        gpu: &mut Gpu,
+        at: SimTime,
+        segs: &Segments<u32>,
+        vals: &[f64],
+    ) -> SimGpuResult<(KvSet<u32, f64>, SimTime)> {
+        if segs.is_empty() {
+            return Ok((KvSet::new(), at));
+        }
+        // Thread-per-key sum; few centers and dimensions keep this
+        // negligible (paper: "full Reduce time negligible").
+        let cfg = LaunchConfig::for_items(segs.len(), 1024, 256);
+        let (launch, res) = gpu.launch(at, &cfg, |ctx| {
+            let range = ctx.item_range(segs.len());
+            let mut out: KvSet<u32, f64> = KvSet::with_capacity(range.len());
+            for s in range {
+                let r = segs.range(s);
+                ctx.charge_read_uncoalesced::<f64>(r.len());
+                ctx.charge_flops(r.len() as u64);
+                out.push(segs.keys[s], vals[r].iter().sum());
+            }
+            ctx.charge_write::<f64>(out.len());
+            out
+        })?;
+        let mut out = KvSet::new();
+        for p in launch.outputs {
+            out.append(p);
+        }
+        Ok((out, res.end))
+    }
+}
+
+/// Generate `n` points scattered around `k` true cluster locations.
+pub fn generate_points(n: usize, k: usize, seed: u64) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4b4d43);
+    let truths: Vec<Point> = (0..k)
+        .map(|_| std::array::from_fn(|_| rng.gen_range(-10.0..10.0)))
+        .collect();
+    (0..n)
+        .map(|_| {
+            let t = &truths[rng.gen_range(0..k)];
+            std::array::from_fn(|d| t[d] + rng.gen_range(-0.5..0.5))
+        })
+        .collect()
+}
+
+/// Random initial centers (fixed at job startup, as in the paper).
+pub fn initial_centers(k: usize, seed: u64) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x43454e);
+    (0..k)
+        .map(|_| std::array::from_fn(|_| rng.gen_range(-10.0..10.0)))
+        .collect()
+}
+
+/// Sequential reference: per-key (center-major) sums and counts.
+pub fn cpu_reference(centers: &[Point], points: &[Point]) -> Vec<f64> {
+    let mut sums = vec![0.0f64; centers.len() * (DIMS + 1)];
+    for p in points {
+        let c = nearest_center(centers, p);
+        let base = c * (DIMS + 1);
+        for dim in 0..DIMS {
+            sums[base + dim] += f64::from(p[dim]);
+        }
+        sums[base + DIMS] += 1.0;
+    }
+    sums
+}
+
+/// Dense per-key sums from a job result.
+pub fn sums_from_output(k: usize, output: &KvSet<u32, f64>) -> Vec<f64> {
+    let mut sums = vec![0.0f64; k * (DIMS + 1)];
+    for (key, v) in output.iter() {
+        sums[*key as usize] += *v;
+    }
+    sums
+}
+
+/// New centers from accumulated sums (the k-means update step).
+pub fn centers_from_sums(old: &[Point], sums: &[f64]) -> Vec<Point> {
+    old.iter()
+        .enumerate()
+        .map(|(c, center)| {
+            let base = c * (DIMS + 1);
+            let count = sums[base + DIMS];
+            if count > 0.0 {
+                std::array::from_fn(|d| (sums[base + d] / count) as f32)
+            } else {
+                *center
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpmr_core::run_job;
+    use gpmr_sim_gpu::GpuSpec;
+    use gpmr_sim_net::Cluster;
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs())),
+                "mismatch at {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn kmc_matches_reference_single_gpu() {
+        let centers = initial_centers(8, 1);
+        let points = generate_points(20_000, 8, 2);
+        let job = KmcJob::new(centers.clone());
+        let mut cluster = Cluster::accelerator(1, GpuSpec::gt200());
+        let chunks = SliceChunk::split(&points, 4096);
+        let result = run_job(&mut cluster, &job, chunks).unwrap();
+        let sums = sums_from_output(centers.len(), &result.merged_output());
+        assert_close(&sums, &cpu_reference(&centers, &points));
+    }
+
+    #[test]
+    fn kmc_matches_reference_multi_gpu() {
+        let centers = initial_centers(16, 3);
+        let points = generate_points(40_000, 16, 4);
+        let job = KmcJob::new(centers.clone());
+        let mut cluster = Cluster::accelerator(8, GpuSpec::gt200());
+        let chunks = SliceChunk::split(&points, 4096);
+        let result = run_job(&mut cluster, &job, chunks).unwrap();
+        let sums = sums_from_output(centers.len(), &result.merged_output());
+        assert_close(&sums, &cpu_reference(&centers, &points));
+        // Per-center partitioning: each rank only holds whole centers.
+        for (r, out) in result.outputs.iter().enumerate() {
+            for k in &out.keys {
+                assert_eq!((k / (DIMS as u32 + 1)) % 8, r as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn centers_update_moves_toward_truth() {
+        let centers = initial_centers(4, 5);
+        let points = generate_points(10_000, 4, 6);
+        let sums = cpu_reference(&centers, &points);
+        let updated = centers_from_sums(&centers, &sums);
+        assert_eq!(updated.len(), 4);
+        // Total count equals the number of points.
+        let total: f64 = (0..4).map(|c| sums[c * (DIMS + 1) + DIMS]).sum();
+        assert_eq!(total, 10_000.0);
+    }
+
+    #[test]
+    fn fermi_uses_atomics_instead_of_pools() {
+        // Both paths must produce identical sums; Fermi should be faster
+        // per map because the pool-reduce pass disappears.
+        let centers = initial_centers(8, 7);
+        let points = generate_points(30_000, 8, 8);
+        let job = KmcJob::new(centers.clone());
+        let chunks = SliceChunk::split(&points, 4096);
+
+        let mut gt200 = Cluster::accelerator(1, GpuSpec::gt200());
+        let r1 = run_job(&mut gt200, &job, chunks.clone()).unwrap();
+        let mut fermi = Cluster::accelerator(1, GpuSpec::fermi());
+        let r2 = run_job(&mut fermi, &job, chunks).unwrap();
+        assert_close(
+            &sums_from_output(8, &r1.merged_output()),
+            &sums_from_output(8, &r2.merged_output()),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one center")]
+    fn empty_centers_rejected() {
+        let _ = KmcJob::new(Vec::new());
+    }
+}

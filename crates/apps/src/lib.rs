@@ -1,0 +1,39 @@
+//! # gpmr-apps — the five GPMR paper benchmarks
+//!
+//! Every benchmark of Stuart & Owens (IPDPS 2011) §5, implemented as a
+//! [`gpmr_core::GpmrJob`] with the paper's GPU-specific adaptations, plus
+//! seeded workload generators and sequential CPU references:
+//!
+//! | Benchmark | Module | Pipeline shape |
+//! |---|---|---|
+//! | Matrix Multiplication | [`mm`] | two-phase, tiled, bypasses Sort/Reduce |
+//! | Sparse Integer Occurrence | [`sio`] | plain map, full shuffle, radix sort |
+//! | Word Occurrence | [`wo`] | Accumulation, MPH keys, partitioner crossover |
+//! | K-Means Clustering | [`kmc`] | Accumulation, per-block pools, per-center partition |
+//! | Linear Regression | [`lr`] | Accumulation, six keys, no partitioner |
+//!
+//! [`datasets`] encodes the paper's Table 1; [`mph`] and [`text`] are the
+//! Word Occurrence substrates (minimal perfect hashing, corpus
+//! generation).
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod iterative;
+pub mod kmc;
+pub mod lr;
+pub mod mm;
+pub mod mph;
+pub mod sio;
+pub mod text;
+pub mod wo;
+
+pub use datasets::{strong_workload, Benchmark, Workload};
+pub use iterative::{run_kmeans, KmeansResult};
+pub use kmc::KmcJob;
+pub use lr::LrJob;
+pub use mm::{run_mm, run_mm_default, Matrix, MmMapJob, MmResult, MmSumJob};
+pub use mph::MinimalPerfectHash;
+pub use sio::SioJob;
+pub use text::Dictionary;
+pub use wo::WoJob;

@@ -1,0 +1,653 @@
+//! Matrix Multiplication (MM): the paper's compute-bound, strongly-scaling
+//! benchmark (§5.3.1).
+//!
+//! The CPU-MapReduce formulation (one vector-vector product per output
+//! element) falls short on GPUs — no coalescing, no shared-memory reuse —
+//! so the paper uses the cache-oblivious hierarchical approach: matrices
+//! are tiled; each block computes an output tile as an inner product of
+//! 16x16 tile multiplications staged through shared memory.
+//!
+//! Because a single-key reduction must fit in core, the paper splits the
+//! computation into **two GPMR tasks** (its footnote 2):
+//!
+//! 1. [`MmMapJob`] — map items are (output-tile, k-slab) partial products;
+//!    each emits `(tile_key, partial_tile)`. Sort and Reduce are
+//!    *bypassed*; partial tiles are binned straight to their owner rank.
+//! 2. [`MmSumJob`] — a second Map sums the partial tiles per key
+//!    (again bypassing Sort/Reduce), producing the final tiles.
+
+use gpmr_core::{
+    Chunk, EngineResult, GpmrJob, KvSet, PartitionMode, PipelineConfig, Pod, SliceChunk,
+};
+use gpmr_sim_gpu::{Gpu, LaunchConfig, SimGpuResult, SimTime};
+use gpmr_core::JobTimings;
+use gpmr_sim_gpu::SimDuration;
+use gpmr_sim_net::Cluster;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tile edge length: blocks of 256 threads multiply 16x16 tiles with
+/// coalesced reads (paper: "we stop the division here because a block of
+/// 256 threads can read 16^2 values in a coalesced manner").
+pub const TILE: usize = 16;
+/// Elements per tile.
+pub const TILE_ELEMS: usize = TILE * TILE;
+
+/// One 16x16 tile, row-major.
+pub type TileData = [f32; TILE_ELEMS];
+
+/// A dense square matrix, row-major, order divisible by [`TILE`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    /// Order (rows = cols = n).
+    pub n: usize,
+    /// Row-major elements.
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix of order `n` (must be a multiple of [`TILE`]).
+    pub fn zeros(n: usize) -> Self {
+        assert_eq!(n % TILE, 0, "matrix order must be a multiple of {TILE}");
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Seeded random matrix with entries in `[-1, 1)`.
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut m = Self::zeros(n);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x4d4d);
+        for v in &mut m.data {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        m
+    }
+
+    /// Number of tiles per dimension.
+    pub fn n_tiles(&self) -> usize {
+        self.n / TILE
+    }
+
+    /// Extract tile `(ti, tj)`.
+    pub fn tile(&self, ti: usize, tj: usize) -> TileData {
+        let mut t = [0.0f32; TILE_ELEMS];
+        for r in 0..TILE {
+            let src = (ti * TILE + r) * self.n + tj * TILE;
+            t[r * TILE..(r + 1) * TILE].copy_from_slice(&self.data[src..src + TILE]);
+        }
+        t
+    }
+
+    /// Write tile `(ti, tj)`.
+    pub fn set_tile(&mut self, ti: usize, tj: usize, t: &TileData) {
+        for r in 0..TILE {
+            let dst = (ti * TILE + r) * self.n + tj * TILE;
+            self.data[dst..dst + TILE].copy_from_slice(&t[r * TILE..(r + 1) * TILE]);
+        }
+    }
+
+    /// Reference sequential multiply (tile-ordered accumulation, matching
+    /// the GPMR phase order bit-for-bit).
+    pub fn multiply_reference(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.n, other.n);
+        let nt = self.n_tiles();
+        let mut c = Matrix::zeros(self.n);
+        for ti in 0..nt {
+            for tj in 0..nt {
+                let mut acc = [0.0f32; TILE_ELEMS];
+                for tk in 0..nt {
+                    let a = self.tile(ti, tk);
+                    let b = other.tile(tk, tj);
+                    tile_multiply_add(&a, &b, &mut acc);
+                }
+                c.set_tile(ti, tj, &acc);
+            }
+        }
+        c
+    }
+}
+
+/// `acc += a * b` for 16x16 tiles.
+fn tile_multiply_add(a: &TileData, b: &TileData, acc: &mut TileData) {
+    for r in 0..TILE {
+        for k in 0..TILE {
+            let av = a[r * TILE + k];
+            let brow = &b[k * TILE..(k + 1) * TILE];
+            let crow = &mut acc[r * TILE..(r + 1) * TILE];
+            for c in 0..TILE {
+                crow[c] += av * brow[c];
+            }
+        }
+    }
+}
+
+/// Pack an output-tile coordinate into a key.
+pub fn tile_key(ti: u32, tj: u32) -> u32 {
+    (ti << 16) | tj
+}
+
+/// Unpack a tile key.
+pub fn tile_coords(key: u32) -> (u32, u32) {
+    (key >> 16, key & 0xffff)
+}
+
+/// A phase-1 chunk: an A slab (`row_len x k_len`) and a B slab
+/// (`k_len x col_len`) — everything needed to produce partial tiles for
+/// the `row_len x col_len` output-tile block over `k_len` of the inner
+/// dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MmChunk {
+    /// Tiles per dimension of the full matrices.
+    pub n_tiles: u32,
+    /// First tile-row covered.
+    pub row_start: u32,
+    /// Number of tile-rows covered.
+    pub row_len: u32,
+    /// First tile-column covered.
+    pub col_start: u32,
+    /// Number of tile-columns covered.
+    pub col_len: u32,
+    /// First tile of the k-slab.
+    pub k_start: u32,
+    /// Tiles in the k-slab.
+    pub k_len: u32,
+    /// A tiles, `row_len x k_len`, row-major.
+    pub a: Vec<TileData>,
+    /// B tiles, `k_len x col_len`, row-major.
+    pub b: Vec<TileData>,
+}
+
+impl Chunk for MmChunk {
+    fn item_count(&self) -> usize {
+        (self.row_len * self.col_len * self.k_len) as usize
+    }
+
+    fn size_bytes(&self) -> u64 {
+        ((self.a.len() + self.b.len()) * TILE_ELEMS * 4) as u64
+    }
+
+    fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.n_tiles.write_le(&mut out);
+        self.row_start.write_le(&mut out);
+        self.row_len.write_le(&mut out);
+        self.col_start.write_le(&mut out);
+        self.col_len.write_le(&mut out);
+        self.k_start.write_le(&mut out);
+        self.k_len.write_le(&mut out);
+        gpmr_core::pod::write_slice(&self.a, &mut out);
+        gpmr_core::pod::write_slice(&self.b, &mut out);
+        out
+    }
+
+    fn deserialize(bytes: &[u8]) -> Self {
+        let n_tiles = u32::read_le(bytes);
+        let row_start = u32::read_le(&bytes[4..]);
+        let row_len = u32::read_le(&bytes[8..]);
+        let col_start = u32::read_le(&bytes[12..]);
+        let col_len = u32::read_le(&bytes[16..]);
+        let k_start = u32::read_le(&bytes[20..]);
+        let k_len = u32::read_le(&bytes[24..]);
+        let (a, used) = gpmr_core::pod::read_slice(&bytes[28..]);
+        let (b, _) = gpmr_core::pod::read_slice(&bytes[28 + used..]);
+        MmChunk {
+            n_tiles,
+            row_start,
+            row_len,
+            col_start,
+            col_len,
+            k_start,
+            k_len,
+            a,
+            b,
+        }
+    }
+}
+
+fn owner_of(key: u32, n_tiles: u32, ranks: u32) -> u32 {
+    let (i, j) = tile_coords(key);
+    (i * n_tiles + j) % ranks.max(1)
+}
+
+/// Phase 1: partial tile products.
+#[derive(Clone, Copy, Debug)]
+pub struct MmMapJob {
+    n_tiles: u32,
+}
+
+impl MmMapJob {
+    /// Job for matrices with `n_tiles` tiles per dimension.
+    pub fn new(n_tiles: u32) -> Self {
+        MmMapJob { n_tiles }
+    }
+}
+
+impl GpmrJob for MmMapJob {
+    type Chunk = MmChunk;
+    type Key = u32;
+    type Value = TileData;
+
+    fn pipeline(&self) -> PipelineConfig {
+        PipelineConfig {
+            partition: PartitionMode::Custom,
+            sort_and_reduce: false,
+            ..PipelineConfig::default()
+        }
+    }
+
+    fn partition(&self, key: &u32, ranks: u32) -> u32 {
+        owner_of(*key, self.n_tiles, ranks)
+    }
+
+    fn map(
+        &self,
+        gpu: &mut Gpu,
+        at: SimTime,
+        chunk: &Self::Chunk,
+    ) -> SimGpuResult<(KvSet<u32, TileData>, SimTime)> {
+        let (rows, cols, klen) = (
+            chunk.row_len as usize,
+            chunk.col_len as usize,
+            chunk.k_len as usize,
+        );
+        let out_tiles = rows * cols;
+        // One block per output tile; 256 threads; two tiles staged in
+        // shared memory per step.
+        let cfg = LaunchConfig::grid(out_tiles as u32, 256)
+            .with_shared_bytes((2 * TILE_ELEMS * 4) as u32)
+            .with_regs_per_thread(20);
+        let (launch, res) = gpu.launch(at, &cfg, |ctx| {
+            let b = ctx.block_idx as usize;
+            let (ri, ci) = (b / cols, b % cols);
+            // Full inner product over the chunk's k-slab: k_len staged
+            // tile multiplications; shared-memory tile reads are stride-1
+            // (conflict-free by construction).
+            ctx.charge_read::<f32>(2 * TILE_ELEMS * klen);
+            ctx.charge_shared::<f32>(2 * TILE * TILE_ELEMS * klen, 1);
+            ctx.charge_flops((2 * TILE * TILE_ELEMS * klen) as u64);
+            ctx.charge_write::<f32>(TILE_ELEMS);
+            let mut acc = [0.0f32; TILE_ELEMS];
+            for k in 0..klen {
+                let a = &chunk.a[ri * klen + k];
+                let bt = &chunk.b[k * cols + ci];
+                tile_multiply_add(a, bt, &mut acc);
+            }
+            (
+                tile_key(chunk.row_start + ri as u32, chunk.col_start + ci as u32),
+                acc,
+            )
+        })?;
+        let mut pairs = KvSet::with_capacity(out_tiles);
+        for (k, t) in launch.outputs {
+            pairs.push(k, t);
+        }
+        Ok((pairs, res.end))
+    }
+}
+
+/// Phase 2: sum partial tiles per key ("another Map in a separate
+/// MapReduce", bypassing Sort and Reduce again).
+#[derive(Clone, Copy, Debug)]
+pub struct MmSumJob {
+    n_tiles: u32,
+}
+
+impl MmSumJob {
+    /// Job for matrices with `n_tiles` tiles per dimension.
+    pub fn new(n_tiles: u32) -> Self {
+        MmSumJob { n_tiles }
+    }
+}
+
+impl GpmrJob for MmSumJob {
+    type Chunk = SliceChunk<(u32, TileData)>;
+    type Key = u32;
+    type Value = TileData;
+
+    fn pipeline(&self) -> PipelineConfig {
+        PipelineConfig {
+            partition: PartitionMode::Custom,
+            sort_and_reduce: false,
+            ..PipelineConfig::default()
+        }
+    }
+
+    fn partition(&self, key: &u32, ranks: u32) -> u32 {
+        owner_of(*key, self.n_tiles, ranks)
+    }
+
+    fn map(
+        &self,
+        gpu: &mut Gpu,
+        at: SimTime,
+        chunk: &Self::Chunk,
+    ) -> SimGpuResult<(KvSet<u32, TileData>, SimTime)> {
+        // Chunks contain whole key-groups (guaranteed by `run_mm`'s
+        // grouping); find group boundaries, then one block per group.
+        let items = &chunk.items;
+        let mut groups: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut start = 0usize;
+        for i in 1..=items.len() {
+            if i == items.len() || items[i].0 != items[start].0 {
+                groups.push(start..i);
+                start = i;
+            }
+        }
+        if groups.is_empty() {
+            return Ok((KvSet::new(), at));
+        }
+        let cfg = LaunchConfig::grid(groups.len() as u32, 256)
+            .with_shared_bytes((TILE_ELEMS * 4) as u32);
+        let (launch, res) = gpu.launch(at, &cfg, |ctx| {
+            let g = &groups[ctx.block_idx as usize];
+            ctx.charge_read::<f32>(TILE_ELEMS * g.len());
+            ctx.charge_flops((TILE_ELEMS * (g.len() - 1)) as u64);
+            ctx.charge_write::<f32>(TILE_ELEMS);
+            let mut acc = [0.0f32; TILE_ELEMS];
+            for (_, t) in &items[g.clone()] {
+                for (a, v) in acc.iter_mut().zip(t) {
+                    *a += v;
+                }
+            }
+            (items[g.start].0, acc)
+        })?;
+        let mut pairs = KvSet::with_capacity(groups.len());
+        for (k, t) in launch.outputs {
+            pairs.push(k, t);
+        }
+        Ok((pairs, res.end))
+    }
+}
+
+/// Result of a full two-phase GPMR matrix multiplication.
+#[derive(Debug)]
+pub struct MmResult {
+    /// The product matrix.
+    pub c: Matrix,
+    /// Sum of both phases' makespans.
+    pub total_time: SimDuration,
+    /// Phase-1 timing breakdown.
+    pub phase1: JobTimings,
+    /// Phase-2 timing breakdown.
+    pub phase2: JobTimings,
+}
+
+/// Build the phase-1 chunks for `a * b`: one chunk per
+/// (row-slab, column-slab, k-slab) cell.
+pub fn mm_chunks(
+    a: &Matrix,
+    b: &Matrix,
+    row_block: usize,
+    col_block: usize,
+    k_block: usize,
+) -> Vec<MmChunk> {
+    assert_eq!(a.n, b.n, "matrix orders must match");
+    let nt = a.n_tiles();
+    let row_block = row_block.clamp(1, nt);
+    let col_block = col_block.clamp(1, nt);
+    let k_block = k_block.clamp(1, nt);
+    let mut chunks = Vec::new();
+    for row_start in (0..nt).step_by(row_block) {
+        let rows = row_block.min(nt - row_start);
+        for col_start in (0..nt).step_by(col_block) {
+            let cols = col_block.min(nt - col_start);
+            for k_start in (0..nt).step_by(k_block) {
+                let klen = k_block.min(nt - k_start);
+                let mut at = Vec::with_capacity(rows * klen);
+                for r in 0..rows {
+                    for k in 0..klen {
+                        at.push(a.tile(row_start + r, k_start + k));
+                    }
+                }
+                let mut bt = Vec::with_capacity(klen * cols);
+                for k in 0..klen {
+                    for c in 0..cols {
+                        bt.push(b.tile(k_start + k, col_start + c));
+                    }
+                }
+                chunks.push(MmChunk {
+                    n_tiles: nt as u32,
+                    row_start: row_start as u32,
+                    row_len: rows as u32,
+                    col_start: col_start as u32,
+                    col_len: cols as u32,
+                    k_start: k_start as u32,
+                    k_len: klen as u32,
+                    a: at,
+                    b: bt,
+                });
+            }
+        }
+    }
+    chunks
+}
+
+/// Run the full two-phase multiplication on a cluster. The block sizes
+/// control chunk granularity in tiles ([`run_mm_auto`] picks them).
+pub fn run_mm(
+    cluster: &mut Cluster,
+    a: &Matrix,
+    b: &Matrix,
+    row_block: usize,
+    col_block: usize,
+    k_block: usize,
+) -> EngineResult<MmResult> {
+    let nt = a.n_tiles() as u32;
+    let chunks = mm_chunks(a, b, row_block, col_block, k_block);
+
+    // Phase 1: partial products, binned to their owner ranks.
+    let phase1 = gpmr_core::run_job(cluster, &MmMapJob::new(nt), chunks)?;
+
+    // Between the two GPMR tasks: group each rank's partials by key
+    // (GPMR is storage-agnostic between jobs).
+    let mut pairs: Vec<(u32, TileData)> = Vec::new();
+    for out in &phase1.outputs {
+        pairs.extend(out.iter().map(|(k, v)| (*k, *v)));
+    }
+    pairs.sort_by_key(|(k, _)| *k);
+    // Size phase-2 chunks to quarter of device memory (double buffer +
+    // output headroom).
+    let pair_bytes = 4 + TILE_ELEMS * 4;
+    let max_items = (cluster.gpu(0).mem.capacity() as usize / 4 / pair_bytes).clamp(16, 2048);
+    let chunks2 = group_chunks(&pairs, max_items);
+
+    let phase2 = gpmr_core::run_job(cluster, &MmSumJob::new(nt), chunks2)?;
+
+    // Assemble C.
+    let mut c = Matrix::zeros(a.n);
+    for out in &phase2.outputs {
+        for (key, tile) in out.iter() {
+            let (ti, tj) = tile_coords(*key);
+            c.set_tile(ti as usize, tj as usize, tile);
+        }
+    }
+    Ok(MmResult {
+        c,
+        total_time: phase1.timings.total + phase2.timings.total,
+        phase1: phase1.timings,
+        phase2: phase2.timings,
+    })
+}
+
+/// [`run_mm`] with a generic default granularity (32x32x32 tile blocks).
+pub fn run_mm_default(cluster: &mut Cluster, a: &Matrix, b: &Matrix) -> EngineResult<MmResult> {
+    run_mm(cluster, a, b, 32, 32, 32)
+}
+
+/// Pick chunk granularity for `n_tiles` on `gpus` GPUs with
+/// `capacity_bytes` of device memory. A chunk's PCI-e arithmetic
+/// intensity is `8 * side * kb / (2 * kb + side)` flops per byte, so the
+/// row/column blocks are kept large (up to 256 tiles — well past the
+/// GT200's compute/PCI-e balance point of ~194 flops per byte); the
+/// k-block mainly tunes chunk *count* toward the ~4 chunks per GPU the
+/// dynamic scheduler wants.
+pub fn mm_auto_blocks(n_tiles: usize, gpus: u32, capacity_bytes: u64) -> (usize, usize, usize) {
+    let tile_bytes = (TILE_ELEMS * 4) as u64;
+    let mut side = 256.min(n_tiles).max(1);
+    let mut kb = 64.min(n_tiles).max(1);
+    let fits = |side: usize, kb: usize| {
+        let resident = (2 * side * kb + side * side) as u64 * tile_bytes;
+        2 * resident <= capacity_bytes
+    };
+    while !fits(side, kb) {
+        if kb > 8 {
+            kb /= 2;
+        } else if side > 1 {
+            side = side * 3 / 4;
+        } else {
+            break;
+        }
+    }
+    let target = (4 * gpus as usize).max(8);
+    let chunks = |side: usize, kb: usize| {
+        n_tiles.div_ceil(side) * n_tiles.div_ceil(side) * n_tiles.div_ceil(kb)
+    };
+    while chunks(side, kb) < target && kb > 1 {
+        kb /= 2;
+    }
+    while chunks(side, kb) < target && side > 1 {
+        side = (side * 2) / 3;
+    }
+    (side.max(1), side.max(1), kb.max(1))
+}
+
+/// [`run_mm`] with granularity adapted to the cluster size and device
+/// memory.
+pub fn run_mm_auto(cluster: &mut Cluster, a: &Matrix, b: &Matrix) -> EngineResult<MmResult> {
+    let capacity = cluster.gpu(0).mem.capacity();
+    let (rb, cb, kb) = mm_auto_blocks(a.n_tiles(), cluster.size(), capacity);
+    run_mm(cluster, a, b, rb, cb, kb)
+}
+
+/// Pack sorted (key, tile) pairs into chunks of at most `max_items`
+/// without splitting a key-group across chunks.
+fn group_chunks(sorted: &[(u32, TileData)], max_items: usize) -> Vec<SliceChunk<(u32, TileData)>> {
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    let mut id = 0u32;
+    while start < sorted.len() {
+        let mut end = (start + max_items).min(sorted.len());
+        // Extend to the end of the current key-group.
+        while end < sorted.len() && sorted[end].0 == sorted[end - 1].0 {
+            end += 1;
+        }
+        chunks.push(SliceChunk::new(
+            id,
+            start as u64,
+            sorted[start..end].to_vec(),
+        ));
+        id += 1;
+        start = end;
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpmr_sim_gpu::GpuSpec;
+
+    fn assert_matrix_close(a: &Matrix, b: &Matrix) {
+        assert_eq!(a.n, b.n);
+        for (i, (x, y)) in a.data.iter().zip(&b.data).enumerate() {
+            assert!(
+                (x - y).abs() <= 1e-4 * (1.0 + x.abs().max(y.abs())),
+                "element {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn tile_round_trip() {
+        let m = Matrix::random(64, 1);
+        let t = m.tile(2, 3);
+        let mut m2 = Matrix::zeros(64);
+        m2.set_tile(2, 3, &t);
+        assert_eq!(m2.tile(2, 3), t);
+    }
+
+    #[test]
+    fn reference_matches_naive_multiply() {
+        let a = Matrix::random(32, 2);
+        let b = Matrix::random(32, 3);
+        let c = a.multiply_reference(&b);
+        // Spot-check a few elements against the naive triple loop.
+        for &(i, j) in &[(0usize, 0usize), (5, 17), (31, 31)] {
+            let mut expect = 0.0f64;
+            for k in 0..32 {
+                expect += f64::from(a.data[i * 32 + k]) * f64::from(b.data[k * 32 + j]);
+            }
+            let got = f64::from(c.data[i * 32 + j]);
+            assert!((got - expect).abs() < 1e-3, "({i},{j}): {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn gpmr_mm_matches_reference_single_gpu() {
+        let a = Matrix::random(128, 4);
+        let b = Matrix::random(128, 5);
+        let mut cluster = Cluster::accelerator(1, GpuSpec::gt200());
+        let result = run_mm(&mut cluster, &a, &b, 4, 4, 4).unwrap();
+        assert_matrix_close(&result.c, &a.multiply_reference(&b));
+        assert!(result.total_time.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn gpmr_mm_matches_reference_multi_gpu() {
+        let a = Matrix::random(256, 6);
+        let b = Matrix::random(256, 7);
+        let mut cluster = Cluster::accelerator(8, GpuSpec::gt200());
+        let result = run_mm(&mut cluster, &a, &b, 4, 8, 8).unwrap();
+        assert_matrix_close(&result.c, &a.multiply_reference(&b));
+    }
+
+    #[test]
+    fn single_phase_when_k_fits() {
+        // Full-k chunks mean phase 2 sees one partial per key.
+        let a = Matrix::random(64, 8);
+        let b = Matrix::random(64, 9);
+        let mut cluster = Cluster::accelerator(2, GpuSpec::gt200());
+        let result = run_mm(&mut cluster, &a, &b, 2, 4, 4).unwrap();
+        assert_matrix_close(&result.c, &a.multiply_reference(&b));
+    }
+
+    #[test]
+    fn mm_chunk_serialization_round_trips() {
+        let a = Matrix::random(64, 10);
+        let b = Matrix::random(64, 11);
+        let chunks = mm_chunks(&a, &b, 2, 2, 2);
+        let bytes = chunks[1].serialize();
+        assert_eq!(MmChunk::deserialize(&bytes), chunks[1]);
+        assert!(chunks[0].item_count() > 0);
+    }
+
+    #[test]
+    fn key_packing_round_trips() {
+        assert_eq!(tile_coords(tile_key(5, 9)), (5, 9));
+        assert_eq!(tile_coords(tile_key(0, 0)), (0, 0));
+        assert_eq!(tile_coords(tile_key(65535, 65535)), (65535, 65535));
+    }
+
+    #[test]
+    fn group_chunks_never_split_groups() {
+        let t = [0.0f32; TILE_ELEMS];
+        let pairs: Vec<(u32, TileData)> = (0..100).map(|i| (i / 10, t)).collect();
+        let chunks = group_chunks(&pairs, 15);
+        for c in &chunks {
+            // Each group (10 items) stays whole.
+            let first = c.items.first().unwrap().0;
+            let last = c.items.last().unwrap().0;
+            assert!(c.items.len() >= 10 || first == last);
+        }
+        let total: usize = chunks.iter().map(|c| c.items.len()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn non_tile_order_rejected() {
+        let _ = Matrix::zeros(100);
+    }
+}

@@ -1,0 +1,201 @@
+//! Minimal perfect hashing for the Word Occurrence dictionary.
+//!
+//! Strings make poor GPU keys (paper §5.3.3): variable length, wasted
+//! fixed-size storage, atomics for emission. GPMR's WO instead assigns
+//! each dictionary word a unique dense integer with a minimal perfect
+//! hash, so the map kernel emits 4-byte keys that index directly into the
+//! accumulation space. The paper cites Cichelli's construction; we use the
+//! equivalent modern hash-and-displace scheme (CHD), which handles 43 k
+//! words comfortably.
+
+use std::collections::HashMap;
+
+/// A minimal perfect hash over a fixed word list: maps each word to a
+/// unique index in `0..n`, and any non-dictionary string to an arbitrary
+/// index (callers that need exactness keep the word list for verification).
+///
+/// ```
+/// use gpmr_apps::MinimalPerfectHash;
+///
+/// let words: Vec<&[u8]> = vec![b"map", b"reduce", b"sort"];
+/// let mph = MinimalPerfectHash::build(&words);
+/// let ids: std::collections::HashSet<u32> =
+///     words.iter().map(|w| mph.index(w)).collect();
+/// assert_eq!(ids.len(), 3); // distinct
+/// assert!(ids.iter().all(|&i| i < 3)); // dense in 0..3
+/// ```
+#[derive(Clone, Debug)]
+pub struct MinimalPerfectHash {
+    /// Displacement seed per bucket.
+    displacements: Vec<u32>,
+    n: usize,
+}
+
+fn hash_with_seed(word: &[u8], seed: u64) -> u64 {
+    // FNV-1a, seeded.
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &b in word {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Final avalanche.
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 33)
+}
+
+impl MinimalPerfectHash {
+    /// Build a minimal perfect hash for `words`. Words must be distinct.
+    ///
+    /// Uses CHD: words are bucketed by a first-level hash; buckets are
+    /// processed largest-first, searching for a per-bucket displacement
+    /// seed that maps all of its words to unoccupied slots.
+    ///
+    /// # Panics
+    /// Panics if `words` contains duplicates (no perfect hash exists).
+    pub fn build(words: &[&[u8]]) -> Self {
+        let n = words.len();
+        if n == 0 {
+            return MinimalPerfectHash {
+                displacements: Vec::new(),
+                n: 0,
+            };
+        }
+        // ~4 words per bucket keeps displacement searches short.
+        let buckets_len = n.div_ceil(4).max(1);
+        let mut buckets: Vec<Vec<&[u8]>> = vec![Vec::new(); buckets_len];
+        for &w in words {
+            let b = (hash_with_seed(w, 0) % buckets_len as u64) as usize;
+            buckets[b].push(w);
+        }
+        let mut order: Vec<usize> = (0..buckets_len).collect();
+        order.sort_by_key(|&b| std::cmp::Reverse(buckets[b].len()));
+
+        let mut displacements = vec![0u32; buckets_len];
+        let mut occupied = vec![false; n];
+        for &b in &order {
+            let bucket = &buckets[b];
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut seed = 1u32;
+            'search: loop {
+                let mut slots = Vec::with_capacity(bucket.len());
+                for &w in bucket {
+                    let s = (hash_with_seed(w, u64::from(seed)) % n as u64) as usize;
+                    if occupied[s] || slots.contains(&s) {
+                        seed = seed
+                            .checked_add(1)
+                            .expect("MPH displacement search exhausted: duplicate words?");
+                        continue 'search;
+                    }
+                    slots.push(s);
+                }
+                for &s in &slots {
+                    occupied[s] = true;
+                }
+                displacements[b] = seed;
+                break;
+            }
+        }
+        debug_assert!(occupied.iter().all(|&o| o));
+        MinimalPerfectHash { displacements, n }
+    }
+
+    /// Hash a word to its index in `0..len()`. Perfect (collision-free and
+    /// minimal) for dictionary words.
+    pub fn index(&self, word: &[u8]) -> u32 {
+        if self.n == 0 {
+            return 0;
+        }
+        let b = (hash_with_seed(word, 0) % self.displacements.len() as u64) as usize;
+        let seed = u64::from(self.displacements[b]);
+        (hash_with_seed(word, seed) % self.n as u64) as u32
+    }
+
+    /// Number of dictionary words.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for an empty dictionary.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Approximate device-side table size in bytes (the paper: "43 k
+    /// integer-integer pairs requires less than 350 kB").
+    pub fn table_bytes(&self) -> u64 {
+        (self.displacements.len() * 4) as u64
+    }
+}
+
+/// Verify perfection on a word list (test/diagnostic helper): returns the
+/// inverse mapping index → word if the hash is perfect and minimal.
+pub fn verify_perfect<'a>(
+    mph: &MinimalPerfectHash,
+    words: &[&'a [u8]],
+) -> Option<HashMap<u32, &'a [u8]>> {
+    let mut seen = HashMap::with_capacity(words.len());
+    for &w in words {
+        let i = mph.index(w);
+        if i as usize >= words.len() || seen.insert(i, w).is_some() {
+            return None;
+        }
+    }
+    Some(seen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(n: usize) -> Vec<Vec<u8>> {
+        // Deterministic distinct pseudo-words.
+        (0..n)
+            .map(|i| format!("word{i:06}").into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn small_dictionary_is_perfect() {
+        let ws = words(100);
+        let refs: Vec<&[u8]> = ws.iter().map(Vec::as_slice).collect();
+        let mph = MinimalPerfectHash::build(&refs);
+        assert_eq!(mph.len(), 100);
+        assert!(verify_perfect(&mph, &refs).is_some());
+    }
+
+    #[test]
+    fn dictionary_scale_43k_is_perfect() {
+        let ws = words(43_000);
+        let refs: Vec<&[u8]> = ws.iter().map(Vec::as_slice).collect();
+        let mph = MinimalPerfectHash::build(&refs);
+        assert!(verify_perfect(&mph, &refs).is_some());
+        // The paper's observation: the table is small (< 350 kB).
+        assert!(mph.table_bytes() < 350 * 1024);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mph = MinimalPerfectHash::build(&[]);
+        assert!(mph.is_empty());
+        assert_eq!(mph.index(b"anything"), 0);
+
+        let mph = MinimalPerfectHash::build(&[b"only".as_slice()]);
+        assert_eq!(mph.len(), 1);
+        assert_eq!(mph.index(b"only"), 0);
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        let ws = words(1000);
+        let refs: Vec<&[u8]> = ws.iter().map(Vec::as_slice).collect();
+        let mph = MinimalPerfectHash::build(&refs);
+        let mut hit = vec![false; 1000];
+        for w in &refs {
+            hit[mph.index(w) as usize] = true;
+        }
+        assert!(hit.iter().all(|&h| h));
+    }
+}

@@ -1,0 +1,337 @@
+//! Sparse Integer Occurrence (SIO): count occurrences of each integer in
+//! a randomly-distributed sequence (paper §5.3.2).
+//!
+//! The stress benchmark for "many key-value pairs": every input element
+//! emits a pair, nothing compacts the intermediate data (the paper found
+//! Partial Reduction and Accumulation yield no speedup on sparse keys and
+//! Combine causes slowdown), so the PCI-e bus, the network, and the Sort
+//! stage all carry the full data volume. The mapper reads *two* integers
+//! per thread for efficient memory access; the best reducer is one key
+//! per thread with a serial value sum (block-per-key performed worse on
+//! sparse data — most keys have fewer than five values).
+
+use std::collections::HashMap;
+
+use gpmr_core::{GpmrJob, KvSet, PipelineConfig, SliceChunk};
+use gpmr_primitives::Segments;
+use gpmr_sim_gpu::{Gpu, LaunchConfig, SimGpuResult, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Map-stage configuration for SIO ablations. The paper's final choice is
+/// [`SioMode::Plain`]: "we forego Partial Reduction and Accumulation as
+/// they yield no speedup with our intermediate data, and we skip Combine
+/// as it causes slowdown". The other modes exist to measure exactly that.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SioMode {
+    /// The paper's configuration: ship every emitted pair.
+    #[default]
+    Plain,
+    /// GPU-side Partial Reduction after each map (sort + segmented fold of
+    /// an almost-unique key set: pure overhead on sparse keys).
+    PartialReduce,
+    /// CPU-stored global Combine before partitioning (defers all binning
+    /// until maps finish: slowdown).
+    Combine,
+}
+
+/// The SIO job. Pipeline: plain map, round-robin partition, radix sort,
+/// thread-per-key reduce.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SioJob {
+    mode: SioMode,
+    block_keyspace: Option<u64>,
+    reduce_sets: Option<usize>,
+    bitonic_sort: bool,
+}
+
+impl SioJob {
+    /// The ablation constructor; `SioJob::default()` is the paper's
+    /// configuration.
+    pub fn with_mode(mode: SioMode) -> Self {
+        SioJob {
+            mode,
+            block_keyspace: None,
+            reduce_sets: None,
+            bitonic_sort: false,
+        }
+    }
+
+    /// Use the comparator-network (bitonic) Sorter instead of the default
+    /// radix sort — the fallback GPMR uses for non-integer keys, measured
+    /// by the sorter ablation.
+    pub fn with_bitonic_sort(mut self) -> Self {
+        self.bitonic_sort = true;
+        self
+    }
+
+    /// Use the consecutive-blocks partitioner over a known key space
+    /// `[0, max_key]` instead of round-robin (the paper's §4.1
+    /// alternative; the distribution ablation compares the two).
+    pub fn with_block_partition(mut self, max_key: u64) -> Self {
+        self.block_keyspace = Some(max_key);
+        self
+    }
+
+    /// Cap the number of value sets per reduce kernel (the paper's §4.3
+    /// reduce-chunking callback; GPMR keeps issuing it until the last
+    /// sequence is processed). Default: all remaining sets in one kernel.
+    pub fn with_reduce_chunk(mut self, sets: usize) -> Self {
+        self.reduce_sets = Some(sets.max(1));
+        self
+    }
+}
+
+/// Items handled per map block (each thread reads two integers, 256
+/// threads per block, 8 rounds).
+const ITEMS_PER_MAP_BLOCK: usize = 4096;
+
+impl GpmrJob for SioJob {
+    type Chunk = SliceChunk<u32>;
+    type Key = u32;
+    type Value = u32;
+
+    fn pipeline(&self) -> PipelineConfig {
+        let mut cfg = match self.mode {
+            SioMode::Plain => PipelineConfig::default(),
+            SioMode::PartialReduce => PipelineConfig {
+                map_mode: gpmr_core::MapMode::PartialReduce,
+                ..PipelineConfig::default()
+            },
+            SioMode::Combine => PipelineConfig {
+                combine: true,
+                ..PipelineConfig::default()
+            },
+        };
+        if self.block_keyspace.is_some() {
+            cfg.partition = gpmr_core::PartitionMode::Custom;
+        }
+        if self.bitonic_sort {
+            cfg.sort = gpmr_core::SortMode::Bitonic;
+        }
+        cfg
+    }
+
+    fn partition(&self, key: &u32, ranks: u32) -> u32 {
+        match self.block_keyspace {
+            Some(max) => gpmr_core::block_partition(u64::from(*key), max, ranks),
+            None => (key % ranks.max(1)) as u32,
+        }
+    }
+
+    fn partial_reduce(
+        &self,
+        gpu: &mut Gpu,
+        at: SimTime,
+        pairs: KvSet<u32, u32>,
+    ) -> gpmr_sim_gpu::SimGpuResult<(KvSet<u32, u32>, SimTime)> {
+        gpmr_core::helpers::combine_pairs(gpu, at, pairs, |a, b| a + b)
+    }
+
+    fn combine_op(&self, a: u32, b: u32) -> u32 {
+        a + b
+    }
+
+    fn map(
+        &self,
+        gpu: &mut Gpu,
+        at: SimTime,
+        chunk: &Self::Chunk,
+    ) -> SimGpuResult<(KvSet<u32, u32>, SimTime)> {
+        let n = chunk.items.len();
+        let cfg = LaunchConfig::for_items(n, ITEMS_PER_MAP_BLOCK, 256);
+        let (launch, res) = gpu.launch(at, &cfg, |ctx| {
+            let range = ctx.item_range(n);
+            // Two integers per thread: one fully-coalesced read of the
+            // range, one coalesced write of each emitted (key, 1) pair.
+            ctx.charge_read::<u32>(range.len());
+            ctx.charge_write::<u32>(2 * range.len());
+            ctx.charge_flops(range.len() as u64);
+            let mut out: KvSet<u32, u32> = KvSet::with_capacity(range.len());
+            for &x in &chunk.items[range] {
+                out.push(x, 1);
+            }
+            out
+        })?;
+        let mut pairs = KvSet::with_capacity(n);
+        for p in launch.outputs {
+            pairs.append(p);
+        }
+        Ok((pairs, res.end))
+    }
+
+    fn reduce_sets_per_chunk(&self, remaining: usize) -> usize {
+        match self.reduce_sets {
+            Some(cap) => cap.min(remaining),
+            None => remaining,
+        }
+    }
+
+    fn reduce(
+        &self,
+        gpu: &mut Gpu,
+        at: SimTime,
+        segs: &Segments<u32>,
+        vals: &[u32],
+    ) -> SimGpuResult<(KvSet<u32, u32>, SimTime)> {
+        if segs.is_empty() {
+            return Ok((KvSet::new(), at));
+        }
+        // One key per thread; each thread serially sums its values
+        // (uncoalesced reads — the paper's final, fastest variant).
+        let cfg = LaunchConfig::for_items(segs.len(), 2048, 256);
+        let (launch, res) = gpu.launch(at, &cfg, |ctx| {
+            let range = ctx.item_range(segs.len());
+            let mut out: KvSet<u32, u32> = KvSet::with_capacity(range.len());
+            for s in range {
+                let r = segs.range(s);
+                ctx.charge_read_uncoalesced::<u32>(r.len());
+                ctx.charge_flops(r.len() as u64);
+                let sum = vals[r].iter().sum::<u32>();
+                out.push(segs.keys[s], sum);
+            }
+            ctx.charge_write::<u32>(2 * out.len());
+            out
+        })?;
+        let mut out = KvSet::new();
+        for p in launch.outputs {
+            out.append(p);
+        }
+        Ok((out, res.end))
+    }
+}
+
+/// Generate `n` random integers over a sparse key space of `n` distinct
+/// possible keys (most keys occur a handful of times, as in the paper).
+pub fn generate_integers(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x53494f);
+    let space = (n as u32).max(16);
+    (0..n).map(|_| rng.gen_range(0..space)).collect()
+}
+
+/// Split input into chunks of `chunk_bytes` bytes each.
+pub fn sio_chunks(data: &[u32], chunk_bytes: usize) -> Vec<SliceChunk<u32>> {
+    SliceChunk::split(data, (chunk_bytes / 4).max(1))
+}
+
+/// Sequential reference: occurrence counts per integer.
+pub fn cpu_reference(data: &[u32]) -> HashMap<u32, u32> {
+    let mut counts = HashMap::new();
+    for &x in data {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpmr_core::run_job;
+    use gpmr_sim_gpu::GpuSpec;
+    use gpmr_sim_net::Cluster;
+
+    fn check_counts(result: &KvSet<u32, u32>, expect: &HashMap<u32, u32>) {
+        let mut got: HashMap<u32, u32> = HashMap::new();
+        for (k, v) in result.iter() {
+            assert!(got.insert(*k, *v).is_none(), "duplicate key {k}");
+        }
+        assert_eq!(&got, expect);
+    }
+
+    #[test]
+    fn sio_matches_reference_on_one_gpu() {
+        let data = generate_integers(20_000, 1);
+        let mut cluster = Cluster::accelerator(1, GpuSpec::gt200());
+        let result = run_job(&mut cluster, &SioJob::default(), sio_chunks(&data, 16 * 1024)).unwrap();
+        check_counts(&result.merged_output(), &cpu_reference(&data));
+    }
+
+    #[test]
+    fn sio_matches_reference_on_eight_gpus() {
+        let data = generate_integers(50_000, 2);
+        let mut cluster = Cluster::accelerator(8, GpuSpec::gt200());
+        let result = run_job(&mut cluster, &SioJob::default(), sio_chunks(&data, 8 * 1024)).unwrap();
+        check_counts(&result.merged_output(), &cpu_reference(&data));
+        // Round-robin partitioning: every rank holds only keys ≡ rank (mod 8).
+        for (r, out) in result.outputs.iter().enumerate() {
+            assert!(out.keys.iter().all(|k| k % 8 == r as u32));
+        }
+    }
+
+    #[test]
+    fn sio_total_count_equals_input_len() {
+        let data = generate_integers(30_000, 3);
+        let mut cluster = Cluster::accelerator(4, GpuSpec::gt200());
+        let result = run_job(&mut cluster, &SioJob::default(), sio_chunks(&data, 16 * 1024)).unwrap();
+        let total: u64 = result
+            .merged_output()
+            .vals
+            .iter()
+            .map(|&v| u64::from(v))
+            .sum();
+        assert_eq!(total, 30_000);
+        assert_eq!(result.timings.pairs_emitted, 30_000);
+    }
+
+    #[test]
+    fn ablation_modes_produce_identical_counts() {
+        let data = generate_integers(30_000, 9);
+        let expect = cpu_reference(&data);
+        for mode in [SioMode::Plain, SioMode::PartialReduce, SioMode::Combine] {
+            let mut cluster = Cluster::accelerator(4, GpuSpec::gt200());
+            let job = SioJob::with_mode(mode);
+            let result = run_job(&mut cluster, &job, sio_chunks(&data, 16 * 1024)).unwrap();
+            check_counts(&result.merged_output(), &expect);
+        }
+    }
+
+    #[test]
+    fn partial_reduce_shrinks_the_shuffle_on_dense_keys() {
+        // Dense keys (many duplicates per chunk) let partial reduction
+        // compact pairs before the shuffle.
+        let data: Vec<u32> = (0..40_000u32).map(|i| i % 64).collect();
+        let mut c1 = Cluster::accelerator(2, GpuSpec::gt200());
+        let plain = run_job(&mut c1, &SioJob::default(), sio_chunks(&data, 32 * 1024)).unwrap();
+        let mut c2 = Cluster::accelerator(2, GpuSpec::gt200());
+        let pr = run_job(
+            &mut c2,
+            &SioJob::with_mode(SioMode::PartialReduce),
+            sio_chunks(&data, 32 * 1024),
+        )
+        .unwrap();
+        assert!(pr.timings.pairs_shuffled < plain.timings.pairs_shuffled / 10);
+        check_counts(&pr.merged_output(), &cpu_reference(&data));
+    }
+
+    #[test]
+    fn bitonic_sorter_is_correct_but_slower() {
+        let data = generate_integers(60_000, 13);
+        let expect = cpu_reference(&data);
+        let mut c1 = Cluster::accelerator(2, GpuSpec::gt200());
+        let radix = run_job(&mut c1, &SioJob::default(), sio_chunks(&data, 32 * 1024)).unwrap();
+        let mut c2 = Cluster::accelerator(2, GpuSpec::gt200());
+        let bitonic = run_job(
+            &mut c2,
+            &SioJob::default().with_bitonic_sort(),
+            sio_chunks(&data, 32 * 1024),
+        )
+        .unwrap();
+        check_counts(&radix.merged_output(), &expect);
+        check_counts(&bitonic.merged_output(), &expect);
+        assert!(
+            bitonic.total_time().as_secs() > radix.total_time().as_secs(),
+            "bitonic {} should be slower than radix {}",
+            bitonic.total_time(),
+            radix.total_time()
+        );
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_sparse() {
+        let a = generate_integers(10_000, 7);
+        assert_eq!(a, generate_integers(10_000, 7));
+        let distinct: std::collections::HashSet<_> = a.iter().collect();
+        // Sparse: many distinct keys relative to input size.
+        assert!(distinct.len() > 5_000);
+    }
+}

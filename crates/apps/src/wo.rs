@@ -1,0 +1,360 @@
+//! Word Occurrence (WO): count occurrences of each dictionary word in a
+//! text corpus (paper §5.3.3).
+//!
+//! The paper's GPU adaptations, all reproduced here:
+//!
+//! * **No string keys** — a minimal perfect hash assigns each dictionary
+//!   word a dense 4-byte id; the map kernel emits `(hash(w), 1)`.
+//! * **Accumulation** — an initial emission seeds all dictionary keys with
+//!   value 0; map kernels then increment GPU-resident counters with
+//!   fire-and-forget atomics, almost completely removing communication.
+//! * **Partitioner crossover** — below a GPU-count threshold all pairs go
+//!   to a single reducer (one kernel handles 43 k keys easily); past the
+//!   threshold that reducer becomes the bottleneck and the default
+//!   round-robin partitioner is enabled.
+//! * **Warp-per-key reduce** — each warp sums one key's values with
+//!   coalesced reads then a warp-wide reduction (the paper saw an order of
+//!   magnitude improvement over thread-per-key here).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gpmr_core::{GpmrJob, KvSet, MapMode, PartitionMode, PipelineConfig, SliceChunk};
+use gpmr_primitives::Segments;
+use gpmr_sim_gpu::{Gpu, LaunchConfig, SimGpuResult, SimTime};
+
+use crate::text::{words_of, Dictionary};
+
+/// GPU count past which WO switches from the single-reducer configuration
+/// to round-robin partitioning (the paper's crossover).
+pub const DEFAULT_PARTITION_CROSSOVER: u32 = 8;
+
+/// The WO job.
+#[derive(Clone)]
+pub struct WoJob {
+    dict: Arc<Dictionary>,
+    gpus: u32,
+    crossover: u32,
+    accumulate: bool,
+}
+
+impl WoJob {
+    /// Build the job for a run on `gpus` GPUs with the default crossover.
+    pub fn new(dict: Arc<Dictionary>, gpus: u32) -> Self {
+        WoJob {
+            dict,
+            gpus,
+            crossover: DEFAULT_PARTITION_CROSSOVER,
+            accumulate: true,
+        }
+    }
+
+    /// Override the partitioner crossover threshold (for the ablation
+    /// bench that sweeps it).
+    pub fn with_crossover(mut self, crossover: u32) -> Self {
+        self.crossover = crossover;
+        self
+    }
+
+    /// Disable Accumulation (ablation): every word emission ships through
+    /// the full shuffle, giving WO "similar characteristics to SIO" — the
+    /// paper saw dramatically worse performance before adding
+    /// Accumulation.
+    pub fn with_accumulation(mut self, accumulate: bool) -> Self {
+        self.accumulate = accumulate;
+        self
+    }
+
+    /// The dictionary in use.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Scan the words starting within `range` of `text`, calling `f` with
+    /// each word's dictionary index.
+    fn scan_words(&self, text: &[u8], range: std::ops::Range<usize>, mut f: impl FnMut(u32)) -> u64 {
+        let sep = |b: u8| b == b' ' || b == b'\n';
+        let mut i = range.start;
+        let mut words = 0u64;
+        while i < range.end {
+            if sep(text[i]) || (i > 0 && !sep(text[i - 1])) {
+                i += 1;
+                continue;
+            }
+            let mut j = i;
+            while j < text.len() && !sep(text[j]) {
+                j += 1;
+            }
+            f(self.dict.mph.index(&text[i..j]));
+            words += 1;
+            i = j;
+        }
+        words
+    }
+}
+
+/// Text bytes handled per map block (each thread scans one line; a block
+/// covers a few kilobytes of lines).
+const BYTES_PER_MAP_BLOCK: usize = 16 * 1024;
+
+impl GpmrJob for WoJob {
+    type Chunk = SliceChunk<u8>;
+    type Key = u32;
+    type Value = u32;
+
+    fn pipeline(&self) -> PipelineConfig {
+        PipelineConfig {
+            map_mode: if self.accumulate {
+                MapMode::Accumulate
+            } else {
+                MapMode::Plain
+            },
+            combine: false,
+            partition: if self.gpus > self.crossover {
+                PartitionMode::RoundRobin
+            } else {
+                PartitionMode::None
+            },
+            ..PipelineConfig::default()
+        }
+    }
+
+    fn map(
+        &self,
+        gpu: &mut Gpu,
+        at: SimTime,
+        chunk: &Self::Chunk,
+    ) -> SimGpuResult<(KvSet<u32, u32>, SimTime)> {
+        // Plain (non-accumulating) WO, used by the ablation bench: emit
+        // one pair per word and ship them all.
+        let text = &chunk.items;
+        let n = text.len();
+        let cfg = LaunchConfig::for_items(n, BYTES_PER_MAP_BLOCK, 256);
+        let (locals, res) = gpu.launch(at, &cfg, |ctx| {
+            let range = ctx.item_range(n);
+            ctx.charge_read::<u8>(range.len());
+            ctx.charge_flops(range.len() as u64);
+            let mut out: KvSet<u32, u32> = KvSet::new();
+            let words = self.scan_words(text, range.clone(), |idx| out.push(idx, 1));
+            ctx.charge_write::<u32>(2 * words as usize);
+            out
+        })?;
+        let mut pairs = KvSet::new();
+        for p in locals.outputs {
+            pairs.append(p);
+        }
+        Ok((pairs, res.end))
+    }
+
+    fn accumulate_init(
+        &self,
+        gpu: &mut Gpu,
+        at: SimTime,
+    ) -> SimGpuResult<(KvSet<u32, u32>, SimTime)> {
+        let n = self.dict.len();
+        // Initial map: emit every dictionary key with value 0.
+        let cfg = LaunchConfig::for_items(n.max(1), 2048, 256);
+        let (_, res) = gpu.launch(at, &cfg, |ctx| {
+            let range = ctx.item_range(n);
+            ctx.charge_write::<u32>(2 * range.len());
+        })?;
+        let state: KvSet<u32, u32> = (0..n as u32).map(|k| (k, 0)).collect();
+        Ok((state, res.end))
+    }
+
+    fn map_accumulate(
+        &self,
+        gpu: &mut Gpu,
+        at: SimTime,
+        chunk: &Self::Chunk,
+        state: &mut KvSet<u32, u32>,
+    ) -> SimGpuResult<SimTime> {
+        let text = &chunk.items;
+        let n = text.len();
+        let cfg = LaunchConfig::for_items(n, BYTES_PER_MAP_BLOCK, 256);
+        let (locals, res) = gpu.launch(at, &cfg, |ctx| {
+            let range = ctx.item_range(n);
+            ctx.charge_read::<u8>(range.len());
+            // Words *starting* in this block's byte range belong to it; a
+            // word may extend past the range end.
+            let mut map: HashMap<u32, u32> = HashMap::new();
+            let words = self.scan_words(text, range.clone(), |idx| {
+                *map.entry(idx).or_insert(0) += 1;
+            });
+            // Hashing is ~1 op per byte; one fire-and-forget atomic per
+            // word into the resident emit space.
+            ctx.charge_flops(range.len() as u64);
+            ctx.charge_atomics(words);
+            let mut counts: Vec<(u32, u32)> = map.into_iter().collect();
+            counts.sort_unstable();
+            counts
+        })?;
+        for block in locals.outputs {
+            for (idx, c) in block {
+                state.vals[idx as usize] += c;
+            }
+        }
+        Ok(res.end)
+    }
+
+    fn reduce(
+        &self,
+        gpu: &mut Gpu,
+        at: SimTime,
+        segs: &Segments<u32>,
+        vals: &[u32],
+    ) -> SimGpuResult<(KvSet<u32, u32>, SimTime)> {
+        if segs.is_empty() {
+            return Ok((KvSet::new(), at));
+        }
+        // One key per *warp*: lanes read the key's values coalesced, then a
+        // warp-wide reduction finishes the sum.
+        let warps_per_block = 8usize;
+        let cfg = LaunchConfig::for_items(segs.len(), warps_per_block, 256);
+        let (launch, res) = gpu.launch(at, &cfg, |ctx| {
+            let range = ctx.item_range(segs.len());
+            let mut out: KvSet<u32, u32> = KvSet::with_capacity(range.len());
+            for s in range {
+                let r = segs.range(s);
+                let sum = ctx.warp_sum_u32(&vals[r]) as u32;
+                out.push(segs.keys[s], sum);
+            }
+            ctx.charge_write::<u32>(2 * out.len());
+            out
+        })?;
+        let mut out = KvSet::new();
+        for p in launch.outputs {
+            out.append(p);
+        }
+        Ok((out, res.end))
+    }
+}
+
+/// Sequential reference: counts per minimal-perfect-hash index.
+pub fn cpu_reference(dict: &Dictionary, text: &[u8]) -> Vec<u32> {
+    let mut counts = vec![0u32; dict.len()];
+    for w in words_of(text) {
+        counts[dict.mph.index(w) as usize] += 1;
+    }
+    counts
+}
+
+/// Fold a WO job result back into dense per-word counts.
+pub fn counts_from_output(dict: &Dictionary, output: &KvSet<u32, u32>) -> Vec<u32> {
+    let mut counts = vec![0u32; dict.len()];
+    for (k, v) in output.iter() {
+        counts[*k as usize] += *v;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::{chunk_text, generate_text};
+    use gpmr_core::run_job;
+    use gpmr_sim_gpu::GpuSpec;
+    use gpmr_sim_net::Cluster;
+
+    fn setup(words: usize, bytes: usize, seed: u64) -> (Arc<Dictionary>, Vec<u8>) {
+        let dict = Arc::new(Dictionary::generate(words, seed));
+        let text = generate_text(&dict, bytes, seed + 1);
+        (dict, text)
+    }
+
+    #[test]
+    fn wo_matches_reference_single_gpu() {
+        let (dict, text) = setup(200, 40_000, 11);
+        let mut cluster = Cluster::accelerator(1, GpuSpec::gt200());
+        let job = WoJob::new(dict.clone(), 1);
+        let result = run_job(&mut cluster, &job, chunk_text(&text, 8_000)).unwrap();
+        assert_eq!(
+            counts_from_output(&dict, &result.merged_output()),
+            cpu_reference(&dict, &text)
+        );
+    }
+
+    #[test]
+    fn wo_below_crossover_uses_single_reducer() {
+        let (dict, text) = setup(150, 30_000, 12);
+        let mut cluster = Cluster::accelerator(4, GpuSpec::gt200());
+        let job = WoJob::new(dict.clone(), 4);
+        assert_eq!(job.pipeline().partition, PartitionMode::None);
+        let result = run_job(&mut cluster, &job, chunk_text(&text, 4_000)).unwrap();
+        // All final pairs land on rank 0.
+        assert!(result.outputs[1..].iter().all(KvSet::is_empty));
+        assert_eq!(
+            counts_from_output(&dict, &result.outputs[0]),
+            cpu_reference(&dict, &text)
+        );
+    }
+
+    #[test]
+    fn wo_above_crossover_partitions() {
+        let (dict, text) = setup(150, 60_000, 13);
+        let gpus = 12;
+        let mut cluster = Cluster::accelerator(gpus, GpuSpec::gt200());
+        let job = WoJob::new(dict.clone(), gpus);
+        assert_eq!(job.pipeline().partition, PartitionMode::RoundRobin);
+        let result = run_job(&mut cluster, &job, chunk_text(&text, 4_000)).unwrap();
+        // Work is spread: multiple ranks produce output.
+        let nonempty = result.outputs.iter().filter(|o| !o.is_empty()).count();
+        assert!(nonempty > 1);
+        assert_eq!(
+            counts_from_output(&dict, &result.merged_output()),
+            cpu_reference(&dict, &text)
+        );
+    }
+
+    #[test]
+    fn wo_total_words_preserved() {
+        let (dict, text) = setup(100, 25_000, 14);
+        let whole_words = words_of(&text).count() as u64;
+        let mut cluster = Cluster::accelerator(2, GpuSpec::gt200());
+        let job = WoJob::new(dict.clone(), 2);
+        let result = run_job(&mut cluster, &job, chunk_text(&text, 5_000)).unwrap();
+        let total: u64 = result
+            .merged_output()
+            .vals
+            .iter()
+            .map(|&v| u64::from(v))
+            .sum();
+        assert_eq!(total, whole_words);
+    }
+
+    #[test]
+    fn plain_mode_matches_accumulating_mode() {
+        let (dict, text) = setup(120, 30_000, 15);
+        let expect = cpu_reference(&dict, &text);
+
+        let mut c1 = Cluster::accelerator(4, GpuSpec::gt200());
+        let acc = run_job(
+            &mut c1,
+            &WoJob::new(dict.clone(), 4),
+            chunk_text(&text, 5_000),
+        )
+        .unwrap();
+        let mut c2 = Cluster::accelerator(4, GpuSpec::gt200());
+        let plain = run_job(
+            &mut c2,
+            &WoJob::new(dict.clone(), 4).with_accumulation(false),
+            chunk_text(&text, 5_000),
+        )
+        .unwrap();
+
+        assert_eq!(counts_from_output(&dict, &acc.merged_output()), expect);
+        assert_eq!(counts_from_output(&dict, &plain.merged_output()), expect);
+        // Accumulation is the paper's headline WO optimization: it ships
+        // at most one pair per dictionary word per rank, while plain mode
+        // ships one pair per word occurrence.
+        assert!(acc.timings.pairs_shuffled < plain.timings.pairs_shuffled);
+    }
+
+    #[test]
+    fn crossover_override() {
+        let dict = Arc::new(Dictionary::generate(10, 1));
+        let job = WoJob::new(dict, 4).with_crossover(2);
+        assert_eq!(job.pipeline().partition, PartitionMode::RoundRobin);
+        assert_eq!(job.dictionary().len(), 10);
+    }
+}

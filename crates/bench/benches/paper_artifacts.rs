@@ -1,0 +1,87 @@
+//! Criterion benches mirroring the paper's evaluation artifacts — one
+//! group per table/figure, at miniature sizes so `cargo bench` completes
+//! quickly. These measure *wall-clock* cost of regenerating each artifact
+//! point; the artifact values themselves come from the harness binaries
+//! (`fig3_efficiency`, `table2_phoenix`, ...), which print the simulated
+//! times at full calibrated scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpmr_bench::runners::{
+    run_kmc, run_lr, run_mm_bench, run_sio, run_wo, shared_dictionary,
+};
+use gpmr_baselines::phoenix::{run_phoenix, PhoenixConfig};
+use gpmr_baselines::phoenix_apps::PhoenixSio;
+use gpmr_baselines::mars::run_mars;
+use gpmr_baselines::mars_apps::MarsKmc;
+use gpmr_apps::{kmc, sio};
+use gpmr_sim_gpu::{Gpu, GpuSpec};
+
+/// Miniature scale: tiny workloads, hardware scaled to match.
+const SCALE: u64 = 1024;
+
+fn fig3_strong_scaling_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_efficiency_point");
+    for gpus in [1u32, 8] {
+        group.bench_with_input(BenchmarkId::new("sio_128k", gpus), &gpus, |b, &g| {
+            b.iter(|| run_sio(g, 128 * 1024, SCALE, 1));
+        });
+        group.bench_with_input(BenchmarkId::new("kmc_64k", gpus), &gpus, |b, &g| {
+            b.iter(|| run_kmc(g, 64 * 1024, SCALE, 1));
+        });
+        group.bench_with_input(BenchmarkId::new("lr_128k", gpus), &gpus, |b, &g| {
+            b.iter(|| run_lr(g, 128 * 1024, SCALE, 1));
+        });
+    }
+    group.finish();
+}
+
+fn fig2_breakdown_point(c: &mut Criterion) {
+    let dict = shared_dictionary(SCALE);
+    c.bench_function("fig2_breakdown_wo_8gpu", |b| {
+        b.iter(|| run_wo(8, 512 * 1024, SCALE, &dict, 2));
+    });
+}
+
+fn table2_phoenix_point(c: &mut Criterion) {
+    let data = sio::generate_integers(128 * 1024, 3);
+    let cfg = PhoenixConfig::default();
+    let mut group = c.benchmark_group("table2_phoenix_point");
+    group.bench_function("phoenix_sio_128k", |b| {
+        b.iter(|| run_phoenix(&cfg, &PhoenixSio, &data));
+    });
+    group.bench_function("gpmr_sio_128k_1gpu", |b| {
+        b.iter(|| run_sio(1, 128 * 1024, SCALE, 3));
+    });
+    group.finish();
+}
+
+fn table3_mars_point(c: &mut Criterion) {
+    let centers = kmc::initial_centers(16, 4);
+    let points = kmc::generate_points(64 * 1024, 16, 5);
+    let mut group = c.benchmark_group("table3_mars_point");
+    group.bench_function("mars_kmc_64k", |b| {
+        let mut gpu = Gpu::new(GpuSpec::gt200());
+        b.iter(|| run_mars(&mut gpu, &MarsKmc::new(centers.clone()), &points).unwrap());
+    });
+    group.bench_function("gpmr_kmc_64k_1gpu", |b| {
+        b.iter(|| run_kmc(1, 64 * 1024, SCALE, 5));
+    });
+    group.finish();
+}
+
+fn mm_end_to_end(c: &mut Criterion) {
+    c.bench_function("fig3_mm_128_2gpu", |b| {
+        b.iter(|| run_mm_bench(2, 128, SCALE, 6));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig3_strong_scaling_points,
+              fig2_breakdown_point,
+              table2_phoenix_point,
+              table3_mars_point,
+              mm_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion microbenches for the CUDPP-equivalent primitives: wall-clock
+//! cost of the simulator's building blocks (these dominate harness run
+//! time, so regressions here matter).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpmr_primitives::{exclusive_scan, extract_segments, histogram, sort_pairs};
+use gpmr_sim_gpu::{Gpu, GpuSpec, SimTime};
+
+fn pseudo_random(n: usize, seed: u64) -> Vec<u32> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 16) as u32
+        })
+        .collect()
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan");
+    for &n in &[64 * 1024usize, 1024 * 1024] {
+        let input: Vec<u64> = (0..n as u64).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            let mut gpu = Gpu::new(GpuSpec::gt200());
+            b.iter(|| exclusive_scan(&mut gpu, SimTime::ZERO, input).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_radix_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radix_sort_pairs");
+    for &n in &[64 * 1024usize, 512 * 1024] {
+        let keys = pseudo_random(n, 42);
+        let vals: Vec<u32> = (0..n as u32).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut gpu = Gpu::new(GpuSpec::gt200());
+            b.iter(|| sort_pairs(&mut gpu, SimTime::ZERO, &keys, &vals).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let input = pseudo_random(1024 * 1024, 7);
+    c.bench_function("histogram_1M_256bins", |b| {
+        let mut gpu = Gpu::new(GpuSpec::gt200());
+        b.iter(|| {
+            histogram(&mut gpu, SimTime::ZERO, &input, 256, |&v| (v & 255) as usize).unwrap()
+        });
+    });
+}
+
+fn bench_segments(c: &mut Criterion) {
+    let mut keys = pseudo_random(512 * 1024, 9);
+    for k in &mut keys {
+        *k &= 0xffff;
+    }
+    keys.sort_unstable();
+    c.bench_function("extract_segments_512k", |b| {
+        let mut gpu = Gpu::new(GpuSpec::gt200());
+        b.iter(|| extract_segments(&mut gpu, SimTime::ZERO, &keys).unwrap());
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scan, bench_radix_sort, bench_histogram, bench_segments
+);
+criterion_main!(benches);

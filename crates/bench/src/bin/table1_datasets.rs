@@ -1,0 +1,81 @@
+//! Table 1: dataset sizes for all benchmarks — element sizes, the
+//! strong-scaling input set (set one), and the weak-scaling per-GPU set
+//! (set two) — plus the sizes actually used at the current scale divisor.
+//!
+//! Usage: `cargo run --release -p gpmr-bench --bin table1_datasets [--scale N]`
+
+use gpmr_apps::datasets::mm_dim_factor;
+use gpmr_apps::{strong_workload, Benchmark};
+use gpmr_bench::table::render;
+use gpmr_bench::HarnessConfig;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    println!("Table 1 — dataset sizes (scale divisor {})\n", cfg.scale);
+
+    let headers = [
+        "benchmark",
+        "elem bytes",
+        "set one (paper)",
+        "set two per-GPU (paper, x1e6)",
+        "set one (this run)",
+    ];
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let elem = bench
+            .element_bytes()
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "n/a (matrix)".into());
+        let strong = match bench {
+            Benchmark::Mm => bench
+                .strong_sizes()
+                .iter()
+                .map(|s| format!("{s}^2"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            _ => format!(
+                "{} x1e6",
+                bench
+                    .strong_sizes()
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        };
+        let weak = if bench.weak_sizes_per_gpu().is_empty() {
+            "—".to_string()
+        } else {
+            bench
+                .weak_sizes_per_gpu()
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let actual = (0..bench.strong_sizes().len())
+            .map(|i| {
+                let w = strong_workload(bench, i, cfg.scale, cfg.seed);
+                match bench {
+                    Benchmark::Mm => format!("{}^2", w.size),
+                    _ => w.size.to_string(),
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        rows.push(vec![
+            bench.name().to_string(),
+            elem,
+            strong,
+            weak,
+            actual,
+        ]);
+    }
+    println!("{}", render(&headers, &rows));
+    println!(
+        "Element counts divide by {}; MM matrix orders divide by {} (with the\n\
+         matching hardware-scaling laws applied by the runners).",
+        cfg.scale,
+        mm_dim_factor(cfg.scale)
+    );
+}

@@ -1,0 +1,63 @@
+//! Table 4: lines of source code per benchmark implementation. The paper
+//! compares Phoenix/Mars/GPMR on MM, KMC, and WO (setup excluded,
+//! boilerplate included); this harness counts the real line counts of the
+//! corresponding implementations in this repository and prints the
+//! paper's reported numbers alongside.
+//!
+//! Usage: `cargo run -p gpmr-bench --bin table4_loc`
+
+use gpmr_bench::loc::count_file;
+use gpmr_bench::table::render;
+
+fn main() {
+    println!("Table 4 — benchmark source lines of code\n");
+
+    // (name, paper Phoenix, paper Mars, paper GPMR, our GPMR files).
+    // The paper's WO count includes its hashing machinery, which lives in
+    // mph.rs here; MM includes the Matrix/tile plumbing, as the paper's
+    // MM included its tiling boilerplate.
+    let entries: [(&str, i32, i32, i32, &[&str]); 5] = [
+        ("MM", 317, 235, 214, &["apps/src/mm.rs"]),
+        ("KMC", 345, 152, 129, &["apps/src/kmc.rs"]),
+        ("WO", 231, 140, 397, &["apps/src/wo.rs", "apps/src/mph.rs"]),
+        ("SIO", 0, 0, 0, &["apps/src/sio.rs"]),
+        ("LR", 0, 0, 0, &["apps/src/lr.rs"]),
+    ];
+
+    let headers = [
+        "benchmark",
+        "Phoenix (paper)",
+        "Mars (paper)",
+        "GPMR (paper)",
+        "this repo (GPMR port)",
+    ];
+    let mut rows = Vec::new();
+    for (name, phx, mars, gpmr, files) in entries {
+        let ours = files
+            .iter()
+            .map(|f| count_file(f))
+            .sum::<Result<usize, _>>()
+            .map(|n| n.to_string())
+            .unwrap_or_else(|e| format!("error: {e}"));
+        let cell = |v: i32| {
+            if v == 0 {
+                "—".to_string()
+            } else {
+                v.to_string()
+            }
+        };
+        rows.push(vec![
+            name.to_string(),
+            cell(phx),
+            cell(mars),
+            cell(gpmr),
+            ours,
+        ]);
+    }
+    println!("{}", render(&headers, &rows));
+    println!("Counting rule: non-blank, non-comment lines before the test module;");
+    println!("WO includes its minimal-perfect-hash machinery (as the paper's 397-");
+    println!("line count did). The paper's qualitative point survives the port:");
+    println!("hashing makes WO heavyweight while SIO/KMC stay compact; MM carries");
+    println!("its tiling plumbing.");
+}

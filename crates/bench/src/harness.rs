@@ -1,0 +1,96 @@
+//! Shared harness configuration: scale parsing and run parameters.
+
+/// Default workload scale divisor (element counts / 64, matrix orders
+/// / 8). Chosen so the full figure sweeps finish in minutes on a laptop.
+pub const DEFAULT_SCALE: u64 = 64;
+
+/// True if `--flag` appears in the process arguments.
+pub fn parse_flag(flag: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == flag)
+}
+
+/// Parse `--scale N` from the process arguments (or the `GPMR_SCALE`
+/// environment variable); fall back to [`DEFAULT_SCALE`].
+pub fn parse_scale() -> u64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        } else if let Some(v) = a.strip_prefix("--scale=").and_then(|v| v.parse().ok()) {
+            return v;
+        }
+    }
+    std::env::var("GPMR_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SCALE)
+}
+
+/// Parameters shared by the harness binaries.
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// Workload scale divisor.
+    pub scale: u64,
+    /// Base RNG seed (fixed for reproducibility).
+    pub seed: u64,
+    /// GPU counts used for scaling sweeps (the paper's x-axis).
+    pub gpu_counts: Vec<u32>,
+}
+
+impl HarnessConfig {
+    /// Config from the command line.
+    pub fn from_args() -> Self {
+        HarnessConfig {
+            scale: parse_scale(),
+            seed: 0x47504d52, // "GPMR"
+            gpu_counts: vec![1, 4, 8, 16, 32, 64],
+        }
+    }
+
+    /// The GPU counts for Matrix Multiplication (the paper adds 2).
+    pub fn mm_gpu_counts(&self) -> Vec<u32> {
+        vec![1, 2, 4, 8, 16, 32, 64]
+    }
+}
+
+/// Chunk size in bytes for a workload of `total_bytes` on `gpus` GPUs
+/// under hardware-scale divisor `scale`: a few chunks per GPU, clamped so
+/// chunks stay meaningful at small sizes and double-bufferable within the
+/// (scaled) device memory.
+pub fn chunk_bytes(total_bytes: u64, gpus: u32, scale: u64) -> usize {
+    let s = scale.max(1);
+    let per = total_bytes / (4 * u64::from(gpus.max(1)));
+    let min = (64 * 1024 / s).max(1024);
+    let max = ((32 << 20) / s).max(min);
+    per.clamp(min, max) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_bytes_clamps() {
+        assert_eq!(chunk_bytes(1024, 1, 1), 64 * 1024);
+        assert_eq!(chunk_bytes(1 << 40, 1, 1), 32 << 20);
+        let mid = chunk_bytes(512 << 20, 4, 1);
+        assert_eq!(mid, 32 << 20);
+        let small = chunk_bytes(16 << 20, 8, 1);
+        assert_eq!(small, (16 << 20) / 32);
+        // Scaled hardware shrinks both clamps proportionally.
+        assert_eq!(chunk_bytes(1024, 1, 64), 1024);
+        assert_eq!(chunk_bytes(1 << 40, 1, 64), (32 << 20) / 64);
+    }
+
+    #[test]
+    fn default_config_has_paper_gpu_counts() {
+        let cfg = HarnessConfig {
+            scale: DEFAULT_SCALE,
+            seed: 1,
+            gpu_counts: vec![1, 4, 8, 16, 32, 64],
+        };
+        assert_eq!(cfg.mm_gpu_counts(), vec![1, 2, 4, 8, 16, 32, 64]);
+    }
+}

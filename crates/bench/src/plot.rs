@@ -1,0 +1,150 @@
+//! ASCII line charts for the figure harnesses: quick visual confirmation
+//! of curve shapes (efficiency vs. GPU count) without leaving the
+//! terminal.
+
+/// A named data series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points, x ascending.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render series as an ASCII chart of `width` x `height` characters
+/// (plus axes). X is plotted on a log2 scale (GPU counts double), y
+/// linearly from 0 to `y_max`.
+pub fn render_chart(series: &[Series], width: usize, height: usize, y_max: f64) -> String {
+    let (width, height) = (width.max(16), height.max(4));
+    let marks = ['*', 'o', '+', 'x', '#', '@'];
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    if xs.is_empty() || y_max <= 0.0 {
+        return String::from("(no data)\n");
+    }
+    let x_lo = xs.iter().copied().fold(f64::INFINITY, f64::min).max(1.0);
+    let x_hi = xs.iter().copied().fold(1.0, f64::max).max(x_lo * 2.0);
+    let (lx_lo, lx_hi) = (x_lo.log2(), x_hi.log2());
+
+    let mut grid = vec![vec![' '; width]; height];
+    let col = |x: f64| {
+        let t = (x.max(1.0).log2() - lx_lo) / (lx_hi - lx_lo);
+        ((t * (width - 1) as f64).round() as usize).min(width - 1)
+    };
+    let row = |y: f64| {
+        let t = (y.clamp(0.0, y_max)) / y_max;
+        height - 1 - ((t * (height - 1) as f64).round() as usize).min(height - 1)
+    };
+    for (si, s) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        // Draw line segments between consecutive points (x-linear
+        // interpolation per column).
+        for w in s.points.windows(2) {
+            let (c0, c1) = (col(w[0].0), col(w[1].0));
+            for c in c0..=c1 {
+                let t = if c1 == c0 {
+                    0.0
+                } else {
+                    (c - c0) as f64 / (c1 - c0) as f64
+                };
+                let y = w[0].1 + t * (w[1].1 - w[0].1);
+                grid[row(y)][c] = mark;
+            }
+        }
+        for &(x, y) in &s.points {
+            grid[row(y)][col(x)] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, line) in grid.iter().enumerate() {
+        let y_label = if r == 0 {
+            format!("{y_max:>5.2} |")
+        } else if r == height - 1 {
+            format!("{:>5.2} |", 0.0)
+        } else {
+            "      |".to_string()
+        };
+        out.push_str(&y_label);
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str("      +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "       {:<10} (log2 x) {:>width$.0}\n",
+        x_lo,
+        x_hi,
+        width = width.saturating_sub(20)
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("       {} {}\n", marks[si % marks.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Vec<Series> {
+        vec![
+            Series {
+                label: "big".into(),
+                points: vec![(1.0, 1.0), (4.0, 0.95), (16.0, 0.8), (64.0, 0.6)],
+            },
+            Series {
+                label: "small".into(),
+                points: vec![(1.0, 1.0), (4.0, 0.4), (16.0, 0.1), (64.0, 0.02)],
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_marks_axes_and_legend() {
+        let chart = render_chart(&series(), 60, 12, 1.0);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("big"));
+        assert!(chart.contains("small"));
+        assert!(chart.contains("1.00 |"));
+        assert!(chart.contains("0.00 |"));
+        // Row count: height + axis + x labels + legend.
+        assert!(chart.lines().count() >= 12 + 2 + 2);
+    }
+
+    #[test]
+    fn higher_series_plots_higher() {
+        let chart = render_chart(&series(), 60, 12, 1.0);
+        let rows: Vec<&str> = chart.lines().collect();
+        // Find the last column marks: '*' (0.6) must appear above 'o' (0.02).
+        let star_row = rows.iter().position(|r| r.trim_end().ends_with('*'));
+        let o_row = rows.iter().position(|r| r.trim_end().ends_with('o'));
+        if let (Some(s), Some(o)) = (star_row, o_row) {
+            assert!(s < o, "higher efficiency should render higher");
+        }
+    }
+
+    #[test]
+    fn empty_series_render_placeholder() {
+        assert_eq!(render_chart(&[], 40, 10, 1.0), "(no data)\n");
+        let empty = vec![Series {
+            label: "none".into(),
+            points: vec![],
+        }];
+        assert_eq!(render_chart(&empty, 40, 10, 1.0), "(no data)\n");
+    }
+
+    #[test]
+    fn single_point_series_render() {
+        let one = vec![Series {
+            label: "dot".into(),
+            points: vec![(4.0, 0.5)],
+        }];
+        let chart = render_chart(&one, 40, 8, 1.0);
+        assert!(chart.contains('*'));
+    }
+}

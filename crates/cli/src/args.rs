@@ -1,0 +1,181 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! Supports `gpmr <subcommand> [--key value]... [--flag]...`. Values may
+//! also be given as `--key=value`. Unknown keys are an error (catching
+//! typos beats silently ignoring them).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus key/value options.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// The first positional token.
+    pub subcommand: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Parse errors with the offending token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingSubcommand,
+    /// `--key` without a value where one was expected.
+    MissingValue(String),
+    /// An option not in the accepted set.
+    UnknownOption(String),
+    /// A value failed to parse.
+    BadValue {
+        /// Option name.
+        key: String,
+        /// Raw value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingSubcommand => write!(f, "missing subcommand"),
+            ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgError::UnknownOption(k) => write!(f, "unknown option --{k}"),
+            ArgError::BadValue { key, value } => {
+                write!(f, "option --{key} has invalid value {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse raw tokens (without the program name). `valued` lists
+    /// options that take a value; `boolean` lists bare flags.
+    pub fn parse<I, S>(tokens: I, valued: &[&str], boolean: &[&str]) -> Result<Args, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut it = tokens.into_iter().map(Into::into).peekable();
+        let subcommand = it.next().ok_or(ArgError::MissingSubcommand)?;
+        if subcommand.starts_with("--") {
+            return Err(ArgError::MissingSubcommand);
+        }
+        let mut args = Args {
+            subcommand,
+            ..Args::default()
+        };
+        while let Some(tok) = it.next() {
+            let Some(body) = tok.strip_prefix("--") else {
+                return Err(ArgError::UnknownOption(tok));
+            };
+            let (key, inline) = match body.split_once('=') {
+                Some((k, v)) => (k.to_string(), Some(v.to_string())),
+                None => (body.to_string(), None),
+            };
+            if boolean.contains(&key.as_str()) {
+                args.flags.push(key);
+            } else if valued.contains(&key.as_str()) {
+                let value = match inline {
+                    Some(v) => v,
+                    None => it.next().ok_or_else(|| ArgError::MissingValue(key.clone()))?,
+                };
+                args.options.insert(key, value);
+            } else {
+                return Err(ArgError::UnknownOption(key));
+            }
+        }
+        Ok(args)
+    }
+
+    /// Raw string value of an option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Parsed value of an option, with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: key.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VALUED: &[&str] = &["gpus", "size", "scale"];
+    const BOOLEAN: &[&str] = &["trace", "verbose"];
+
+    fn parse(toks: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(toks.iter().copied(), VALUED, BOOLEAN)
+    }
+
+    #[test]
+    fn parses_subcommand_options_and_flags() {
+        let a = parse(&["run", "--gpus", "8", "--size=1000", "--trace"]).unwrap();
+        assert_eq!(a.subcommand, "run");
+        assert_eq!(a.get("gpus"), Some("8"));
+        assert_eq!(a.get_or("size", 0usize).unwrap(), 1000);
+        assert!(a.flag("trace"));
+        assert!(!a.flag("verbose"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse(&["run"]).unwrap();
+        assert_eq!(a.get_or("gpus", 4u32).unwrap(), 4);
+        assert_eq!(a.get("size"), None);
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert_eq!(
+            parse(&["run", "--bogus", "1"]).unwrap_err(),
+            ArgError::UnknownOption("bogus".into())
+        );
+        assert_eq!(
+            parse(&["run", "--gpus"]).unwrap_err(),
+            ArgError::MissingValue("gpus".into())
+        );
+        assert_eq!(parse(&[]).unwrap_err(), ArgError::MissingSubcommand);
+        assert_eq!(
+            parse(&["--gpus", "4"]).unwrap_err(),
+            ArgError::MissingSubcommand
+        );
+        assert_eq!(
+            parse(&["run", "positional"]).unwrap_err(),
+            ArgError::UnknownOption("positional".into())
+        );
+    }
+
+    #[test]
+    fn bad_values_are_reported() {
+        let a = parse(&["run", "--gpus", "many"]).unwrap();
+        assert_eq!(
+            a.get_or("gpus", 1u32),
+            Err(ArgError::BadValue {
+                key: "gpus".into(),
+                value: "many".into()
+            })
+        );
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        assert!(ArgError::MissingValue("gpus".into())
+            .to_string()
+            .contains("--gpus"));
+        assert!(ArgError::UnknownOption("x".into()).to_string().contains("--x"));
+    }
+}

@@ -1,0 +1,418 @@
+//! Subcommand implementations. All output goes through the returned
+//! `String` so commands are unit-testable without capturing stdout.
+
+use std::sync::Arc;
+
+use gpmr_apps::kmc::{self, KmcJob};
+use gpmr_apps::lr::{self, LrJob};
+use gpmr_apps::mm::{run_mm_auto, Matrix};
+use gpmr_apps::sio::{self, SioJob};
+use gpmr_apps::text::{chunk_text, generate_text, Dictionary};
+use gpmr_apps::wo::WoJob;
+use gpmr_core::{run_job_traced, JobResult, JobTrace};
+use gpmr_sim_gpu::{GpuSpec, PcieLink};
+use gpmr_sim_net::{Cluster, CpuSpec, Nic, Topology};
+
+use crate::args::{ArgError, Args};
+
+/// The help text.
+pub const HELP: &str = "\
+gpmr — Multi-GPU MapReduce on a simulated GPU cluster
+
+USAGE:
+    gpmr run    --benchmark <mm|sio|wo|kmc|lr> [--gpus N] [--size X]
+                [--scale K] [--seed S] [--trace]
+    gpmr kmeans [--points N] [--k K] [--gpus N] [--iterations I] [--seed S]
+    gpmr info   [--gpus N]
+    gpmr help
+
+RUN OPTIONS:
+    --benchmark   which paper benchmark to run (required)
+    --gpus        cluster size in GPUs                    [default: 4]
+    --size        elements (or matrix order for mm)       [default: per benchmark]
+    --scale       workload/hardware scale divisor         [default: 1]
+    --seed        workload generator seed                 [default: 42]
+    --trace       print an ASCII Gantt chart of the schedule
+";
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing or validation failed.
+    Args(ArgError),
+    /// A semantic problem with the request.
+    Invalid(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+/// Option names the subcommands accept.
+pub const VALUED: &[&str] = &[
+    "benchmark",
+    "gpus",
+    "size",
+    "scale",
+    "seed",
+    "points",
+    "k",
+    "iterations",
+];
+/// Boolean flags.
+pub const BOOLEAN: &[&str] = &["trace"];
+
+/// Parse tokens and execute; returns the text to print.
+pub fn dispatch<I, S>(tokens: I) -> Result<String, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let args = match Args::parse(tokens, VALUED, BOOLEAN) {
+        Ok(a) => a,
+        Err(ArgError::MissingSubcommand) => return Ok(HELP.to_string()),
+        Err(e) => return Err(e.into()),
+    };
+    match args.subcommand.as_str() {
+        "run" => cmd_run(&args),
+        "kmeans" => cmd_kmeans(&args),
+        "info" => cmd_info(&args),
+        "help" | "--help" | "-h" => Ok(HELP.to_string()),
+        other => Err(CliError::Invalid(format!(
+            "unknown subcommand {other:?}; try `gpmr help`"
+        ))),
+    }
+}
+
+fn report(label: &str, gpus: u32, items: u64, result: &JobResult<u32, impl gpmr_core::Value>) -> String {
+    let p = result.timings.mean_percentages();
+    let t = result.total_time();
+    let throughput = if t.as_secs() > 0.0 {
+        items as f64 / t.as_secs() / 1e6
+    } else {
+        0.0
+    };
+    format!(
+        "{label} on {gpus} GPU(s)\n\
+         simulated time : {t}\n\
+         throughput     : {throughput:.1} M items/s\n\
+         pairs          : {} emitted, {} shuffled, {} chunks stolen\n\
+         breakdown      : map {:.1}%  bin {:.1}%  sort {:.1}%  reduce {:.1}%  sched {:.1}%\n",
+        result.timings.pairs_emitted,
+        result.timings.pairs_shuffled,
+        result.timings.chunks_stolen,
+        p[0], p[1], p[2], p[3], p[4],
+    )
+}
+
+fn maybe_gantt(out: &mut String, trace: Option<JobTrace>, gpus: u32) {
+    if let Some(tr) = trace {
+        out.push('\n');
+        out.push_str(&tr.gantt(gpus, 100));
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<String, CliError> {
+    let bench = args
+        .get("benchmark")
+        .ok_or_else(|| CliError::Invalid("run needs --benchmark <mm|sio|wo|kmc|lr>".into()))?
+        .to_ascii_lowercase();
+    let gpus: u32 = args.get_or("gpus", 4)?;
+    let scale: u64 = args.get_or("scale", 1)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let want_trace = args.flag("trace");
+    if gpus == 0 || gpus > 1024 {
+        return Err(CliError::Invalid("--gpus must be in 1..=1024".into()));
+    }
+
+    let mut cluster = Cluster::accelerator_scaled(gpus, GpuSpec::gt200(), scale as f64);
+    let chunk_items = |elem_bytes: u64, n: usize| -> usize {
+        let per = (n as u64 * elem_bytes) / (4 * u64::from(gpus));
+        (per.clamp(64 * 1024 / scale.max(1), (32 << 20) / scale.max(1)) / elem_bytes).max(1)
+            as usize
+    };
+
+    match bench.as_str() {
+        "sio" => {
+            let n: usize = args.get_or("size", 1_000_000)?;
+            let data = sio::generate_integers(n, seed);
+            let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(4, n));
+            let (result, trace) = run_job_traced(&mut cluster, &SioJob::default(), chunks)
+                .map_err(|e| CliError::Invalid(e.to_string()))?;
+            let mut out = report("Sparse Integer Occurrence", gpus, n as u64, &result);
+            maybe_gantt(&mut out, want_trace.then_some(trace), gpus);
+            Ok(out)
+        }
+        "wo" => {
+            let n: usize = args.get_or("size", 4 << 20)?;
+            let dict = Arc::new(Dictionary::generate(
+                (43_000 / scale.max(1) as usize).max(64),
+                seed,
+            ));
+            let text = generate_text(&dict, n, seed + 1);
+            let chunks = chunk_text(&text, chunk_items(1, n));
+            let job = WoJob::new(dict, gpus);
+            let (result, trace) = run_job_traced(&mut cluster, &job, chunks)
+                .map_err(|e| CliError::Invalid(e.to_string()))?;
+            let mut out = report("Word Occurrence", gpus, n as u64, &result);
+            maybe_gantt(&mut out, want_trace.then_some(trace), gpus);
+            Ok(out)
+        }
+        "kmc" => {
+            let n: usize = args.get_or("size", 500_000)?;
+            let centers = kmc::initial_centers(32, seed);
+            let data = kmc::generate_points(n, 32, seed + 1);
+            let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(16, n));
+            let (result, trace) = run_job_traced(&mut cluster, &KmcJob::new(centers), chunks)
+                .map_err(|e| CliError::Invalid(e.to_string()))?;
+            let mut out = report("K-Means Clustering (one iteration)", gpus, n as u64, &result);
+            maybe_gantt(&mut out, want_trace.then_some(trace), gpus);
+            Ok(out)
+        }
+        "lr" => {
+            let n: usize = args.get_or("size", 1_000_000)?;
+            let data = lr::generate_samples(n, 2.0, -1.0, seed);
+            let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(8, n));
+            let (result, trace) = run_job_traced(&mut cluster, &LrJob, chunks)
+                .map_err(|e| CliError::Invalid(e.to_string()))?;
+            let model = lr::model_from_stats(&lr::stats_from_output(&result.merged_output()));
+            let mut out = report("Linear Regression", gpus, n as u64, &result);
+            out.push_str(&format!(
+                "model          : y = {:.4}x + {:.4} (r = {:.5})\n",
+                model.slope, model.intercept, model.correlation
+            ));
+            maybe_gantt(&mut out, want_trace.then_some(trace), gpus);
+            Ok(out)
+        }
+        "mm" => {
+            let n: usize = args.get_or("size", 512)?;
+            if n % 16 != 0 {
+                return Err(CliError::Invalid(
+                    "--size for mm must be a multiple of 16".into(),
+                ));
+            }
+            let a = Matrix::random(n, seed);
+            let b = Matrix::random(n, seed + 1);
+            let result =
+                run_mm_auto(&mut cluster, &a, &b).map_err(|e| CliError::Invalid(e.to_string()))?;
+            Ok(format!(
+                "Matrix Multiplication {n}x{n} on {gpus} GPU(s)\n\
+                 simulated time : {}\n\
+                 phase 1 (map)  : {}\n\
+                 phase 2 (sum)  : {}\n\
+                 effective rate : {:.1} simulated GFLOP/s\n",
+                result.total_time,
+                result.phase1.total,
+                result.phase2.total,
+                2.0 * (n as f64).powi(3) / result.total_time.as_secs().max(1e-12) / 1e9,
+            ))
+        }
+        other => Err(CliError::Invalid(format!(
+            "unknown benchmark {other:?}; expected mm, sio, wo, kmc, or lr"
+        ))),
+    }
+}
+
+fn cmd_kmeans(args: &Args) -> Result<String, CliError> {
+    let points: usize = args.get_or("points", 200_000)?;
+    let k: usize = args.get_or("k", 8)?;
+    let gpus: u32 = args.get_or("gpus", 4)?;
+    let iterations: usize = args.get_or("iterations", 20)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    if k == 0 {
+        return Err(CliError::Invalid("--k must be positive".into()));
+    }
+    let data = kmc::generate_points(points, k, seed);
+    let init = kmc::initial_centers(k, seed + 1);
+    let mut cluster = Cluster::accelerator(gpus, GpuSpec::gt200());
+    let chunk_points = (points / (4 * gpus as usize)).max(1024);
+    let result = gpmr_apps::iterative::run_kmeans(
+        &mut cluster,
+        &data,
+        init,
+        chunk_points,
+        iterations,
+        1e-4,
+    )
+    .map_err(|e| CliError::Invalid(e.to_string()))?;
+    let mut out = format!(
+        "Iterative K-Means: {points} points, k={k}, {gpus} GPU(s)
+         iterations     : {} (tolerance 1e-4)
+         simulated time : {}
+         convergence    : {:?}
+         final centers  :
+",
+        result.iterations,
+        result.total_time,
+        result
+            .movement
+            .iter()
+            .map(|m| (m * 1e4).round() / 1e4)
+            .collect::<Vec<_>>(),
+    );
+    for (i, c) in result.centers.iter().enumerate() {
+        out.push_str(&format!(
+            "  c{i:<2} [{:+.3}, {:+.3}, {:+.3}, {:+.3}]
+",
+            c[0], c[1], c[2], c[3]
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_info(args: &Args) -> Result<String, CliError> {
+    let gpus: u32 = args.get_or("gpus", 4)?;
+    let spec = GpuSpec::gt200();
+    let topo = Topology::accelerator(gpus);
+    let link = PcieLink::gen1_x16();
+    let nic = Nic::qdr_infiniband();
+    let cpu = CpuSpec::dual_opteron_2216();
+    Ok(format!(
+        "Modelled hardware (the paper's NCSA Accelerator cluster)\n\
+         GPU        : {} — {} SMs x {} cores @ {:.3} GHz = {:.0} GFLOP/s peak\n\
+         GPU memory : {} MB usable, {:.0} GB/s\n\
+         PCI-e      : gen-1 x16, {:.1} GB/s per direction\n\
+         network    : QDR InfiniBand, {:.1} GB/s per node, {:.0} us latency\n\
+         host CPU   : {} ({:.1} GFLOP/s, {:.1} GB/s)\n\
+         topology   : {} GPU(s) over {} node(s), {} per node\n",
+        spec.name,
+        spec.sm_count,
+        spec.cores_per_sm,
+        spec.clock_ghz,
+        spec.peak_flops() / 1e9,
+        spec.mem_capacity >> 20,
+        spec.mem_bandwidth / 1e9,
+        link.bandwidth / 1e9,
+        nic.bandwidth / 1e9,
+        nic.latency_s * 1e6,
+        cpu.name,
+        cpu.peak_ops() / 1e9,
+        cpu.mem_bandwidth / 1e9,
+        topo.total_gpus,
+        topo.nodes,
+        topo.gpus_per_node,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(tokens: &[&str]) -> Result<String, CliError> {
+        dispatch(tokens.iter().copied())
+    }
+
+    #[test]
+    fn help_on_empty_or_help() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&["help"]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        let err = run(&["frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn info_prints_hardware() {
+        let out = run(&["info", "--gpus", "8"]).unwrap();
+        assert!(out.contains("GT200"));
+        assert!(out.contains("8 GPU(s) over 2 node(s)"));
+    }
+
+    #[test]
+    fn run_requires_benchmark() {
+        let err = run(&["run"]).unwrap_err();
+        assert!(err.to_string().contains("--benchmark"));
+    }
+
+    #[test]
+    fn run_sio_small() {
+        let out = run(&["run", "--benchmark", "sio", "--gpus", "2", "--size", "20000"]).unwrap();
+        assert!(out.contains("Sparse Integer Occurrence"));
+        assert!(out.contains("simulated time"));
+        assert!(out.contains("breakdown"));
+    }
+
+    #[test]
+    fn run_lr_reports_model() {
+        let out = run(&["run", "--benchmark", "lr", "--size", "30000"]).unwrap();
+        assert!(out.contains("model"));
+        assert!(out.contains("y = 2.0"));
+    }
+
+    #[test]
+    fn run_mm_validates_size() {
+        let err = run(&["run", "--benchmark", "mm", "--size", "100"]).unwrap_err();
+        assert!(err.to_string().contains("multiple of 16"));
+        let out = run(&["run", "--benchmark", "mm", "--size", "64"]).unwrap();
+        assert!(out.contains("phase 1"));
+    }
+
+    #[test]
+    fn run_with_trace_prints_gantt() {
+        let out = run(&[
+            "run",
+            "--benchmark",
+            "sio",
+            "--gpus",
+            "2",
+            "--size",
+            "20000",
+            "--trace",
+        ])
+        .unwrap();
+        assert!(out.contains("rank   0 |"));
+        assert!(out.contains("legend"));
+    }
+
+    #[test]
+    fn bad_benchmark_and_gpus_rejected() {
+        assert!(run(&["run", "--benchmark", "nope"]).unwrap_err()
+            .to_string()
+            .contains("unknown benchmark"));
+        assert!(run(&["run", "--benchmark", "sio", "--gpus", "0"])
+            .unwrap_err()
+            .to_string()
+            .contains("1..=1024"));
+    }
+
+    #[test]
+    fn kmeans_subcommand_converges() {
+        let out = run(&["kmeans", "--points", "5000", "--k", "4", "--gpus", "2"]).unwrap();
+        assert!(out.contains("Iterative K-Means"));
+        assert!(out.contains("final centers"));
+        assert!(out.contains("c0"));
+    }
+
+    #[test]
+    fn kmeans_rejects_zero_k() {
+        assert!(run(&["kmeans", "--k", "0"]).unwrap_err()
+            .to_string()
+            .contains("--k"));
+    }
+
+    #[test]
+    fn run_wo_and_kmc_small() {
+        assert!(run(&["run", "--benchmark", "wo", "--size", "20000", "--scale", "64"])
+            .unwrap()
+            .contains("Word Occurrence"));
+        assert!(run(&["run", "--benchmark", "kmc", "--size", "10000"])
+            .unwrap()
+            .contains("K-Means"));
+    }
+}

@@ -1,0 +1,19 @@
+//! # gpmr-cli — command-line front end for the GPMR simulator
+//!
+//! ```text
+//! gpmr run   --benchmark sio --gpus 8 --size 1000000 [--scale 64] [--trace]
+//! gpmr info  [--gpus 8]
+//! gpmr help
+//! ```
+//!
+//! `run` executes one benchmark on a simulated cluster and prints the
+//! simulated runtime, throughput, and stage breakdown; `--trace` adds an
+//! ASCII Gantt chart of the schedule. `info` prints the modelled hardware.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{dispatch, CliError, HELP};

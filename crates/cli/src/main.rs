@@ -1,0 +1,12 @@
+//! `gpmr` binary entry point.
+
+fn main() {
+    match gpmr_cli::dispatch(std::env::args().skip(1)) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try `gpmr help`");
+            std::process::exit(2);
+        }
+    }
+}

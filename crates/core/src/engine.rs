@@ -1,0 +1,831 @@
+//! The GPMR execution engine: a discrete-event simulation of the paper's
+//! per-GPU MapReduce pipeline over a whole cluster.
+//!
+//! One logical process drives each GPU (paper §4). The engine advances the
+//! process with the earliest ready-time, so dynamic load balancing, stream
+//! overlap (double-buffered chunk uploads against map kernels), and the
+//! Map/Bin communication overlap all emerge from the resource timelines:
+//!
+//! * chunk uploads reserve the (possibly shared) PCI-e link;
+//! * map kernels reserve the GPU compute timeline;
+//! * pair downloads reserve the PCI-e link's other direction;
+//! * Bin sends reserve NIC send/receive engines through the fabric;
+//! * Sort and Reduce run per-rank after all inbound pairs arrive.
+//!
+//! Data is computed for real — the output of [`run_job`] is bit-exact and
+//! is verified against CPU references in the application crates.
+
+use gpmr_primitives::{bitonic_sort_pairs_by, extract_segments, sort_pairs, RadixKey, Segments};
+use gpmr_sim_net::{Cluster, Mailbox};
+use gpmr_sim_gpu::{SimDuration, SimTime};
+
+use crate::error::{EngineError, EngineResult};
+use crate::helpers::{charge_partition, combine_pairs, split_buckets};
+use crate::job::{GpmrJob, MapMode, PartitionMode, SortMode};
+use crate::scheduler::WorkQueues;
+use crate::stats::{JobTimings, StageTimes};
+use crate::trace::{JobTrace, TraceKind};
+use crate::types::KvSet;
+use crate::Chunk;
+
+/// Engine policy knobs: scheduler behaviour and fixed-cost calibration.
+///
+/// These are *software* parameters (the hardware lives in the cluster);
+/// the defaults reproduce the paper's measured overheads. Research uses:
+/// disable stealing to measure what the dynamic scheduler buys, or zero
+/// the overheads to see the ideal-software ceiling.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EngineTuning {
+    /// Dynamic load balancing: idle ranks steal chunks from loaded queues
+    /// (paper §4.1). Off = static round-robin assignment only.
+    pub allow_stealing: bool,
+    /// CPU-side scheduler overhead charged per chunk dequeue (queue
+    /// management, callback dispatch), in seconds.
+    pub sched_overhead_s: f64,
+    /// One-time job setup (context creation, scheduler initialization),
+    /// charged before the first chunk on every rank, in seconds.
+    pub setup_base_s: f64,
+    /// Per-rank share of cluster-wide job setup (MPI-style collective
+    /// startup and the final barrier grow with the communicator size), in
+    /// seconds. Together with the base cost this is the paper's "GPMR
+    /// internal / scheduler" floor that erodes efficiency at 64 GPUs on
+    /// light jobs.
+    pub setup_per_rank_s: f64,
+}
+
+impl Default for EngineTuning {
+    fn default() -> Self {
+        EngineTuning {
+            allow_stealing: true,
+            sched_overhead_s: 30.0e-6,
+            setup_base_s: 0.5e-3,
+            setup_per_rank_s: 0.25e-3,
+        }
+    }
+}
+
+/// The outcome of one GPMR job.
+#[derive(Debug)]
+pub struct JobResult<K, V> {
+    /// Final pairs produced on each rank (reducer output, or binned map
+    /// output for jobs that bypass sort+reduce).
+    pub outputs: Vec<KvSet<K, V>>,
+    /// Timing statistics.
+    pub timings: JobTimings,
+}
+
+impl<K: crate::types::Key, V: crate::types::Value> JobResult<K, V> {
+    /// All output pairs concatenated in rank order.
+    pub fn merged_output(&self) -> KvSet<K, V> {
+        let mut out = KvSet::new();
+        for o in &self.outputs {
+            out.append(o.clone());
+        }
+        out
+    }
+
+    /// The job makespan.
+    pub fn total_time(&self) -> SimDuration {
+        self.timings.total
+    }
+}
+
+#[derive(Clone, Debug)]
+struct RankState<K, V> {
+    cursor: SimTime,
+    prev_kernel_end: SimTime,
+    last_map_end: SimTime,
+    last_d2h: SimTime,
+    bin_done: SimTime,
+    sort_ready: SimTime,
+    sort_done: SimTime,
+    reduce_done: SimTime,
+    chunks_done: u32,
+    accum: Option<KvSet<K, V>>,
+    store: KvSet<K, V>,
+    active: bool,
+}
+
+impl<K: crate::types::Key, V: crate::types::Value> Default for RankState<K, V> {
+    fn default() -> Self {
+        RankState {
+            cursor: SimTime::ZERO,
+            prev_kernel_end: SimTime::ZERO,
+            last_map_end: SimTime::ZERO,
+            last_d2h: SimTime::ZERO,
+            bin_done: SimTime::ZERO,
+            sort_ready: SimTime::ZERO,
+            sort_done: SimTime::ZERO,
+            reduce_done: SimTime::ZERO,
+            chunks_done: 0,
+            accum: None,
+            store: KvSet::new(),
+            active: true,
+        }
+    }
+}
+
+/// Run `job` over `chunks` on `cluster`, returning per-rank outputs and
+/// the timing breakdown. Clocks are reset at entry so results of
+/// consecutive jobs on one cluster are independent.
+pub fn run_job<J: GpmrJob>(
+    cluster: &mut Cluster,
+    job: &J,
+    chunks: Vec<J::Chunk>,
+) -> EngineResult<JobResult<J::Key, J::Value>> {
+    run_job_impl(cluster, job, chunks, &EngineTuning::default(), &mut None)
+}
+
+/// [`run_job`] with explicit [`EngineTuning`] (scheduler policy and
+/// overhead calibration).
+pub fn run_job_tuned<J: GpmrJob>(
+    cluster: &mut Cluster,
+    job: &J,
+    chunks: Vec<J::Chunk>,
+    tuning: &EngineTuning,
+) -> EngineResult<JobResult<J::Key, J::Value>> {
+    run_job_impl(cluster, job, chunks, tuning, &mut None)
+}
+
+/// [`run_job`], additionally recording a full execution trace (every
+/// upload, kernel, send, steal, sort, and reduce with its simulated time
+/// window). Render it with [`JobTrace::gantt`].
+pub fn run_job_traced<J: GpmrJob>(
+    cluster: &mut Cluster,
+    job: &J,
+    chunks: Vec<J::Chunk>,
+) -> EngineResult<(JobResult<J::Key, J::Value>, JobTrace)> {
+    let mut trace = Some(JobTrace::new());
+    let result = run_job_impl(cluster, job, chunks, &EngineTuning::default(), &mut trace)?;
+    Ok((result, trace.expect("trace populated")))
+}
+
+fn run_job_impl<J: GpmrJob>(
+    cluster: &mut Cluster,
+    job: &J,
+    chunks: Vec<J::Chunk>,
+    tuning: &EngineTuning,
+    trace: &mut Option<JobTrace>,
+) -> EngineResult<JobResult<J::Key, J::Value>> {
+    let cfg = job.pipeline();
+    cfg.validate().map_err(EngineError::InvalidPipeline)?;
+    let ranks = cluster.size();
+    let gpu_direct = cluster.gpu_direct();
+    cluster.reset_clocks();
+
+    // Double-buffered chunks must fit on the device.
+    let capacity = cluster.gpu(0).mem.capacity();
+    for c in &chunks {
+        if c.size_bytes() * 2 > capacity {
+            return Err(EngineError::ChunkTooLarge {
+                bytes: c.size_bytes(),
+                capacity,
+            });
+        }
+    }
+
+    let mut queues = WorkQueues::distribute(chunks, ranks);
+    let setup =
+        SimTime::from_secs(tuning.setup_base_s + tuning.setup_per_rank_s * f64::from(ranks));
+    let mut st: Vec<RankState<J::Key, J::Value>> = (0..ranks)
+        .map(|_| RankState {
+            cursor: setup,
+            ..RankState::default()
+        })
+        .collect();
+    if let Some(tr) = trace.as_mut() {
+        for r in 0..ranks {
+            tr.record(r, TraceKind::Setup, SimTime::ZERO, setup, "job setup");
+        }
+    }
+    let mut mailbox: Mailbox<KvSet<J::Key, J::Value>> = Mailbox::new(ranks);
+    let mut pairs_emitted: u64 = 0;
+    let mut pairs_shuffled: u64 = 0;
+    let mut stolen: u32 = 0;
+
+    // --- Map stage -------------------------------------------------------
+    if cfg.map_mode == MapMode::Accumulate {
+        for r in 0..ranks {
+            let start = st[r as usize].cursor;
+            let gpu = cluster.gpu(r);
+            let (state, t) = job.accumulate_init(gpu, start)?;
+            if let Some(tr) = trace.as_mut() {
+                tr.record(r, TraceKind::AccumulateInit, start, t, "accumulate init");
+            }
+            let s = &mut st[r as usize];
+            s.accum = Some(state);
+            s.cursor = s.cursor.max(t);
+        }
+    }
+
+    loop {
+        // Earliest-ready active rank.
+        let Some(r) = (0..ranks)
+            .filter(|&r| st[r as usize].active)
+            .min_by(|&a, &b| {
+                st[a as usize]
+                    .cursor
+                    .partial_cmp(&st[b as usize].cursor)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            })
+        else {
+            break;
+        };
+        let ri = r as usize;
+
+        // Obtain a chunk: own queue, else steal, else retire.
+        let chunk = match queues.pop_local(r) {
+            Some(c) => c,
+            None if !tuning.allow_stealing => {
+                st[ri].active = false;
+                continue;
+            }
+            None => match queues.steal_victim(r) {
+                Some(victim) => {
+                    let c = queues.steal_from(victim).expect("victim had chunks");
+                    stolen += 1;
+                    // Migration: serialized chunk crosses the fabric from the
+                    // victim's host memory to the thief's.
+                    let bytes = c.serialize().len() as u64;
+                    let before = st[ri].cursor;
+                    let arrival = cluster.fabric().send(victim, r, before, bytes);
+                    if let Some(tr) = trace.as_mut() {
+                        tr.record(
+                            r,
+                            TraceKind::Steal,
+                            before,
+                            arrival,
+                            format!("stole chunk from rank {victim}"),
+                        );
+                    }
+                    st[ri].cursor = arrival;
+                    c
+                }
+                None => {
+                    st[ri].active = false;
+                    continue;
+                }
+            },
+        };
+
+        st[ri].cursor += SimDuration::from_secs(tuning.sched_overhead_s);
+        let cursor = st[ri].cursor;
+        let prev_kernel_end = st[ri].prev_kernel_end;
+
+        let gpu = cluster.gpu(r);
+        let up = gpu.h2d(cursor, chunk.size_bytes());
+        if let Some(tr) = trace.as_mut() {
+            tr.record(
+                r,
+                TraceKind::Upload,
+                up.start,
+                up.end,
+                format!("{} bytes", chunk.size_bytes()),
+            );
+        }
+
+        match cfg.map_mode {
+            MapMode::Accumulate => {
+                let mut state = st[ri].accum.take().expect("accumulate state initialized");
+                let t = job.map_accumulate(gpu, up.end, &chunk, &mut state)?;
+                if let Some(tr) = trace.as_mut() {
+                    tr.record(r, TraceKind::Map, up.end, t, "map+accumulate");
+                }
+                let s = &mut st[ri];
+                s.accum = Some(state);
+                s.last_map_end = s.last_map_end.max(t);
+                s.cursor = up.end.max(prev_kernel_end);
+                s.prev_kernel_end = t;
+                s.chunks_done += 1;
+            }
+            MapMode::Plain | MapMode::PartialReduce => {
+                let (mut pairs, mut t) = job.map(gpu, up.end, &chunk)?;
+                if let Some(tr) = trace.as_mut() {
+                    tr.record(r, TraceKind::Map, up.end, t, format!("{} pairs", pairs.len()));
+                }
+                pairs_emitted += pairs.len() as u64;
+                if cfg.map_mode == MapMode::PartialReduce {
+                    let before = t;
+                    let (p, tp) = job.partial_reduce(gpu, t, pairs)?;
+                    pairs = p;
+                    t = tp;
+                    if let Some(tr) = trace.as_mut() {
+                        tr.record(
+                            r,
+                            TraceKind::PartialReduce,
+                            before,
+                            t,
+                            format!("-> {} pairs", pairs.len()),
+                        );
+                    }
+                }
+                if cfg.combine {
+                    // Pairs are stored in CPU memory until all maps finish.
+                    let down = gpu.d2h(t, pairs.size_bytes());
+                    let s = &mut st[ri];
+                    s.store.append(pairs);
+                    s.last_d2h = s.last_d2h.max(down.end);
+                    s.last_map_end = s.last_map_end.max(t);
+                    s.cursor = up.end.max(prev_kernel_end);
+                    s.prev_kernel_end = t;
+                    s.chunks_done += 1;
+                } else {
+                    // Partition on the GPU, download, and bin immediately —
+                    // overlapped with the next chunk's upload and map.
+                    let t_part = charge_partition::<J::Key, J::Value>(gpu, t, pairs.len());
+                    // GPU-direct networking (the paper's future-work
+                    // hardware): pairs leave the GPU through the NIC
+                    // without the PCI-e round trip through host memory.
+                    let send_ready = if gpu_direct {
+                        t_part
+                    } else {
+                        let down = gpu.d2h(t_part, pairs.size_bytes());
+                        if let Some(tr) = trace.as_mut() {
+                            tr.record(
+                                r,
+                                TraceKind::Download,
+                                down.start,
+                                down.end,
+                                format!("{} bytes", pairs.size_bytes()),
+                            );
+                        }
+                        down.end
+                    };
+                    if let Some(tr) = trace.as_mut() {
+                        tr.record(r, TraceKind::Partition, t, t_part, "");
+                    }
+                    pairs_shuffled += pairs.len() as u64;
+                    let buckets = route_pairs(job, cfg.partition, pairs, ranks);
+                    let fabric = cluster.fabric();
+                    let mut bin_done = st[ri].bin_done;
+                    for (dest, bucket) in buckets.into_iter().enumerate() {
+                        if bucket.is_empty() {
+                            continue;
+                        }
+                        let bytes = bucket.size_bytes();
+                        let arrival =
+                            mailbox.send(fabric, r, dest as u32, send_ready, bytes, bucket);
+                        if let Some(tr) = trace.as_mut() {
+                            tr.record(
+                                r,
+                                TraceKind::Send,
+                                send_ready,
+                                arrival,
+                                format!("{bytes} bytes to rank {dest}"),
+                            );
+                        }
+                        bin_done = bin_done.max(arrival);
+                    }
+                    let s = &mut st[ri];
+                    s.bin_done = bin_done;
+                    s.last_map_end = s.last_map_end.max(t);
+                    s.cursor = up.end.max(prev_kernel_end);
+                    s.prev_kernel_end = t;
+                    s.chunks_done += 1;
+                }
+            }
+        }
+    }
+
+    // --- Deferred binning (Accumulate / Combine) -------------------------
+    match cfg.map_mode {
+        MapMode::Accumulate => {
+            for r in 0..ranks {
+                let ri = r as usize;
+                let state = st[ri].accum.take().unwrap_or_default();
+                pairs_shuffled += state.len() as u64;
+                let gpu = cluster.gpu(r);
+                let t_part =
+                    charge_partition::<J::Key, J::Value>(gpu, st[ri].last_map_end, state.len());
+                let send_ready = if gpu_direct {
+                    t_part
+                } else {
+                    gpu.d2h(t_part, state.size_bytes()).end
+                };
+                let buckets = route_pairs(job, cfg.partition, state, ranks);
+                let fabric = cluster.fabric();
+                let mut bin_done = st[ri].bin_done;
+                for (dest, bucket) in buckets.into_iter().enumerate() {
+                    if bucket.is_empty() {
+                        continue;
+                    }
+                    let bytes = bucket.size_bytes();
+                    let arrival = mailbox.send(fabric, r, dest as u32, send_ready, bytes, bucket);
+                    if let Some(tr) = trace.as_mut() {
+                        tr.record(
+                            r,
+                            TraceKind::Send,
+                            send_ready,
+                            arrival,
+                            format!("{bytes} bytes to rank {dest}"),
+                        );
+                    }
+                    bin_done = bin_done.max(arrival);
+                }
+                st[ri].bin_done = bin_done;
+            }
+        }
+        MapMode::Plain | MapMode::PartialReduce if cfg.combine => {
+            for r in 0..ranks {
+                let ri = r as usize;
+                let store = std::mem::take(&mut st[ri].store);
+                let t0 = st[ri].last_map_end.max(st[ri].last_d2h);
+                let gpu = cluster.gpu(r);
+                // Stream stored pairs back down to the GPU for combination.
+                let up = gpu.h2d(t0, store.size_bytes());
+                let (combined, t1) =
+                    combine_pairs(gpu, up.end, store, |a, b| job.combine_op(a, b))?;
+                if let Some(tr) = trace.as_mut() {
+                    tr.record(
+                        r,
+                        TraceKind::Combine,
+                        up.start,
+                        t1,
+                        format!("-> {} pairs", combined.len()),
+                    );
+                }
+                pairs_shuffled += combined.len() as u64;
+                let t_part = charge_partition::<J::Key, J::Value>(gpu, t1, combined.len());
+                let send_ready = if gpu_direct {
+                    t_part
+                } else {
+                    gpu.d2h(t_part, combined.size_bytes()).end
+                };
+                let buckets = route_pairs(job, cfg.partition, combined, ranks);
+                let fabric = cluster.fabric();
+                let mut bin_done = st[ri].bin_done;
+                for (dest, bucket) in buckets.into_iter().enumerate() {
+                    if bucket.is_empty() {
+                        continue;
+                    }
+                    let bytes = bucket.size_bytes();
+                    let arrival = mailbox.send(fabric, r, dest as u32, send_ready, bytes, bucket);
+                    if let Some(tr) = trace.as_mut() {
+                        tr.record(
+                            r,
+                            TraceKind::Send,
+                            send_ready,
+                            arrival,
+                            format!("{bytes} bytes to rank {dest}"),
+                        );
+                    }
+                    bin_done = bin_done.max(arrival);
+                }
+                st[ri].bin_done = bin_done;
+            }
+        }
+        _ => {}
+    }
+
+    // --- Sort + Reduce stages --------------------------------------------
+    let mut outputs: Vec<KvSet<J::Key, J::Value>> = Vec::with_capacity(ranks as usize);
+    for r in 0..ranks {
+        let ri = r as usize;
+        let deliveries = mailbox.drain(r);
+        let mut incoming: KvSet<J::Key, J::Value> = KvSet::new();
+        let mut last_arrival = SimTime::ZERO;
+        for d in deliveries {
+            last_arrival = last_arrival.max(d.arrival);
+            incoming.append(d.payload);
+        }
+        let sort_ready = st[ri].last_map_end.max(st[ri].bin_done).max(last_arrival);
+        st[ri].sort_ready = sort_ready;
+
+        if !cfg.sort_and_reduce || incoming.is_empty() {
+            st[ri].sort_done = sort_ready;
+            st[ri].reduce_done = sort_ready;
+            outputs.push(incoming);
+            continue;
+        }
+
+        // Sort: upload received pairs (free with GPU-direct networking —
+        // they arrived in device memory), radix sort, dedup keys.
+        let gpu = cluster.gpu(r);
+        let up = if gpu_direct {
+            gpmr_sim_gpu::Reservation {
+                start: sort_ready,
+                end: sort_ready,
+            }
+        } else {
+            gpu.h2d(sort_ready, incoming.size_bytes())
+        };
+        // Out-of-core sort: when the pairs (with the sort's ping-pong
+        // buffer) exceed device memory, external passes stream the data
+        // back and forth across PCI-e. This is what makes SIO's speedup
+        // super-linear at the GPU count where the data first fits in core
+        // (paper Figure 3).
+        let mut sort_start = up.end;
+        let capacity = gpu.mem.capacity();
+        let need = 2 * incoming.size_bytes();
+        if capacity > 0 && need > capacity {
+            let extra_passes = need / capacity;
+            for _ in 0..extra_passes {
+                let d = gpu.d2h(sort_start, incoming.size_bytes());
+                let u = gpu.h2d(d.end, incoming.size_bytes());
+                sort_start = u.end;
+            }
+        }
+        let (skeys, svals, t1) = match cfg.sort {
+            SortMode::Radix => sort_pairs(gpu, sort_start, &incoming.keys, &incoming.vals)?,
+            SortMode::Bitonic => bitonic_sort_pairs_by(
+                gpu,
+                sort_start,
+                &incoming.keys,
+                &incoming.vals,
+                |a, b| a.radix().cmp(&b.radix()),
+            )?,
+        };
+        let (segs, t2) = extract_segments(gpu, t1, &skeys)?;
+        if let Some(tr) = trace.as_mut() {
+            tr.record(
+                r,
+                TraceKind::Sort,
+                sort_ready,
+                t2,
+                format!("{} pairs, {} unique keys", skeys.len(), segs.len()),
+            );
+        }
+        st[ri].sort_done = t2;
+
+        // Reduce: chunked by the job's callback.
+        let mut out: KvSet<J::Key, J::Value> = KvSet::new();
+        let mut t = t2;
+        let mut i = 0usize;
+        let val_bytes = std::mem::size_of::<J::Value>().max(1);
+        let reduce_budget = (capacity as usize / 4).max(val_bytes);
+        while i < segs.len() {
+            let mut take = job
+                .reduce_sets_per_chunk(segs.len() - i)
+                .clamp(1, segs.len() - i);
+            // Memory safety net: a reduce chunk's values must fit on the
+            // device (quarter of memory, leaving room for outputs and the
+            // double buffer) regardless of what the callback asked for.
+            while take > 1
+                && (segs.offsets[i + take] - segs.offsets[i]) * val_bytes > reduce_budget
+            {
+                take /= 2;
+            }
+            let sub = Segments {
+                keys: segs.keys[i..i + take].to_vec(),
+                offsets: segs.offsets[i..=i + take]
+                    .iter()
+                    .map(|o| o - segs.offsets[i])
+                    .collect(),
+            };
+            let vals = &svals[segs.offsets[i]..segs.offsets[i + take]];
+            let (part, tn) = job.reduce(gpu, t, &sub, vals)?;
+            out.append(part);
+            t = tn;
+            i += take;
+        }
+        let down = gpu.d2h(t, out.size_bytes());
+        if let Some(tr) = trace.as_mut() {
+            tr.record(
+                r,
+                TraceKind::Reduce,
+                t2,
+                down.end,
+                format!("{} output pairs", out.len()),
+            );
+        }
+        st[ri].reduce_done = down.end;
+        outputs.push(out);
+    }
+
+    // --- Assemble timings -------------------------------------------------
+    let makespan = st
+        .iter()
+        .map(|s| s.reduce_done)
+        .fold(SimTime::ZERO, SimTime::max);
+    let per_rank: Vec<StageTimes> = st
+        .iter()
+        .map(|s| StageTimes {
+            map: s.last_map_end.since(setup),
+            bin: s.sort_ready.since(s.last_map_end.max(setup)),
+            sort: s.sort_done.since(s.sort_ready),
+            reduce: s.reduce_done.since(s.sort_done),
+            // Job setup plus the end-of-job barrier wait.
+            scheduler: setup.since(SimTime::ZERO) + makespan.since(s.reduce_done),
+        })
+        .collect();
+
+    Ok(JobResult {
+        outputs,
+        timings: JobTimings {
+            total: makespan.since(SimTime::ZERO),
+            per_rank,
+            chunks_per_rank: st.iter().map(|s| s.chunks_done).collect(),
+            chunks_stolen: stolen,
+            pairs_emitted,
+            pairs_shuffled,
+        },
+    })
+}
+
+fn route_pairs<J: GpmrJob>(
+    job: &J,
+    mode: PartitionMode,
+    pairs: KvSet<J::Key, J::Value>,
+    ranks: u32,
+) -> Vec<KvSet<J::Key, J::Value>> {
+    match mode {
+        PartitionMode::None => {
+            let mut buckets: Vec<KvSet<J::Key, J::Value>> =
+                (0..ranks).map(|_| KvSet::new()).collect();
+            buckets[0] = pairs;
+            buckets
+        }
+        PartitionMode::RoundRobin => split_buckets(pairs, ranks, |k| {
+            (k.radix() % u64::from(ranks)) as u32
+        }),
+        PartitionMode::Custom => split_buckets(pairs, ranks, |k| job.partition(k, ranks)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::SliceChunk;
+    use crate::job::PipelineConfig;
+    use gpmr_sim_gpu::{Gpu, GpuSpec, LaunchConfig, SimGpuResult};
+
+    /// A minimal counting job with a configurable pipeline, used to
+    /// exercise engine paths directly.
+    struct TestJob {
+        cfg: PipelineConfig,
+    }
+
+    impl TestJob {
+        fn with(cfg: PipelineConfig) -> Self {
+            TestJob { cfg }
+        }
+    }
+
+    impl GpmrJob for TestJob {
+        type Chunk = SliceChunk<u32>;
+        type Key = u32;
+        type Value = u32;
+
+        fn pipeline(&self) -> PipelineConfig {
+            self.cfg
+        }
+
+        fn map(
+            &self,
+            gpu: &mut Gpu,
+            at: SimTime,
+            chunk: &Self::Chunk,
+        ) -> SimGpuResult<(KvSet<u32, u32>, SimTime)> {
+            let n = chunk.items.len();
+            let cfg = LaunchConfig::for_items(n, 1024, 128);
+            let (launch, res) = gpu.launch(at, &cfg, |ctx| {
+                let range = ctx.item_range(n);
+                ctx.charge_read::<u32>(range.len());
+                let mut out = KvSet::with_capacity(range.len());
+                for &x in &chunk.items[range] {
+                    out.push(x % 16, 1);
+                }
+                out
+            })?;
+            let mut pairs = KvSet::new();
+            for p in launch.outputs {
+                pairs.append(p);
+            }
+            Ok((pairs, res.end))
+        }
+
+        fn combine_op(&self, a: u32, b: u32) -> u32 {
+            a + b
+        }
+
+        fn reduce(
+            &self,
+            gpu: &mut Gpu,
+            at: SimTime,
+            segs: &Segments<u32>,
+            vals: &[u32],
+        ) -> SimGpuResult<(KvSet<u32, u32>, SimTime)> {
+            let cfg = LaunchConfig::grid(1, 128);
+            let (launch, res) = gpu.launch(at, &cfg, |ctx| {
+                let mut out = KvSet::new();
+                for s in 0..segs.len() {
+                    let r = segs.range(s);
+                    ctx.charge_read_uncoalesced::<u32>(r.len());
+                    out.push(segs.keys[s], vals[r].iter().sum());
+                }
+                out
+            })?;
+            let mut out = KvSet::new();
+            for p in launch.outputs {
+                out.append(p);
+            }
+            Ok((out, res.end))
+        }
+    }
+
+    fn input(n: u32) -> Vec<SliceChunk<u32>> {
+        let data: Vec<u32> = (0..n).collect();
+        SliceChunk::split(&data, 500)
+    }
+
+    fn counts(result: &JobResult<u32, u32>) -> Vec<u32> {
+        let mut c = vec![0u32; 16];
+        for (k, v) in result.merged_output().iter() {
+            c[*k as usize] += *v;
+        }
+        c
+    }
+
+    #[test]
+    fn combine_mode_defers_binning_and_matches_plain() {
+        let plain = {
+            let mut cl = Cluster::accelerator(4, GpuSpec::gt200());
+            run_job(&mut cl, &TestJob::with(PipelineConfig::default()), input(8000)).unwrap()
+        };
+        let combined = {
+            let mut cl = Cluster::accelerator(4, GpuSpec::gt200());
+            let cfg = PipelineConfig::default().with_combine(true);
+            run_job(&mut cl, &TestJob::with(cfg), input(8000)).unwrap()
+        };
+        assert_eq!(counts(&plain), counts(&combined));
+        // Combine collapses the shuffle to at most (keys x ranks) pairs.
+        assert!(combined.timings.pairs_shuffled <= 16 * 4);
+        assert_eq!(plain.timings.pairs_shuffled, 8000);
+    }
+
+    #[test]
+    fn partition_none_routes_everything_to_rank_zero() {
+        let mut cl = Cluster::accelerator(4, GpuSpec::gt200());
+        let cfg = PipelineConfig::default().with_partition(PartitionMode::None);
+        let result = run_job(&mut cl, &TestJob::with(cfg), input(4000)).unwrap();
+        assert!(!result.outputs[0].is_empty());
+        assert!(result.outputs[1..].iter().all(KvSet::is_empty));
+        assert_eq!(counts(&result).iter().sum::<u32>(), 4000);
+    }
+
+    #[test]
+    fn map_only_jobs_skip_sort_and_reduce() {
+        let mut cl = Cluster::accelerator(2, GpuSpec::gt200());
+        let cfg = PipelineConfig::default().map_only();
+        let result = run_job(&mut cl, &TestJob::with(cfg), input(2000)).unwrap();
+        // Raw pairs, not reduced: one pair per input element.
+        assert_eq!(result.merged_output().len(), 2000);
+        for st in &result.timings.per_rank {
+            assert_eq!(st.sort.as_secs(), 0.0);
+            assert_eq!(st.reduce.as_secs(), 0.0);
+        }
+    }
+
+    #[test]
+    fn bitonic_sorter_path_matches_radix_path() {
+        let radix = {
+            let mut cl = Cluster::accelerator(3, GpuSpec::gt200());
+            run_job(&mut cl, &TestJob::with(PipelineConfig::default()), input(5000)).unwrap()
+        };
+        let bitonic = {
+            let mut cl = Cluster::accelerator(3, GpuSpec::gt200());
+            let cfg = PipelineConfig::default().with_sort(SortMode::Bitonic);
+            run_job(&mut cl, &TestJob::with(cfg), input(5000)).unwrap()
+        };
+        assert_eq!(counts(&radix), counts(&bitonic));
+    }
+
+    #[test]
+    fn out_of_core_sort_charges_extra_pcie_passes() {
+        // A device too small to hold the incoming pairs twice must stream
+        // them in and out for external sort passes.
+        let small = GpuSpec::gt200().with_mem_capacity(48 * 1024);
+        let large = GpuSpec::gt200();
+        let run_with = |spec: GpuSpec| {
+            let mut cl = Cluster::new(gpmr_sim_net::Topology::new(1, 1, 1), spec);
+            let r = run_job(&mut cl, &TestJob::with(PipelineConfig::default()), input(4000))
+                .unwrap();
+            let stats = cl.gpu(0).stats();
+            (r, stats.h2d_bytes)
+        };
+        let (r_small, h2d_small) = run_with(small);
+        let (r_large, h2d_large) = run_with(large);
+        assert_eq!(counts(&r_small), counts(&r_large));
+        assert!(
+            h2d_small > h2d_large,
+            "small device should re-upload for external passes ({h2d_small} vs {h2d_large})"
+        );
+        assert!(r_small.total_time().as_secs() > r_large.total_time().as_secs());
+    }
+
+    #[test]
+    fn single_rank_cluster_runs_every_pipeline() {
+        for cfg in [
+            PipelineConfig::default(),
+            PipelineConfig::default().with_combine(true),
+            PipelineConfig::default().with_partition(PartitionMode::None),
+            PipelineConfig::default().map_only(),
+        ] {
+            let mut cl = Cluster::accelerator(1, GpuSpec::gt200());
+            let result = run_job(&mut cl, &TestJob::with(cfg), input(3000)).unwrap();
+            let total: u32 = result.merged_output().vals.iter().sum();
+            assert_eq!(total, 3000, "{cfg:?}");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Engine error types.
+
+use std::fmt;
+
+use gpmr_sim_gpu::SimGpuError;
+
+/// Errors raised while running a GPMR job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A device operation failed (out of memory, bad launch, ...).
+    Gpu(SimGpuError),
+    /// The job's pipeline configuration is inconsistent.
+    InvalidPipeline(String),
+    /// A chunk (double-buffered) cannot fit in device memory; re-chunk the
+    /// input with a smaller chunk size.
+    ChunkTooLarge {
+        /// The chunk's transfer size in bytes.
+        bytes: u64,
+        /// The device capacity in bytes.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Gpu(e) => write!(f, "device error: {e}"),
+            EngineError::InvalidPipeline(msg) => write!(f, "invalid pipeline: {msg}"),
+            EngineError::ChunkTooLarge { bytes, capacity } => write!(
+                f,
+                "chunk of {bytes} bytes cannot be double-buffered in {capacity} bytes of device memory"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Gpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimGpuError> for EngineError {
+    fn from(e: SimGpuError) -> Self {
+        EngineError::Gpu(e)
+    }
+}
+
+/// Convenience result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;

@@ -1,0 +1,164 @@
+//! Engine-internal GPU helpers shared by pipeline stages.
+
+use std::collections::HashMap;
+
+use gpmr_primitives::{extract_segments, sort_pairs, RadixKey};
+use gpmr_sim_gpu::{Gpu, KernelCost, LaunchConfig, SimGpuResult, SimTime};
+
+use crate::types::{Key, KvSet, Value};
+
+/// Charge the Partition kernel: read every pair, compute its bucket, and
+/// write it into the per-reducer contiguous layout (one scan-and-scatter
+/// pass; writes are mostly coalesced after the scan).
+pub fn charge_partition<K: Key, V: Value>(gpu: &mut Gpu, at: SimTime, pairs: usize) -> SimTime {
+    if pairs == 0 {
+        return at;
+    }
+    let pair_bytes = (std::mem::size_of::<K>() + std::mem::size_of::<V>()) as u64;
+    let cost = KernelCost {
+        flops: 3 * pairs as u64,
+        bytes_coalesced: 2 * pairs as u64 * pair_bytes,
+        ..KernelCost::ZERO
+    };
+    gpu.charge_compute(at, &cost, 1.0).end
+}
+
+/// Split pairs into per-destination buckets with `route`. Buckets for
+/// every rank are returned (possibly empty), in rank order.
+pub fn split_buckets<K: Key, V: Value>(
+    pairs: KvSet<K, V>,
+    ranks: u32,
+    route: impl Fn(&K) -> u32,
+) -> Vec<KvSet<K, V>> {
+    let mut buckets: Vec<KvSet<K, V>> = (0..ranks).map(|_| KvSet::new()).collect();
+    for (k, v) in pairs.keys.into_iter().zip(pairs.vals) {
+        let dest = route(&k).min(ranks - 1);
+        buckets[dest as usize].push(k, v);
+    }
+    buckets
+}
+
+/// The generic Combine: group like-keyed pairs and fold each group with
+/// `op`, on the GPU (sort + segment + segmented fold — the storage
+/// strategy the paper describes for streaming CPU-stored pairs back down
+/// to the device).
+pub fn combine_pairs<K, V, F>(
+    gpu: &mut Gpu,
+    at: SimTime,
+    pairs: KvSet<K, V>,
+    op: F,
+) -> SimGpuResult<(KvSet<K, V>, SimTime)>
+where
+    K: Key + RadixKey,
+    V: Value,
+    F: Fn(V, V) -> V + Sync,
+{
+    if pairs.is_empty() {
+        return Ok((pairs, at));
+    }
+    let (skeys, svals, t1) = sort_pairs(gpu, at, &pairs.keys, &pairs.vals)?;
+    let (segs, t2) = extract_segments(gpu, t1, &skeys)?;
+
+    // Segmented fold: one thread per segment (paper SIO-style reducer).
+    let cfg = LaunchConfig::for_items(segs.len(), 1024, 256);
+    let (folded, res) = gpu.launch(t2, &cfg, |ctx| {
+        let range = ctx.item_range(segs.len());
+        let mut out: KvSet<K, V> = KvSet::with_capacity(range.len());
+        for s in range {
+            let vr = segs.range(s);
+            ctx.charge_read_uncoalesced::<V>(vr.len());
+            ctx.charge_flops(vr.len() as u64);
+            let mut acc = svals[vr.start];
+            for &v in &svals[vr.start + 1..vr.end] {
+                acc = op(acc, v);
+            }
+            out.push(segs.keys[s], acc);
+        }
+        ctx.charge_write::<K>(out.len());
+        ctx.charge_write::<V>(out.len());
+        out
+    })?;
+
+    let mut out = KvSet::new();
+    for part in folded.outputs {
+        out.append(part);
+    }
+    Ok((out, res.end))
+}
+
+/// CPU-reference grouping for tests: fold like-keyed values with `op`,
+/// returning pairs sorted by key radix.
+pub fn reference_combine<K, V, F>(pairs: &KvSet<K, V>, op: F) -> Vec<(K, V)>
+where
+    K: Key + RadixKey,
+    V: Value,
+    F: Fn(V, V) -> V,
+{
+    let mut map: HashMap<u64, (K, V)> = HashMap::new();
+    for (k, v) in pairs.iter() {
+        map.entry(k.radix())
+            .and_modify(|e| e.1 = op(e.1, *v))
+            .or_insert((*k, *v));
+    }
+    let mut out: Vec<(K, V)> = map.into_values().collect();
+    out.sort_by_key(|(k, _)| k.radix());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpmr_sim_gpu::GpuSpec;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuSpec::gt200())
+    }
+
+    #[test]
+    fn partition_charge_advances_time() {
+        let mut g = gpu();
+        let t = charge_partition::<u32, u32>(&mut g, SimTime::ZERO, 1 << 20);
+        assert!(t > SimTime::ZERO);
+        assert_eq!(charge_partition::<u32, u32>(&mut g, t, 0), t);
+    }
+
+    #[test]
+    fn split_buckets_routes_and_preserves_pairs() {
+        let pairs: KvSet<u32, u32> = (0..100u32).map(|i| (i, i * 2)).collect();
+        let buckets = split_buckets(pairs, 4, |k| k % 4);
+        assert_eq!(buckets.len(), 4);
+        for (r, b) in buckets.iter().enumerate() {
+            assert_eq!(b.len(), 25);
+            assert!(b.keys.iter().all(|k| k % 4 == r as u32));
+            assert!(b.iter().all(|(k, v)| *v == k * 2));
+        }
+    }
+
+    #[test]
+    fn split_buckets_clamps_bad_routes() {
+        let pairs: KvSet<u32, u32> = [(7u32, 1u32)].into_iter().collect();
+        let buckets = split_buckets(pairs, 2, |_| 99);
+        assert_eq!(buckets[1].len(), 1);
+    }
+
+    #[test]
+    fn combine_pairs_matches_reference() {
+        let mut g = gpu();
+        let pairs: KvSet<u32, u64> = (0..10_000u32).map(|i| (i % 37, 1u64)).collect();
+        let expect = reference_combine(&pairs, |a, b| a + b);
+        let (combined, t) = combine_pairs(&mut g, SimTime::ZERO, pairs, |a, b| a + b).unwrap();
+        let mut got: Vec<(u32, u64)> = combined.iter().map(|(k, v)| (*k, *v)).collect();
+        got.sort_by_key(|(k, _)| *k);
+        assert_eq!(got, expect);
+        assert!(t > SimTime::ZERO);
+    }
+
+    #[test]
+    fn combine_pairs_empty_is_free() {
+        let mut g = gpu();
+        let (out, t) =
+            combine_pairs(&mut g, SimTime::ZERO, KvSet::<u32, u32>::new(), |a, _| a).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(t, SimTime::ZERO);
+    }
+}

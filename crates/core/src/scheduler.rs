@@ -1,0 +1,132 @@
+//! Dynamic per-GPU work queues with chunk stealing.
+//!
+//! GPMR "tracks the per-GPU work in a dynamic queue; if one GPU finishes
+//! its work and other GPUs have much more work to do, we shift chunks
+//! between the local queues" (paper §4.1) — which is why chunks must be
+//! serializable. The queue structure is engine-agnostic and fully testable
+//! on its own; the engine charges the migration cost through the fabric.
+
+use std::collections::VecDeque;
+
+/// Per-rank chunk queues.
+#[derive(Debug)]
+pub struct WorkQueues<C> {
+    queues: Vec<VecDeque<C>>,
+}
+
+impl<C> WorkQueues<C> {
+    /// Distribute `chunks` round-robin over `ranks` queues (the paper's
+    /// initial static assignment; chunks are streamed from rank-local
+    /// storage).
+    pub fn distribute(chunks: Vec<C>, ranks: u32) -> Self {
+        let ranks = ranks.max(1) as usize;
+        let mut queues: Vec<VecDeque<C>> = (0..ranks).map(|_| VecDeque::new()).collect();
+        for (i, c) in chunks.into_iter().enumerate() {
+            queues[i % ranks].push_back(c);
+        }
+        WorkQueues { queues }
+    }
+
+    /// Take the next chunk from `rank`'s own queue.
+    pub fn pop_local(&mut self, rank: u32) -> Option<C> {
+        self.queues[rank as usize].pop_front()
+    }
+
+    /// Chunks left in `rank`'s queue.
+    pub fn remaining(&self, rank: u32) -> usize {
+        self.queues[rank as usize].len()
+    }
+
+    /// Chunks left across all queues.
+    pub fn total_remaining(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Pick a victim for `thief`: the most-loaded other rank, provided it
+    /// still has at least two chunks (stealing the last chunk of a queue
+    /// would just move the imbalance). Ties break to the lowest rank for
+    /// determinism.
+    pub fn steal_victim(&self, thief: u32) -> Option<u32> {
+        let mut best: Option<(usize, u32)> = None;
+        for (r, q) in self.queues.iter().enumerate() {
+            if r as u32 == thief || q.len() < 2 {
+                continue;
+            }
+            match best {
+                Some((len, _)) if q.len() <= len => {}
+                _ => best = Some((q.len(), r as u32)),
+            }
+        }
+        best.map(|(_, r)| r)
+    }
+
+    /// Steal the *tail* chunk from `victim` (the head is what the victim
+    /// will map next).
+    pub fn steal_from(&mut self, victim: u32) -> Option<C> {
+        self.queues[victim as usize].pop_back()
+    }
+
+    /// Number of queues.
+    pub fn ranks(&self) -> u32 {
+        self.queues.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_distribution() {
+        let q = WorkQueues::distribute((0..10).collect(), 4);
+        assert_eq!(q.remaining(0), 3); // 0, 4, 8
+        assert_eq!(q.remaining(1), 3); // 1, 5, 9
+        assert_eq!(q.remaining(2), 2);
+        assert_eq!(q.remaining(3), 2);
+        assert_eq!(q.total_remaining(), 10);
+        assert_eq!(q.ranks(), 4);
+    }
+
+    #[test]
+    fn pop_local_is_fifo() {
+        let mut q = WorkQueues::distribute(vec![10, 11, 12, 13], 2);
+        assert_eq!(q.pop_local(0), Some(10));
+        assert_eq!(q.pop_local(0), Some(12));
+        assert_eq!(q.pop_local(0), None);
+    }
+
+    #[test]
+    fn steal_picks_most_loaded_and_takes_tail() {
+        let mut q = WorkQueues::distribute((0..9).collect(), 3);
+        // Rank 0: 0,3,6 / rank 1: 1,4,7 / rank 2: 2,5,8.
+        q.pop_local(2);
+        q.pop_local(2);
+        q.pop_local(2); // rank 2 empty
+        let victim = q.steal_victim(2).unwrap();
+        assert_eq!(victim, 0); // tie between 0 and 1 breaks low
+        assert_eq!(q.steal_from(victim), Some(6)); // tail, not head
+        assert_eq!(q.remaining(0), 2);
+    }
+
+    #[test]
+    fn no_victim_when_queues_nearly_empty() {
+        let mut q = WorkQueues::distribute(vec![1, 2], 2);
+        q.pop_local(0);
+        // Rank 1 has exactly one chunk: not worth stealing.
+        assert_eq!(q.steal_victim(0), None);
+    }
+
+    #[test]
+    fn thief_never_steals_from_itself() {
+        let q: WorkQueues<u32> = WorkQueues::distribute((0..8).collect(), 2);
+        assert_eq!(q.steal_victim(0), Some(1));
+        assert_eq!(q.steal_victim(1), Some(0));
+    }
+
+    #[test]
+    fn single_rank_gets_everything() {
+        let q = WorkQueues::distribute((0..5).collect(), 1);
+        assert_eq!(q.remaining(0), 5);
+        assert_eq!(q.steal_victim(0), None);
+    }
+}

@@ -1,0 +1,159 @@
+//! Job timing statistics — the data behind the paper's Figures 2 and 3.
+//!
+//! The engine records, per rank, how the makespan divides among the
+//! pipeline stages the paper's runtime breakdown uses: Map (uploads, map
+//! kernels, partial reduction), Complete Binning (the non-overlapped
+//! communication tail after the last map), Sort, Reduce, and GPMR
+//! internal/scheduler time (barrier waits, steal overhead). The five slices
+//! sum to the makespan on every rank by construction.
+
+use gpmr_sim_gpu::SimDuration;
+
+/// Wall-clock (simulated) spans of the pipeline stages on one rank.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimes {
+    /// Map stage: job start until the rank's last map kernel finishes
+    /// (chunk uploads and partial reductions overlap inside it).
+    pub map: SimDuration,
+    /// Complete Binning: from the last map until all of the rank's
+    /// outbound pairs are sent *and* all inbound pairs have arrived.
+    pub bin: SimDuration,
+    /// Sort stage (upload of received pairs, radix sort, key dedup).
+    pub sort: SimDuration,
+    /// Reduce stage (chunked reduce kernels and the final download).
+    pub reduce: SimDuration,
+    /// GPMR internal/scheduler time: whatever remains until the job-wide
+    /// makespan (barrier waits, chunk-migration overhead).
+    pub scheduler: SimDuration,
+}
+
+impl StageTimes {
+    /// Sum of all stage spans (equals the job makespan per rank).
+    pub fn total(&self) -> SimDuration {
+        self.map + self.bin + self.sort + self.reduce + self.scheduler
+    }
+
+    /// Percentage breakdown `[map, bin, sort, reduce, scheduler]`.
+    pub fn percentages(&self) -> [f64; 5] {
+        let t = self.total().as_secs();
+        if t <= 0.0 {
+            return [0.0; 5];
+        }
+        [
+            self.map.as_secs() / t * 100.0,
+            self.bin.as_secs() / t * 100.0,
+            self.sort.as_secs() / t * 100.0,
+            self.reduce.as_secs() / t * 100.0,
+            self.scheduler.as_secs() / t * 100.0,
+        ]
+    }
+}
+
+/// Aggregate timing result of one job.
+#[derive(Clone, Debug, Default)]
+pub struct JobTimings {
+    /// Job makespan: the latest rank's reduce completion.
+    pub total: SimDuration,
+    /// Per-rank stage spans.
+    pub per_rank: Vec<StageTimes>,
+    /// Chunks mapped by each rank (load-balance diagnostics).
+    pub chunks_per_rank: Vec<u32>,
+    /// Chunks migrated between ranks by the dynamic scheduler.
+    pub chunks_stolen: u32,
+    /// Key-value pairs emitted by all maps (before any reduction substage).
+    pub pairs_emitted: u64,
+    /// Pairs actually shipped to reducers (after partial reduce /
+    /// accumulate / combine).
+    pub pairs_shuffled: u64,
+}
+
+impl JobTimings {
+    /// Mean stage breakdown across ranks, as percentages
+    /// `[map, bin, sort, reduce, scheduler]`.
+    pub fn mean_percentages(&self) -> [f64; 5] {
+        if self.per_rank.is_empty() {
+            return [0.0; 5];
+        }
+        let mut acc = [0.0; 5];
+        for st in &self.per_rank {
+            for (a, p) in acc.iter_mut().zip(st.percentages()) {
+                *a += p;
+            }
+        }
+        for a in &mut acc {
+            *a /= self.per_rank.len() as f64;
+        }
+        acc
+    }
+}
+
+/// Speedup of a parallel run over a one-GPU run.
+pub fn speedup(t1: SimDuration, tn: SimDuration) -> f64 {
+    if tn.as_secs() <= 0.0 {
+        return 0.0;
+    }
+    t1.as_secs() / tn.as_secs()
+}
+
+/// The paper's parallel efficiency: `speedup / #GPUs`.
+pub fn efficiency(t1: SimDuration, tn: SimDuration, gpus: u32) -> f64 {
+    speedup(t1, tn) / f64::from(gpus.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn stage_percentages_sum_to_100() {
+        let st = StageTimes {
+            map: secs(4.0),
+            bin: secs(3.0),
+            sort: secs(2.0),
+            reduce: secs(0.5),
+            scheduler: secs(0.5),
+        };
+        let p = st.percentages();
+        assert!((p.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!((p[0] - 40.0).abs() < 1e-9);
+        assert_eq!(st.total().as_secs(), 10.0);
+    }
+
+    #[test]
+    fn zero_total_yields_zero_percentages() {
+        assert_eq!(StageTimes::default().percentages(), [0.0; 5]);
+    }
+
+    #[test]
+    fn mean_percentages_average_ranks() {
+        let t = JobTimings {
+            per_rank: vec![
+                StageTimes {
+                    map: secs(1.0),
+                    ..StageTimes::default()
+                },
+                StageTimes {
+                    bin: secs(1.0),
+                    ..StageTimes::default()
+                },
+            ],
+            ..JobTimings::default()
+        };
+        let p = t.mean_percentages();
+        assert!((p[0] - 50.0).abs() < 1e-9);
+        assert!((p[1] - 50.0).abs() < 1e-9);
+        assert_eq!(JobTimings::default().mean_percentages(), [0.0; 5]);
+    }
+
+    #[test]
+    fn speedup_and_efficiency() {
+        assert!((speedup(secs(8.0), secs(2.0)) - 4.0).abs() < 1e-12);
+        assert!((efficiency(secs(8.0), secs(2.0), 4) - 1.0).abs() < 1e-12);
+        assert!((efficiency(secs(8.0), secs(4.0), 4) - 0.5).abs() < 1e-12);
+        assert_eq!(speedup(secs(1.0), SimDuration::ZERO), 0.0);
+    }
+}

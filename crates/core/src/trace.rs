@@ -1,0 +1,279 @@
+//! Job execution traces.
+//!
+//! [`run_job_traced`](crate::engine::run_job_traced) records every
+//! pipeline event — chunk uploads, map kernels, partial reductions,
+//! downloads, bin sends, chunk steals, sort and reduce phases — with its
+//! simulated start/end window. Traces power debugging ("why is rank 3
+//! idle?"), the Gantt renderer below, and tests that assert structural
+//! properties of the schedule (overlap, stealing, barrier behaviour).
+
+use std::fmt;
+
+use gpmr_sim_gpu::{SimDuration, SimTime};
+
+/// What a trace event represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Job setup (scheduler/communicator startup).
+    Setup,
+    /// Chunk upload over PCI-e (host to device).
+    Upload,
+    /// Map kernel execution (includes accumulate-mode maps).
+    Map,
+    /// Partial Reduction kernel.
+    PartialReduce,
+    /// Accumulation-state initialization kernel.
+    AccumulateInit,
+    /// Partition kernel.
+    Partition,
+    /// Pair download over PCI-e (device to host).
+    Download,
+    /// Bin-stage network send (CPU thread; ends at receiver arrival).
+    Send,
+    /// Global Combine (upload + combine kernel) in combine mode.
+    Combine,
+    /// Chunk migration from another rank's queue.
+    Steal,
+    /// Sort stage (upload of received pairs, sort, key dedup).
+    Sort,
+    /// Reduce stage (chunked reduce kernels + output download).
+    Reduce,
+}
+
+impl TraceKind {
+    /// One-letter tag used by the Gantt renderer.
+    pub fn tag(self) -> char {
+        match self {
+            TraceKind::Setup => '#',
+            TraceKind::Upload => 'u',
+            TraceKind::Map => 'M',
+            TraceKind::PartialReduce => 'p',
+            TraceKind::AccumulateInit => 'a',
+            TraceKind::Partition => 't',
+            TraceKind::Download => 'd',
+            TraceKind::Send => 's',
+            TraceKind::Combine => 'C',
+            TraceKind::Steal => '!',
+            TraceKind::Sort => 'S',
+            TraceKind::Reduce => 'R',
+        }
+    }
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Rank (GPU/process) the event belongs to.
+    pub rank: u32,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Simulated start instant.
+    pub start: SimTime,
+    /// Simulated end instant.
+    pub end: SimTime,
+    /// Free-form detail (chunk id, destination rank, pair count, ...).
+    pub detail: String,
+}
+
+impl TraceEvent {
+    /// Event duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// A full job trace.
+#[derive(Clone, Debug, Default)]
+pub struct JobTrace {
+    /// All events, in recording order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl JobTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record(
+        &mut self,
+        rank: u32,
+        kind: TraceKind,
+        start: SimTime,
+        end: SimTime,
+        detail: impl Into<String>,
+    ) {
+        self.events.push(TraceEvent {
+            rank,
+            kind,
+            start,
+            end,
+            detail: detail.into(),
+        });
+    }
+
+    /// Events of one rank, in recording order.
+    pub fn events_for(&self, rank: u32) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.rank == rank)
+    }
+
+    /// Events of one kind.
+    pub fn events_of(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// The latest end instant in the trace.
+    pub fn span_end(&self) -> SimTime {
+        self.events
+            .iter()
+            .map(|e| e.end)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Render an ASCII Gantt chart, one row per rank, `width` columns of
+    /// simulated time. Later events overwrite earlier ones in a cell;
+    /// kernels therefore show through the longer transfer windows they
+    /// overlap.
+    pub fn gantt(&self, ranks: u32, width: usize) -> String {
+        let width = width.max(10);
+        let end = self.span_end().as_secs();
+        if end <= 0.0 {
+            return String::from("(empty trace)\n");
+        }
+        let col = |t: SimTime| {
+            (((t.as_secs() / end) * width as f64) as usize).min(width.saturating_sub(1))
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "time 0 .. {:.3} ms ({} columns; legend: # setup, u upload, M map, p partial-\n\
+             reduce, a accum-init, t partition, d download, s send, C combine, ! steal,\n\
+             S sort, R reduce)\n",
+            end * 1e3,
+            width
+        ));
+        for r in 0..ranks {
+            let mut row = vec![' '; width];
+            for e in self.events_for(r) {
+                let (c0, c1) = (col(e.start), col(e.end).max(col(e.start)));
+                for cell in row.iter_mut().take(c1 + 1).skip(c0) {
+                    *cell = e.kind.tag();
+                }
+            }
+            out.push_str(&format!("rank {r:>3} |"));
+            out.extend(row);
+            out.push_str("|\n");
+        }
+        out
+    }
+
+    /// Export all events as CSV (`rank,kind,start_s,end_s,detail`) for
+    /// external visualization tools.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("rank,kind,start_s,end_s,detail\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{},{:?},{:.9},{:.9},{}\n",
+                e.rank,
+                e.kind,
+                e.start.as_secs(),
+                e.end.as_secs(),
+                e.detail.replace(',', ";"),
+            ));
+        }
+        out
+    }
+
+    /// Aggregate busy time per kind per rank (diagnostics).
+    pub fn busy_by_kind(&self, rank: u32, kind: TraceKind) -> SimDuration {
+        self.events_for(rank)
+            .filter(|e| e.kind == kind)
+            .map(TraceEvent::duration)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn sample() -> JobTrace {
+        let mut tr = JobTrace::new();
+        tr.record(0, TraceKind::Upload, t(0.0), t(0.1), "chunk 0");
+        tr.record(0, TraceKind::Map, t(0.1), t(0.4), "chunk 0");
+        tr.record(1, TraceKind::Map, t(0.2), t(0.3), "chunk 1");
+        tr.record(0, TraceKind::Sort, t(0.5), t(0.8), "");
+        tr
+    }
+
+    #[test]
+    fn filters_and_span() {
+        let tr = sample();
+        assert_eq!(tr.events_for(0).count(), 3);
+        assert_eq!(tr.events_for(1).count(), 1);
+        assert_eq!(tr.events_of(TraceKind::Map).count(), 2);
+        assert_eq!(tr.span_end(), t(0.8));
+        assert!((tr.busy_by_kind(0, TraceKind::Map).as_secs() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gantt_renders_rows_and_tags() {
+        let tr = sample();
+        let g = tr.gantt(2, 40);
+        let rows: Vec<&str> = g.lines().filter(|l| l.starts_with("rank")).collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].contains('M'));
+        assert!(rows[0].contains('S'));
+        assert!(rows[1].contains('M'));
+        // All rows same width.
+        assert_eq!(rows[0].len(), rows[1].len());
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let tr = JobTrace::new();
+        assert_eq!(tr.gantt(4, 40), "(empty trace)\n");
+        assert_eq!(tr.span_end(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn csv_export_has_one_line_per_event() {
+        let tr = sample();
+        let csv = tr.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + tr.events.len());
+        assert!(lines[0].starts_with("rank,kind"));
+        assert!(lines[1].contains("Upload"));
+        assert!(lines[1].contains("chunk 0"));
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        use TraceKind::*;
+        let kinds = [
+            Setup,
+            Upload,
+            Map,
+            PartialReduce,
+            AccumulateInit,
+            Partition,
+            Download,
+            Send,
+            Combine,
+            Steal,
+            Sort,
+            Reduce,
+        ];
+        let tags: std::collections::HashSet<char> = kinds.iter().map(|k| k.tag()).collect();
+        assert_eq!(tags.len(), kinds.len());
+    }
+}

@@ -1,0 +1,144 @@
+//! Key-value containers used throughout the pipeline.
+//!
+//! GPMR imposes no strict definition of a key (paper §4.1), but its fast
+//! path — the default radix Sorter and round-robin Partitioner — requires
+//! integer-based keys. The engine keeps keys and values in
+//! structure-of-arrays form ([`KvSet`]) because that is how GPU-resident
+//! emit spaces are laid out for coalesced access.
+
+/// Marker for key types: cheap to copy, comparable, thread-safe.
+pub trait Key: Copy + PartialEq + Send + Sync + 'static {}
+impl<T: Copy + PartialEq + Send + Sync + 'static> Key for T {}
+
+/// Marker for value types: cheap to copy, thread-safe.
+pub trait Value: Copy + Send + Sync + 'static {}
+impl<T: Copy + Send + Sync + 'static> Value for T {}
+
+/// A set of key-value pairs in structure-of-arrays layout.
+///
+/// ```
+/// use gpmr_core::KvSet;
+///
+/// let mut pairs: KvSet<u32, u32> = [(1, 10), (2, 20)].into_iter().collect();
+/// pairs.push(3, 30);
+/// assert_eq!(pairs.len(), 3);
+/// assert_eq!(pairs.size_bytes(), 24);
+/// assert_eq!(pairs.iter().map(|(_, v)| *v).sum::<u32>(), 60);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct KvSet<K, V> {
+    /// The keys.
+    pub keys: Vec<K>,
+    /// The values; `vals[i]` belongs to `keys[i]`.
+    pub vals: Vec<V>,
+}
+
+impl<K: Key, V: Value> Default for KvSet<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Key, V: Value> KvSet<K, V> {
+    /// An empty set.
+    pub fn new() -> Self {
+        KvSet {
+            keys: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// An empty set with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        KvSet {
+            keys: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Build from parallel vectors. Panics if lengths differ.
+    pub fn from_parts(keys: Vec<K>, vals: Vec<V>) -> Self {
+        assert_eq!(keys.len(), vals.len(), "keys/vals length mismatch");
+        KvSet { keys, vals }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if there are no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Emit one pair.
+    pub fn push(&mut self, key: K, val: V) {
+        self.keys.push(key);
+        self.vals.push(val);
+    }
+
+    /// Append all pairs of `other`.
+    pub fn append(&mut self, mut other: KvSet<K, V>) {
+        self.keys.append(&mut other.keys);
+        self.vals.append(&mut other.vals);
+    }
+
+    /// Size in bytes when resident or transferred.
+    pub fn size_bytes(&self) -> u64 {
+        (self.keys.len() * std::mem::size_of::<K>() + self.vals.len() * std::mem::size_of::<V>())
+            as u64
+    }
+
+    /// Iterate `(key, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.keys.iter().zip(self.vals.iter())
+    }
+}
+
+impl<K: Key, V: Value> FromIterator<(K, V)> for KvSet<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut set = KvSet::new();
+        for (k, v) in iter {
+            set.push(k, v);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_append_and_iter() {
+        let mut a: KvSet<u32, u64> = KvSet::new();
+        a.push(1, 10);
+        a.push(2, 20);
+        let b: KvSet<u32, u64> = [(3u32, 30u64)].into_iter().collect();
+        a.append(b);
+        assert_eq!(a.len(), 3);
+        let pairs: Vec<(u32, u64)> = a.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(pairs, vec![(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn size_bytes_counts_both_arrays() {
+        let s = KvSet::from_parts(vec![1u32, 2], vec![1.0f64, 2.0]);
+        assert_eq!(s.size_bytes(), 2 * 4 + 2 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_parts_validates_lengths() {
+        let _ = KvSet::from_parts(vec![1u32], vec![1u8, 2]);
+    }
+
+    #[test]
+    fn default_and_capacity() {
+        let s: KvSet<u32, u32> = KvSet::default();
+        assert!(s.is_empty());
+        let s: KvSet<u32, u32> = KvSet::with_capacity(16);
+        assert!(s.keys.capacity() >= 16);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the GPMR core: serialization, routing, and
+//! pipeline-equivalence invariants on arbitrary inputs.
+
+use gpmr_core::helpers::{combine_pairs, reference_combine, split_buckets};
+use gpmr_core::{Chunk, KvSet, SliceChunk, WorkQueues};
+use gpmr_sim_gpu::{Gpu, GpuSpec, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn slice_chunk_serialization_round_trips(
+        items in prop::collection::vec(any::<u32>(), 0..2000),
+        id in any::<u32>(),
+        offset in any::<u64>(),
+    ) {
+        let c = SliceChunk::new(id, offset, items);
+        let back = SliceChunk::<u32>::deserialize(&c.serialize());
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn float_chunk_serialization_round_trips(
+        items in prop::collection::vec(any::<f64>(), 0..500),
+    ) {
+        let c = SliceChunk::new(1, 0, items);
+        let back = SliceChunk::<f64>::deserialize(&c.serialize());
+        // Bit-exact (including NaN payloads is not required; compare bits).
+        prop_assert_eq!(back.items.len(), c.items.len());
+        for (a, b) in back.items.iter().zip(&c.items) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn chunk_split_covers_input(
+        items in prop::collection::vec(any::<u16>(), 0..3000),
+        chunk_items in 1usize..500,
+    ) {
+        let chunks = SliceChunk::split(&items, chunk_items);
+        let total: usize = chunks.iter().map(|c| c.item_count()).sum();
+        prop_assert_eq!(total, items.len());
+        let mut rebuilt = Vec::new();
+        for c in &chunks {
+            prop_assert_eq!(c.global_offset as usize, rebuilt.len());
+            rebuilt.extend_from_slice(&c.items);
+        }
+        prop_assert_eq!(rebuilt, items);
+    }
+
+    #[test]
+    fn split_buckets_is_a_partition(
+        pairs in prop::collection::vec((any::<u32>(), any::<u32>()), 0..2000),
+        ranks in 1u32..32,
+    ) {
+        let set: KvSet<u32, u32> = pairs.iter().copied().collect();
+        let buckets = split_buckets(set, ranks, |k| k % ranks);
+        prop_assert_eq!(buckets.len(), ranks as usize);
+        let total: usize = buckets.iter().map(KvSet::len).sum();
+        prop_assert_eq!(total, pairs.len());
+        for (r, b) in buckets.iter().enumerate() {
+            prop_assert!(b.keys.iter().all(|k| k % ranks == r as u32));
+        }
+        // Every pair survives routing (multiset equality via sorting).
+        let mut flat: Vec<(u32, u32)> = buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|(k, v)| (*k, *v)))
+            .collect();
+        let mut orig = pairs.clone();
+        flat.sort_unstable();
+        orig.sort_unstable();
+        prop_assert_eq!(flat, orig);
+    }
+
+    #[test]
+    fn combine_pairs_matches_reference(
+        pairs in prop::collection::vec((0u32..100, 0u64..1000), 0..1500),
+    ) {
+        let set: KvSet<u32, u64> = pairs.iter().copied().collect();
+        let expect = reference_combine(&set, |a, b| a + b);
+        let mut gpu = Gpu::new(GpuSpec::gt200());
+        let (combined, _) = combine_pairs(&mut gpu, SimTime::ZERO, set, |a, b| a + b).unwrap();
+        let mut got: Vec<(u32, u64)> = combined.iter().map(|(k, v)| (*k, *v)).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn work_queues_conserve_chunks(
+        n_chunks in 0usize..200,
+        ranks in 1u32..16,
+        steals in 0usize..50,
+    ) {
+        let mut q = WorkQueues::distribute((0..n_chunks).collect(), ranks);
+        let mut taken = Vec::new();
+        // Interleave pops and steals arbitrarily.
+        for i in 0..steals {
+            let rank = (i as u32) % ranks;
+            if let Some(c) = q.pop_local(rank) {
+                taken.push(c);
+            } else if let Some(victim) = q.steal_victim(rank) {
+                taken.push(q.steal_from(victim).unwrap());
+            }
+        }
+        // Drain everything left.
+        for r in 0..ranks {
+            while let Some(c) = q.pop_local(r) {
+                taken.push(c);
+            }
+        }
+        taken.sort_unstable();
+        prop_assert_eq!(taken, (0..n_chunks).collect::<Vec<_>>());
+    }
+}

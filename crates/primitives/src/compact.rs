@@ -1,0 +1,100 @@
+//! Stream compaction: keep the elements that satisfy a predicate,
+//! preserving order (scan + scatter, as in CUDPP).
+
+use gpmr_sim_gpu::{Gpu, KernelCost, LaunchConfig, SimGpuResult, SimTime};
+
+/// Items processed by one compaction block.
+pub const COMPACT_ITEMS_PER_BLOCK: usize = 2048;
+
+/// Compact `input`, keeping elements where `keep` is true. Order is
+/// preserved. Returns the kept elements and the completion time.
+pub fn compact<T, F>(
+    gpu: &mut Gpu,
+    at: SimTime,
+    input: &[T],
+    keep: F,
+) -> SimGpuResult<(Vec<T>, SimTime)>
+where
+    T: Copy + Send + Sync + 'static,
+    F: Fn(usize, &T) -> bool + Sync,
+{
+    if input.is_empty() {
+        return Ok((Vec::new(), at));
+    }
+    let cfg = LaunchConfig::for_items(input.len(), COMPACT_ITEMS_PER_BLOCK, 256);
+
+    // Phase 1: per-block gather of kept elements (flag + local scan fused).
+    let (kept_per_block, r1) = gpu.launch(at, &cfg, |ctx| {
+        let range = ctx.item_range(input.len());
+        ctx.charge_read::<T>(range.len());
+        ctx.charge_flops(2 * range.len() as u64); // predicate + local scan
+        let mut local = Vec::new();
+        for i in range {
+            if keep(i, &input[i]) {
+                local.push(input[i]);
+            }
+        }
+        local
+    })?;
+
+    // Phase 2: scan of per-block counts + coalesced scatter of survivors.
+    let kept_total: usize = kept_per_block.outputs.iter().map(Vec::len).sum();
+    let scatter_cost = KernelCost {
+        flops: cfg.grid_blocks as u64,
+        bytes_coalesced: (kept_total * std::mem::size_of::<T>()) as u64,
+        ..KernelCost::ZERO
+    };
+    let r2 = gpu.charge_compute(r1.end, &scatter_cost, 1.0);
+
+    let mut out = Vec::with_capacity(kept_total);
+    for block in kept_per_block.outputs {
+        out.extend(block);
+    }
+    Ok((out, r2.end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpmr_sim_gpu::GpuSpec;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuSpec::gt200())
+    }
+
+    #[test]
+    fn compact_keeps_matching_in_order() {
+        let mut g = gpu();
+        let input: Vec<u32> = (0..10_000).collect();
+        let (out, end) = compact(&mut g, SimTime::ZERO, &input, |_, &v| v % 3 == 0).unwrap();
+        let expect: Vec<u32> = (0..10_000).filter(|v| v % 3 == 0).collect();
+        assert_eq!(out, expect);
+        assert!(end > SimTime::ZERO);
+    }
+
+    #[test]
+    fn compact_with_index_predicate() {
+        let mut g = gpu();
+        let input = vec![7u8; 100];
+        let (out, _) = compact(&mut g, SimTime::ZERO, &input, |i, _| i < 10).unwrap();
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn compact_none_and_all() {
+        let mut g = gpu();
+        let input: Vec<u64> = (0..5000).collect();
+        let (none, _) = compact(&mut g, SimTime::ZERO, &input, |_, _| false).unwrap();
+        assert!(none.is_empty());
+        let (all, _) = compact(&mut g, SimTime::ZERO, &input, |_, _| true).unwrap();
+        assert_eq!(all, input);
+    }
+
+    #[test]
+    fn compact_empty_is_free() {
+        let mut g = gpu();
+        let (out, end) = compact::<u32, _>(&mut g, SimTime::ZERO, &[], |_, _| true).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(end, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,113 @@
+//! Element traits shared by the primitives.
+
+/// A value that scans and reductions can combine with `+`.
+///
+/// Implemented for the unsigned/signed integers and floats the GPMR
+/// pipeline uses. `ZERO` is the additive identity.
+pub trait AddElem: Copy + Default + Send + Sync + 'static {
+    /// The additive identity.
+    const ZERO: Self;
+    /// Combine two values.
+    fn add(a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_add_elem_int {
+    ($($t:ty),*) => {$(
+        impl AddElem for $t {
+            const ZERO: Self = 0;
+            #[inline]
+            fn add(a: Self, b: Self) -> Self { a.wrapping_add(b) }
+        }
+    )*};
+}
+
+impl_add_elem_int!(u32, u64, i32, i64, usize);
+
+impl AddElem for f32 {
+    const ZERO: Self = 0.0;
+    #[inline]
+    fn add(a: Self, b: Self) -> Self {
+        a + b
+    }
+}
+
+impl AddElem for f64 {
+    const ZERO: Self = 0.0;
+    #[inline]
+    fn add(a: Self, b: Self) -> Self {
+        a + b
+    }
+}
+
+/// A key type a radix sort can process: mapped to an order-preserving
+/// unsigned integer.
+pub trait RadixKey: Copy + Send + Sync + 'static {
+    /// Significant bits in the radix representation.
+    const BITS: u32;
+    /// Order-preserving mapping into `u64` (ascending key order equals
+    /// ascending radix order).
+    fn radix(self) -> u64;
+}
+
+impl RadixKey for u32 {
+    const BITS: u32 = 32;
+    #[inline]
+    fn radix(self) -> u64 {
+        self as u64
+    }
+}
+
+impl RadixKey for u64 {
+    const BITS: u32 = 64;
+    #[inline]
+    fn radix(self) -> u64 {
+        self
+    }
+}
+
+impl RadixKey for i32 {
+    const BITS: u32 = 32;
+    #[inline]
+    fn radix(self) -> u64 {
+        // Bias so that negative numbers order below positive ones.
+        (self as u32 ^ 0x8000_0000) as u64
+    }
+}
+
+impl RadixKey for i64 {
+    const BITS: u32 = 64;
+    #[inline]
+    fn radix(self) -> u64 {
+        self as u64 ^ 0x8000_0000_0000_0000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_elem_identity_and_combine() {
+        assert_eq!(u32::add(u32::ZERO, 7), 7);
+        assert_eq!(f64::add(1.5, 2.5), 4.0);
+        assert_eq!(i64::add(-2, 5), 3);
+    }
+
+    #[test]
+    fn signed_radix_preserves_order() {
+        let mut vals = vec![-5i32, 3, -1, 0, i32::MIN, i32::MAX];
+        let mut by_radix = vals.clone();
+        vals.sort();
+        by_radix.sort_by_key(|v| v.radix());
+        assert_eq!(vals, by_radix);
+    }
+
+    #[test]
+    fn signed64_radix_preserves_order() {
+        let mut vals = vec![-5i64, 3, -1, 0, i64::MIN, i64::MAX];
+        let mut by_radix = vals.clone();
+        vals.sort();
+        by_radix.sort_by_key(|v| v.radix());
+        assert_eq!(vals, by_radix);
+    }
+}

@@ -1,0 +1,108 @@
+//! Device-wide histogram: per-block shared-memory counters merged across
+//! the grid. The GPMR radix sort builds on this, and applications (Sparse
+//! Integer Occurrence's reduce sanity checks, tests) use it directly.
+
+use gpmr_sim_gpu::{Gpu, KernelCost, LaunchConfig, SimGpuResult, SimTime};
+
+/// Items processed per histogram block.
+pub const HISTOGRAM_ITEMS_PER_BLOCK: usize = 4096;
+
+/// Histogram `input` into `bins` buckets using `bin_of` (values mapping
+/// outside `0..bins` are counted in the last bin). Returns counts and the
+/// completion time.
+pub fn histogram<T, F>(
+    gpu: &mut Gpu,
+    at: SimTime,
+    input: &[T],
+    bins: usize,
+    bin_of: F,
+) -> SimGpuResult<(Vec<u64>, SimTime)>
+where
+    T: Copy + Send + Sync + 'static,
+    F: Fn(&T) -> usize + Sync,
+{
+    let bins = bins.max(1);
+    if input.is_empty() {
+        return Ok((vec![0; bins], at));
+    }
+    // Per-block shared-memory histograms; 4-byte counters.
+    let shared = (bins * 4).min(16 * 1024) as u32;
+    let cfg = LaunchConfig::for_items(input.len(), HISTOGRAM_ITEMS_PER_BLOCK, 256)
+        .with_shared_bytes(shared);
+
+    let (locals, r1) = gpu.launch(at, &cfg, |ctx| {
+        let range = ctx.item_range(input.len());
+        ctx.charge_read::<T>(range.len());
+        // One shared-memory atomic per item, modelled as 2 ops each.
+        ctx.charge_flops(2 * range.len() as u64);
+        let mut counts = vec![0u64; bins];
+        for i in range {
+            let b = bin_of(&input[i]).min(bins - 1);
+            counts[b] += 1;
+        }
+        // Flush local histogram to global memory.
+        ctx.charge_write::<u32>(bins);
+        counts
+    })?;
+
+    // Merge per-block histograms (bins x blocks reads, bins writes).
+    let blocks = locals.outputs.len();
+    let merge_cost = KernelCost {
+        flops: (bins * blocks) as u64,
+        bytes_coalesced: ((bins * blocks + bins) * 4) as u64,
+        ..KernelCost::ZERO
+    };
+    let r2 = gpu.charge_compute(r1.end, &merge_cost, 1.0);
+
+    let mut out = vec![0u64; bins];
+    for local in locals.outputs {
+        for (o, c) in out.iter_mut().zip(local) {
+            *o += c;
+        }
+    }
+    Ok((out, r2.end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpmr_sim_gpu::GpuSpec;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuSpec::gt200())
+    }
+
+    #[test]
+    fn histogram_counts_correctly() {
+        let mut g = gpu();
+        let input: Vec<u32> = (0..60_000).map(|i| i % 10).collect();
+        let (counts, end) =
+            histogram(&mut g, SimTime::ZERO, &input, 10, |&v| v as usize).unwrap();
+        assert_eq!(counts, vec![6000; 10]);
+        assert!(end > SimTime::ZERO);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_to_last_bin() {
+        let mut g = gpu();
+        let input = vec![99u32; 50];
+        let (counts, _) = histogram(&mut g, SimTime::ZERO, &input, 4, |&v| v as usize).unwrap();
+        assert_eq!(counts, vec![0, 0, 0, 50]);
+    }
+
+    #[test]
+    fn empty_input_gives_zero_bins() {
+        let mut g = gpu();
+        let (counts, end) = histogram::<u32, _>(&mut g, SimTime::ZERO, &[], 8, |_| 0).unwrap();
+        assert_eq!(counts, vec![0; 8]);
+        assert_eq!(end, SimTime::ZERO);
+    }
+
+    #[test]
+    fn total_count_is_preserved() {
+        let mut g = gpu();
+        let input: Vec<u64> = (0..12_345).map(|i| i * 2654435761 % 97).collect();
+        let (counts, _) = histogram(&mut g, SimTime::ZERO, &input, 97, |&v| v as usize).unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 12_345);
+    }
+}

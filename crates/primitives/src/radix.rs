@@ -1,0 +1,304 @@
+//! GPU radix sort, after Satish/Harris/Garland — the CUDPP sort GPMR uses
+//! as its default Sorter for integer-based keys.
+//!
+//! Least-significant-digit counting sort over 8-bit digits. Each pass runs
+//! two kernels (per-block digit histograms, then a stable scatter) plus a
+//! digit-major scan of the histogram matrix; all three charge the compute
+//! timeline. The scatter's writes are inherently uncoalesced and are
+//! charged as such — this is why Sort is a visible slice of the paper's
+//! Figure 2 runtime breakdown.
+
+use gpmr_sim_gpu::{Gpu, KernelCost, LaunchConfig, SimGpuResult, SimTime};
+
+use crate::elem::RadixKey;
+use crate::scan::reduce;
+
+/// Items processed per sort block.
+pub const SORT_ITEMS_PER_BLOCK: usize = 4096;
+const DIGIT_BITS: u32 = 8;
+const DIGITS: usize = 1 << DIGIT_BITS;
+
+/// Sort `keys` ascending, carrying `vals` along, auto-detecting the number
+/// of significant key bits (one reduction pass, like CUDPP's bit-range
+/// optimization). Stable. Returns sorted keys, reordered values, and the
+/// completion time.
+///
+/// ```
+/// use gpmr_primitives::sort_pairs;
+/// use gpmr_sim_gpu::{Gpu, GpuSpec, SimTime};
+///
+/// let mut gpu = Gpu::new(GpuSpec::gt200());
+/// let keys = vec![9u32, 1, 5, 1];
+/// let vals = vec![90u32, 10, 50, 11];
+/// let (k, v, t) = sort_pairs(&mut gpu, SimTime::ZERO, &keys, &vals).unwrap();
+/// assert_eq!(k, vec![1, 1, 5, 9]);
+/// assert_eq!(v, vec![10, 11, 50, 90]); // stable
+/// assert!(t > SimTime::ZERO); // the sort cost simulated device time
+/// ```
+pub fn sort_pairs<K, V>(
+    gpu: &mut Gpu,
+    at: SimTime,
+    keys: &[K],
+    vals: &[V],
+) -> SimGpuResult<(Vec<K>, Vec<V>, SimTime)>
+where
+    K: RadixKey,
+    V: Copy + Send + Sync + 'static,
+{
+    // Find the maximum radix to bound the number of passes.
+    let (max_radix, t) = max_radix(gpu, at, keys)?;
+    let bits = if max_radix == 0 {
+        1
+    } else {
+        64 - max_radix.leading_zeros()
+    };
+    sort_pairs_with_bits(gpu, t, keys, vals, bits)
+}
+
+/// Sort with an explicit significant-bit count (use when the caller knows
+/// the key range, e.g. a partitioner that already bounded keys).
+pub fn sort_pairs_with_bits<K, V>(
+    gpu: &mut Gpu,
+    at: SimTime,
+    keys: &[K],
+    vals: &[V],
+    significant_bits: u32,
+) -> SimGpuResult<(Vec<K>, Vec<V>, SimTime)>
+where
+    K: RadixKey,
+    V: Copy + Send + Sync + 'static,
+{
+    assert_eq!(
+        keys.len(),
+        vals.len(),
+        "keys and values must have equal length"
+    );
+    if keys.len() <= 1 {
+        return Ok((keys.to_vec(), vals.to_vec(), at));
+    }
+    let passes = significant_bits.clamp(1, K::BITS).div_ceil(DIGIT_BITS);
+
+    let mut cur_keys: Vec<K> = keys.to_vec();
+    let mut cur_vals: Vec<V> = vals.to_vec();
+    let mut t = at;
+
+    for pass in 0..passes {
+        let shift = pass * DIGIT_BITS;
+        let (k, v, end) = counting_pass(gpu, t, &cur_keys, &cur_vals, shift)?;
+        cur_keys = k;
+        cur_vals = v;
+        t = end;
+    }
+    Ok((cur_keys, cur_vals, t))
+}
+
+/// Sort keys only (values are implicit indices nobody needs).
+pub fn sort_keys<K: RadixKey>(
+    gpu: &mut Gpu,
+    at: SimTime,
+    keys: &[K],
+) -> SimGpuResult<(Vec<K>, SimTime)> {
+    // Carry zero-sized values: unit type costs nothing to move.
+    let vals = vec![(); keys.len()];
+    let (k, _, t) = sort_pairs(gpu, at, keys, &vals)?;
+    Ok((k, t))
+}
+
+fn max_radix<K: RadixKey>(
+    gpu: &mut Gpu,
+    at: SimTime,
+    keys: &[K],
+) -> SimGpuResult<(u64, SimTime)> {
+    if keys.is_empty() {
+        return Ok((0, at));
+    }
+    // A dedicated max-reduction kernel: same traffic as a sum reduction.
+    let radixes: Vec<u64> = keys.iter().map(|k| k.radix()).collect();
+    let (_, t) = reduce(gpu, at, &radixes)?;
+    let max = radixes.into_iter().max().unwrap_or(0);
+    Ok((max, t))
+}
+
+/// One stable counting-sort pass on an 8-bit digit at `shift`.
+fn counting_pass<K, V>(
+    gpu: &mut Gpu,
+    at: SimTime,
+    keys: &[K],
+    vals: &[V],
+    shift: u32,
+) -> SimGpuResult<(Vec<K>, Vec<V>, SimTime)>
+where
+    K: RadixKey,
+    V: Copy + Send + Sync + 'static,
+{
+    let n = keys.len();
+    let cfg = LaunchConfig::for_items(n, SORT_ITEMS_PER_BLOCK, 256)
+        .with_shared_bytes((DIGITS * 4) as u32);
+
+    // Kernel 1: per-block, bucket (key, value) pairs by digit. This fuses
+    // the histogram and local ordering; the global stable order is
+    // digit-major then block-major then local order.
+    let (buckets, r1) = gpu.launch(at, &cfg, |ctx| {
+        let range = ctx.item_range(n);
+        ctx.charge_read::<K>(range.len());
+        ctx.charge_read::<V>(range.len());
+        ctx.charge_flops(3 * range.len() as u64); // digit extract + shared atomic
+        let mut local: Vec<Vec<(K, V)>> = vec![Vec::new(); DIGITS];
+        for i in range {
+            let d = ((keys[i].radix() >> shift) & (DIGITS as u64 - 1)) as usize;
+            local[d].push((keys[i], vals[i]));
+        }
+        local
+    })?;
+
+    // Digit-major exclusive scan over the (digit x block) histogram.
+    let blocks = buckets.outputs.len();
+    let scan_cost = KernelCost {
+        flops: (DIGITS * blocks) as u64,
+        bytes_coalesced: (2 * DIGITS * blocks * 4) as u64,
+        ..KernelCost::ZERO
+    };
+    let r2 = gpu.charge_compute(r1.end, &scan_cost, 1.0);
+
+    // Kernel 2 (scatter): each pair lands at its scanned offset. Writes are
+    // scattered across the output — charged uncoalesced, reads coalesced.
+    let pair_bytes = std::mem::size_of::<K>() + std::mem::size_of::<V>();
+    let scatter_cost = KernelCost {
+        flops: 2 * n as u64,
+        bytes_coalesced: (n * pair_bytes) as u64,
+        bytes_uncoalesced: (n * pair_bytes) as u64,
+        ..KernelCost::ZERO
+    };
+    let r3 = gpu.charge_compute(r2.end, &scatter_cost, 1.0);
+
+    // Assemble the stable digit-major order (this *is* the scatter).
+    let mut out_keys = Vec::with_capacity(n);
+    let mut out_vals = Vec::with_capacity(n);
+    for d in 0..DIGITS {
+        for block in &buckets.outputs {
+            for &(k, v) in &block[d] {
+                out_keys.push(k);
+                out_vals.push(v);
+            }
+        }
+    }
+    Ok((out_keys, out_vals, r3.end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpmr_sim_gpu::GpuSpec;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuSpec::gt200())
+    }
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<u32> {
+        let mut x = seed.max(1);
+        (0..n)
+            .map(|_| {
+                // xorshift64
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 16) as u32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sorts_random_u32_keys() {
+        let mut g = gpu();
+        let keys = pseudo_random(50_000, 42);
+        let (sorted, end) = sort_keys(&mut g, SimTime::ZERO, &keys).unwrap();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+        assert!(end > SimTime::ZERO);
+    }
+
+    #[test]
+    fn pairs_travel_with_their_keys() {
+        let mut g = gpu();
+        let keys = pseudo_random(10_000, 7);
+        let vals: Vec<u32> = keys.iter().map(|&k| k.wrapping_mul(3)).collect();
+        let (sk, sv, _) = sort_pairs(&mut g, SimTime::ZERO, &keys, &vals).unwrap();
+        for (k, v) in sk.iter().zip(&sv) {
+            assert_eq!(*v, k.wrapping_mul(3));
+        }
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let mut g = gpu();
+        // Many duplicate keys; values record original position.
+        let keys: Vec<u32> = (0..20_000u32).map(|i| i % 16).collect();
+        let vals: Vec<u32> = (0..20_000).collect();
+        let (sk, sv, _) = sort_pairs(&mut g, SimTime::ZERO, &keys, &vals).unwrap();
+        for w in sk.windows(2).zip(sv.windows(2)) {
+            let (kw, vw) = w;
+            if kw[0] == kw[1] {
+                assert!(vw[0] < vw[1], "stability violated");
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_keys_use_fewer_passes() {
+        let mut g = gpu();
+        let keys: Vec<u32> = (0..30_000u32).map(|i| (i * 37) % 200).collect();
+        let k1 = g.stats().kernels;
+        let (sorted, _) = sort_keys(&mut g, SimTime::ZERO, &keys).unwrap();
+        let launches_narrow = g.stats().kernels - k1;
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+
+        // Full-width keys need four passes; 8-bit keys only one.
+        let wide = pseudo_random(30_000, 3);
+        let k2 = g.stats().kernels;
+        sort_keys(&mut g, SimTime::ZERO, &wide).unwrap();
+        let launches_wide = g.stats().kernels - k2;
+        assert!(launches_wide > launches_narrow);
+    }
+
+    #[test]
+    fn explicit_bits_variant_sorts() {
+        let mut g = gpu();
+        let keys: Vec<u64> = (0..5000u64).rev().collect();
+        let vals: Vec<u8> = (0..5000).map(|i| (i % 256) as u8).collect();
+        let (sk, sv, _) =
+            sort_pairs_with_bits(&mut g, SimTime::ZERO, &keys, &vals, 13).unwrap();
+        assert_eq!(sk[0], 0);
+        assert_eq!(sk[4999], 4999);
+        assert_eq!(sv[0], (4999 % 256) as u8);
+    }
+
+    #[test]
+    fn signed_keys_sort_correctly() {
+        let mut g = gpu();
+        let keys: Vec<i32> = vec![5, -3, 0, -100, 88, -1, i32::MIN, i32::MAX];
+        let (sorted, _) = sort_keys(&mut g, SimTime::ZERO, &keys).unwrap();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        let mut g = gpu();
+        let (empty, t) = sort_keys::<u32>(&mut g, SimTime::ZERO, &[]).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(t, SimTime::ZERO);
+        let (one, _) = sort_keys(&mut g, SimTime::ZERO, &[9u32]).unwrap();
+        assert_eq!(one, vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let mut g = gpu();
+        let _ = sort_pairs_with_bits(&mut g, SimTime::ZERO, &[1u32, 2], &[1u32], 8);
+    }
+}

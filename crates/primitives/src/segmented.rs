@@ -1,0 +1,240 @@
+//! Segmented scan and segmented reduction.
+//!
+//! CUDPP's segmented scan (Sengupta et al.) is the workhorse behind
+//! GPU sparse-matrix products and quicksort; GPMR-style reducers use the
+//! segmented *reduction* directly: given values partitioned into
+//! contiguous segments (the post-sort layout of a key's values), produce
+//! one result per segment in a single pass.
+
+use gpmr_sim_gpu::{Gpu, KernelCost, LaunchConfig, SimGpuResult, SimTime};
+
+use crate::elem::AddElem;
+use crate::segments::Segments;
+
+/// Items processed per segmented-op block.
+pub const SEGMENTED_ITEMS_PER_BLOCK: usize = 4096;
+
+/// Segmented inclusive scan: within each segment `out[i]` is the running
+/// sum from the segment start through `i`. `flags[i]` is true where a new
+/// segment begins (`flags[0]` is implicitly a segment start).
+pub fn segmented_inclusive_scan<T: AddElem>(
+    gpu: &mut Gpu,
+    at: SimTime,
+    values: &[T],
+    flags: &[bool],
+) -> SimGpuResult<(Vec<T>, SimTime)> {
+    assert_eq!(
+        values.len(),
+        flags.len(),
+        "values and flags must have equal length"
+    );
+    if values.is_empty() {
+        return Ok((Vec::new(), at));
+    }
+    let n = values.len();
+    let cfg = LaunchConfig::for_items(n, SEGMENTED_ITEMS_PER_BLOCK, 256);
+
+    // Phase 1: per-block scan with carry metadata: each block returns its
+    // scanned slice plus (sum of its trailing open segment, whether the
+    // block contains any segment start).
+    let (blocks, r1) = gpu.launch(at, &cfg, |ctx| {
+        let range = ctx.item_range(n);
+        ctx.charge_read::<T>(range.len());
+        ctx.charge_read::<u8>(range.len());
+        ctx.charge_write::<T>(range.len());
+        ctx.charge_flops(2 * range.len() as u64);
+        let mut out = Vec::with_capacity(range.len());
+        let mut acc = T::ZERO;
+        let mut open_from_start = true;
+        for i in range {
+            if flags[i] {
+                acc = T::ZERO;
+                open_from_start = false;
+            }
+            acc = T::add(acc, values[i]);
+            out.push(acc);
+        }
+        (out, acc, open_from_start)
+    })?;
+
+    // Phase 2: carry propagation across blocks (small, modelled).
+    let nb = blocks.outputs.len();
+    let carry_cost = KernelCost {
+        flops: 2 * nb as u64,
+        bytes_coalesced: (2 * nb * std::mem::size_of::<T>()) as u64,
+        ..KernelCost::ZERO
+    };
+    let r2 = gpu.charge_compute(r1.end, &carry_cost, 1.0);
+
+    let mut out = Vec::with_capacity(n);
+    let mut carry = T::ZERO;
+    for (scanned, block_acc, open_from_start) in blocks.outputs {
+        let base = out.len();
+        // Elements before the block's first segment start continue the
+        // incoming segment: add the carry to them.
+        let mut leading = true;
+        for (j, v) in scanned.into_iter().enumerate() {
+            if flags[base + j] {
+                leading = false;
+            }
+            out.push(if leading { T::add(carry, v) } else { v });
+        }
+        carry = if open_from_start {
+            T::add(carry, block_acc)
+        } else {
+            block_acc
+        };
+    }
+    Ok((out, r2.end))
+}
+
+/// Segmented reduction: one sum per segment of [`Segments`]-described
+/// `values` (the post-sort value layout). A single coalesced pass,
+/// regardless of segment-length skew — the balanced alternative to
+/// thread-per-key when value counts vary wildly.
+pub fn segmented_reduce<T: AddElem, K>(
+    gpu: &mut Gpu,
+    at: SimTime,
+    segs: &Segments<K>,
+    values: &[T],
+) -> SimGpuResult<(Vec<T>, SimTime)> {
+    if segs.is_empty() {
+        return Ok((Vec::new(), at));
+    }
+    let n = values.len();
+    let cfg = LaunchConfig::for_items(n.max(1), SEGMENTED_ITEMS_PER_BLOCK, 256);
+
+    // One pass over the values; block-local partial sums per overlapping
+    // segment are merged on the carry path (charged in the same launch).
+    let (_, res) = gpu.launch(at, &cfg, |ctx| {
+        let range = ctx.item_range(n);
+        ctx.charge_read::<T>(range.len());
+        ctx.charge_flops(range.len() as u64);
+    })?;
+    let merge_cost = KernelCost {
+        flops: segs.len() as u64,
+        bytes_coalesced: (segs.len() * (std::mem::size_of::<T>() + 8)) as u64,
+        ..KernelCost::ZERO
+    };
+    let r2 = gpu.charge_compute(res.end, &merge_cost, 1.0);
+
+    let mut out = Vec::with_capacity(segs.len());
+    for i in 0..segs.len() {
+        let r = segs.range(i);
+        let mut acc = T::ZERO;
+        for v in &values[r] {
+            acc = T::add(acc, *v);
+        }
+        out.push(acc);
+    }
+    Ok((out, r2.end))
+}
+
+/// Build segment-start flags from a [`Segments`] description (test and
+/// interop helper).
+pub fn flags_from_segments<K>(segs: &Segments<K>, len: usize) -> Vec<bool> {
+    let mut flags = vec![false; len];
+    for i in 0..segs.len() {
+        let start = segs.offsets[i];
+        if start < len {
+            flags[start] = true;
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpmr_sim_gpu::GpuSpec;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuSpec::gt200())
+    }
+
+    fn reference_segmented_scan(values: &[u64], flags: &[bool]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(values.len());
+        let mut acc = 0u64;
+        for i in 0..values.len() {
+            if flags[i] {
+                acc = 0;
+            }
+            acc += values[i];
+            out.push(acc);
+        }
+        out
+    }
+
+    #[test]
+    fn segmented_scan_matches_reference() {
+        let mut g = gpu();
+        let n = 20_000;
+        let values: Vec<u64> = (0..n as u64).map(|i| i % 7 + 1).collect();
+        let flags: Vec<bool> = (0..n).map(|i| i % 113 == 0).collect();
+        let (out, end) = segmented_inclusive_scan(&mut g, SimTime::ZERO, &values, &flags).unwrap();
+        assert_eq!(out, reference_segmented_scan(&values, &flags));
+        assert!(end > SimTime::ZERO);
+    }
+
+    #[test]
+    fn segments_spanning_block_boundaries() {
+        let mut g = gpu();
+        // One giant segment spanning many blocks: tests carry chains.
+        let n = 3 * SEGMENTED_ITEMS_PER_BLOCK + 17;
+        let values = vec![1u64; n];
+        let mut flags = vec![false; n];
+        flags[0] = true;
+        let (out, _) = segmented_inclusive_scan(&mut g, SimTime::ZERO, &values, &flags).unwrap();
+        assert_eq!(out[n - 1], n as u64);
+        assert_eq!(out[SEGMENTED_ITEMS_PER_BLOCK], (SEGMENTED_ITEMS_PER_BLOCK + 1) as u64);
+    }
+
+    #[test]
+    fn every_element_its_own_segment() {
+        let mut g = gpu();
+        let values: Vec<u32> = (0..5000).collect();
+        let flags = vec![true; 5000];
+        let (out, _) = segmented_inclusive_scan(&mut g, SimTime::ZERO, &values, &flags).unwrap();
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn empty_inputs_are_free() {
+        let mut g = gpu();
+        let (out, t) =
+            segmented_inclusive_scan::<u32>(&mut g, SimTime::ZERO, &[], &[]).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(t, SimTime::ZERO);
+    }
+
+    #[test]
+    fn segmented_reduce_sums_each_segment() {
+        let mut g = gpu();
+        let segs = Segments {
+            keys: vec![1u32, 5, 9],
+            offsets: vec![0, 3, 4, 10],
+        };
+        let values: Vec<u64> = (1..=10).collect();
+        let (out, end) = segmented_reduce(&mut g, SimTime::ZERO, &segs, &values).unwrap();
+        assert_eq!(out, vec![1 + 2 + 3, 4, (5..=10).sum::<u64>()]);
+        assert!(end > SimTime::ZERO);
+    }
+
+    #[test]
+    fn flags_round_trip_with_segments() {
+        let segs = Segments {
+            keys: vec![0u32, 1, 2],
+            offsets: vec![0, 2, 5, 9],
+        };
+        let flags = flags_from_segments(&segs, 9);
+        let expect = [true, false, true, false, false, true, false, false, false];
+        assert_eq!(flags, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let mut g = gpu();
+        let _ = segmented_inclusive_scan(&mut g, SimTime::ZERO, &[1u32], &[true, false]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Segment extraction from sorted key sequences.
+//!
+//! After GPMR's Sort stage, duplicate keys are discarded: "because of the
+//! sort, each key's value is stored contiguously, hence we only need the
+//! number of values and the index of the first value to describe each
+//! sequence" (paper §4.2). [`extract_segments`] produces exactly that
+//! description via a boundary-marking kernel plus a compaction.
+
+use gpmr_sim_gpu::{Gpu, KernelCost, LaunchConfig, SimGpuResult, SimTime};
+
+/// Items processed per boundary-marking block.
+pub const SEGMENT_ITEMS_PER_BLOCK: usize = 4096;
+
+/// The unique keys of a sorted sequence and where each key's values live.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segments<K> {
+    /// Unique keys, ascending.
+    pub keys: Vec<K>,
+    /// `offsets.len() == keys.len() + 1`; key `i`'s values occupy
+    /// `offsets[i]..offsets[i + 1]` in the sorted value array.
+    pub offsets: Vec<usize>,
+}
+
+impl<K> Segments<K> {
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if there are no keys.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The value range of segment `i`.
+    pub fn range(&self, i: usize) -> std::ops::Range<usize> {
+        self.offsets[i]..self.offsets[i + 1]
+    }
+
+    /// Number of values in segment `i`.
+    pub fn count(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Iterate `(key, value_range)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, std::ops::Range<usize>)> {
+        self.keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k, self.range(i)))
+    }
+}
+
+/// Extract unique keys and value segments from `sorted_keys` (which must
+/// be sorted; equal keys adjacent). Returns the segments and completion
+/// time.
+///
+/// ```
+/// use gpmr_primitives::extract_segments;
+/// use gpmr_sim_gpu::{Gpu, GpuSpec, SimTime};
+///
+/// let mut gpu = Gpu::new(GpuSpec::gt200());
+/// let (segs, _) =
+///     extract_segments(&mut gpu, SimTime::ZERO, &[2u32, 2, 7, 7, 7]).unwrap();
+/// assert_eq!(segs.keys, vec![2, 7]);
+/// assert_eq!(segs.range(1), 2..5); // key 7's values
+/// ```
+pub fn extract_segments<K>(
+    gpu: &mut Gpu,
+    at: SimTime,
+    sorted_keys: &[K],
+) -> SimGpuResult<(Segments<K>, SimTime)>
+where
+    K: Copy + PartialEq + Send + Sync + 'static,
+{
+    if sorted_keys.is_empty() {
+        return Ok((
+            Segments {
+                keys: Vec::new(),
+                offsets: vec![0],
+            },
+            at,
+        ));
+    }
+    let n = sorted_keys.len();
+    let cfg = LaunchConfig::for_items(n, SEGMENT_ITEMS_PER_BLOCK, 256);
+
+    // Kernel: mark segment starts (k[i] != k[i-1]); each block emits the
+    // boundary indices in its range.
+    let (bounds, r1) = gpu.launch(at, &cfg, |ctx| {
+        let range = ctx.item_range(n);
+        // Reads its range plus one predecessor element.
+        ctx.charge_read::<K>(range.len() + 1);
+        ctx.charge_flops(range.len() as u64);
+        let mut local = Vec::new();
+        for i in range {
+            if i == 0 || sorted_keys[i] != sorted_keys[i - 1] {
+                local.push(i);
+            }
+        }
+        local
+    })?;
+
+    // Compact boundary indices (scan + scatter, small).
+    let unique: usize = bounds.outputs.iter().map(Vec::len).sum();
+    let compact_cost = KernelCost {
+        flops: cfg.grid_blocks as u64 + unique as u64,
+        bytes_coalesced: (unique * std::mem::size_of::<usize>() * 2) as u64,
+        ..KernelCost::ZERO
+    };
+    let r2 = gpu.charge_compute(r1.end, &compact_cost, 1.0);
+
+    let mut offsets = Vec::with_capacity(unique + 1);
+    let mut keys = Vec::with_capacity(unique);
+    for block in bounds.outputs {
+        for i in block {
+            offsets.push(i);
+            keys.push(sorted_keys[i]);
+        }
+    }
+    offsets.push(n);
+    Ok((Segments { keys, offsets }, r2.end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpmr_sim_gpu::GpuSpec;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuSpec::gt200())
+    }
+
+    #[test]
+    fn segments_of_runs() {
+        let mut g = gpu();
+        let keys = [1u32, 1, 1, 4, 4, 9, 9, 9, 9, 12];
+        let (segs, end) = extract_segments(&mut g, SimTime::ZERO, &keys).unwrap();
+        assert_eq!(segs.keys, vec![1, 4, 9, 12]);
+        assert_eq!(segs.offsets, vec![0, 3, 5, 9, 10]);
+        assert_eq!(segs.count(2), 4);
+        assert_eq!(segs.range(1), 3..5);
+        assert!(end > SimTime::ZERO);
+    }
+
+    #[test]
+    fn all_unique_keys() {
+        let mut g = gpu();
+        let keys: Vec<u32> = (0..10_000).collect();
+        let (segs, _) = extract_segments(&mut g, SimTime::ZERO, &keys).unwrap();
+        assert_eq!(segs.len(), 10_000);
+        assert!(segs.iter().all(|(_, r)| r.len() == 1));
+    }
+
+    #[test]
+    fn single_giant_run() {
+        let mut g = gpu();
+        let keys = vec![7u64; 50_000];
+        let (segs, _) = extract_segments(&mut g, SimTime::ZERO, &keys).unwrap();
+        assert_eq!(segs.keys, vec![7]);
+        assert_eq!(segs.offsets, vec![0, 50_000]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut g = gpu();
+        let (segs, end) = extract_segments::<u32>(&mut g, SimTime::ZERO, &[]).unwrap();
+        assert!(segs.is_empty());
+        assert_eq!(segs.offsets, vec![0]);
+        assert_eq!(end, SimTime::ZERO);
+    }
+
+    #[test]
+    fn boundaries_across_block_edges() {
+        let mut g = gpu();
+        // Runs exactly the size of a block partition stress the i-1 read.
+        let mut keys = Vec::new();
+        for run in 0..10u32 {
+            keys.extend(std::iter::repeat(run).take(SEGMENT_ITEMS_PER_BLOCK));
+        }
+        let (segs, _) = extract_segments(&mut g, SimTime::ZERO, &keys).unwrap();
+        assert_eq!(segs.len(), 10);
+        for i in 0..10 {
+            assert_eq!(segs.count(i), SEGMENT_ITEMS_PER_BLOCK);
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! The simulated GPU device.
+//!
+//! A [`Gpu`] ties together a hardware spec, a capacity-enforced memory
+//! allocator, a compute timeline, and a (possibly shared) PCI-e link.
+//! All operations are *timed*: they take an earliest-start instant and
+//! return when they finish on the simulated clock, so a caller (the GPMR
+//! engine) can express overlap — e.g. uploading the next chunk while the
+//! current map kernel runs — exactly as CUDA streams would.
+
+use crate::cost::{kernel_time, KernelCost};
+use crate::error::SimGpuResult;
+use crate::kernel::{run_blocks, BlockCtx, Launch, LaunchConfig};
+use crate::link::{Direction, SharedLink};
+use crate::memory::{DeviceBuffer, DeviceMemory};
+use crate::occupancy::occupancy;
+use crate::spec::GpuSpec;
+use crate::time::{Reservation, SimDuration, SimTime, Timeline};
+
+/// Cumulative activity counters for one device.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GpuStats {
+    /// Kernels launched.
+    pub kernels: u64,
+    /// Bytes uploaded host-to-device.
+    pub h2d_bytes: u64,
+    /// Bytes downloaded device-to-host.
+    pub d2h_bytes: u64,
+}
+
+/// One simulated GPU.
+pub struct Gpu {
+    /// Hardware description.
+    pub spec: GpuSpec,
+    /// Global-memory allocator for this device.
+    pub mem: DeviceMemory,
+    compute: Timeline,
+    link: SharedLink,
+    stats: GpuStats,
+    /// Host worker threads used to execute kernel blocks. Defaults to the
+    /// machine's available parallelism.
+    pub worker_threads: usize,
+}
+
+impl Gpu {
+    /// A device with a private PCI-e gen-1 link.
+    pub fn new(spec: GpuSpec) -> Self {
+        Self::with_link(spec, SharedLink::default())
+    }
+
+    /// A device attached to an existing (possibly shared) link.
+    pub fn with_link(spec: GpuSpec, link: SharedLink) -> Self {
+        let mem = DeviceMemory::new(spec.mem_capacity);
+        Gpu {
+            spec,
+            mem,
+            compute: Timeline::new(),
+            link,
+            stats: GpuStats::default(),
+            worker_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Launch an infallible kernel: run `f` once per block (in parallel on
+    /// host threads, deterministically), charge its aggregate cost on the
+    /// compute timeline starting no earlier than `at`, and return per-block
+    /// outputs with the reservation window.
+    pub fn launch<R, F>(
+        &mut self,
+        at: SimTime,
+        cfg: &LaunchConfig,
+        f: F,
+    ) -> SimGpuResult<(Launch<R>, Reservation)>
+    where
+        R: Send,
+        F: Fn(&mut BlockCtx) -> R + Sync,
+    {
+        self.try_launch(at, cfg, |ctx| Ok(f(ctx)))
+    }
+
+    /// Launch a kernel whose blocks may fail (e.g. shared-memory
+    /// over-allocation). The first error aborts the launch.
+    pub fn try_launch<R, F>(
+        &mut self,
+        at: SimTime,
+        cfg: &LaunchConfig,
+        f: F,
+    ) -> SimGpuResult<(Launch<R>, Reservation)>
+    where
+        R: Send,
+        F: Fn(&mut BlockCtx) -> SimGpuResult<R> + Sync,
+    {
+        let (outputs, cost) = run_blocks(&self.spec, cfg, self.worker_threads, &f)?;
+        let occ = occupancy(&self.spec, cfg);
+        let dur = kernel_time(&self.spec, occ.fraction, &cost);
+        let res = self.compute.reserve(at, dur);
+        self.stats.kernels += 1;
+        Ok((
+            Launch {
+                outputs,
+                cost,
+                occupancy: occ.fraction,
+            },
+            res,
+        ))
+    }
+
+    /// Charge compute time directly (for modelled device work that is not
+    /// expressed as an explicit kernel, e.g. a library sort whose cost was
+    /// computed analytically).
+    pub fn charge_compute(&mut self, at: SimTime, cost: &KernelCost, occ: f64) -> Reservation {
+        let dur = kernel_time(&self.spec, occ, cost);
+        self.stats.kernels += 1;
+        self.compute.reserve(at, dur)
+    }
+
+    /// Reserve a host-to-device transfer of `bytes` on the PCI-e link.
+    pub fn h2d(&mut self, at: SimTime, bytes: u64) -> Reservation {
+        self.stats.h2d_bytes += bytes;
+        self.link.transfer(Direction::HostToDevice, at, bytes)
+    }
+
+    /// Reserve a device-to-host transfer of `bytes` on the PCI-e link.
+    pub fn d2h(&mut self, at: SimTime, bytes: u64) -> Reservation {
+        self.stats.d2h_bytes += bytes;
+        self.link.transfer(Direction::DeviceToHost, at, bytes)
+    }
+
+    /// Allocate a zeroed device buffer.
+    pub fn alloc<T: Clone + Default>(&self, len: usize) -> SimGpuResult<DeviceBuffer<T>> {
+        self.mem.alloc(len)
+    }
+
+    /// Allocate a device buffer holding a copy of `src` *without* charging
+    /// transfer time (callers pair this with [`Gpu::h2d`] when the copy
+    /// should be timed).
+    pub fn alloc_from_slice<T: Clone>(&self, src: &[T]) -> SimGpuResult<DeviceBuffer<T>> {
+        self.mem.alloc_from_slice(src)
+    }
+
+    /// Upload `src` to a new device buffer, charging PCI-e time. Returns
+    /// the buffer and the transfer reservation.
+    pub fn upload<T: Clone>(
+        &mut self,
+        at: SimTime,
+        src: &[T],
+    ) -> SimGpuResult<(DeviceBuffer<T>, Reservation)> {
+        let buf = self.mem.alloc_from_slice(src)?;
+        let res = self.h2d(at, buf.size_bytes());
+        Ok((buf, res))
+    }
+
+    /// Download a device buffer to host memory, charging PCI-e time and
+    /// freeing the device allocation. Returns the data and the transfer
+    /// reservation.
+    pub fn download<T>(&mut self, at: SimTime, buf: DeviceBuffer<T>) -> (Vec<T>, Reservation) {
+        let bytes = buf.size_bytes();
+        let res = self.d2h(at, bytes);
+        (buf.into_vec(), res)
+    }
+
+    /// Instant after which the compute engine is idle.
+    pub fn compute_free_at(&self) -> SimTime {
+        self.compute.free_at()
+    }
+
+    /// Total time the compute engine has been busy.
+    pub fn compute_busy(&self) -> SimDuration {
+        self.compute.busy_time()
+    }
+
+    /// The device's PCI-e link handle.
+    pub fn link(&self) -> &SharedLink {
+        &self.link
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> GpuStats {
+        self.stats
+    }
+
+    /// Reset the clock state (compute timeline and link) without touching
+    /// allocations. Used between jobs on a persistent device.
+    pub fn reset_clock(&mut self) {
+        self.compute.reset();
+        self.link.reset();
+        self.stats = GpuStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> Gpu {
+        Gpu::new(GpuSpec::gt200())
+    }
+
+    #[test]
+    fn launch_times_accumulate_on_compute_timeline() {
+        let mut g = gpu();
+        let cfg = LaunchConfig::grid(30, 256);
+        let (l1, r1) = g
+            .launch(SimTime::ZERO, &cfg, |ctx| {
+                ctx.charge_flops(1_000_000);
+                ctx.block_idx
+            })
+            .unwrap();
+        assert_eq!(l1.outputs.len(), 30);
+        assert!(r1.end > r1.start || r1.duration().as_secs() > 0.0);
+        let (_, r2) = g.launch(SimTime::ZERO, &cfg, |_| ()).unwrap();
+        // Second kernel waits for the first even though requested at t=0.
+        assert_eq!(r2.start, r1.end);
+        assert_eq!(g.stats().kernels, 2);
+        assert_eq!(g.compute_free_at(), r2.end);
+    }
+
+    #[test]
+    fn upload_download_round_trip_times_and_data() {
+        let mut g = gpu();
+        let data: Vec<u32> = (0..1024).collect();
+        let (buf, up) = g.upload(SimTime::ZERO, &data).unwrap();
+        assert_eq!(g.mem.used(), 4096);
+        assert!(up.duration().as_secs() > 0.0);
+        let (back, down) = g.download(up.end, buf);
+        assert_eq!(back, data);
+        assert_eq!(g.mem.used(), 0);
+        assert!(down.start >= up.end);
+        assert_eq!(g.stats().h2d_bytes, 4096);
+        assert_eq!(g.stats().d2h_bytes, 4096);
+    }
+
+    #[test]
+    fn kernel_can_produce_real_results() {
+        let mut g = gpu();
+        let input: Vec<u64> = (1..=1000).collect();
+        let cfg = LaunchConfig::for_items(input.len(), 100, 128);
+        let (launch, _) = g
+            .launch(SimTime::ZERO, &cfg, |ctx| {
+                let range = ctx.item_range(input.len());
+                ctx.charge_read::<u64>(range.len());
+                input[range].iter().sum::<u64>()
+            })
+            .unwrap();
+        let total: u64 = launch.outputs.iter().sum();
+        assert_eq!(total, 500500);
+        assert_eq!(launch.cost.bytes_coalesced, 8000);
+    }
+
+    #[test]
+    fn charge_compute_reserves_time() {
+        let mut g = gpu();
+        let cost = KernelCost {
+            bytes_coalesced: 1 << 27,
+            ..KernelCost::ZERO
+        };
+        let r = g.charge_compute(SimTime::from_secs(1.0), &cost, 1.0);
+        assert_eq!(r.start.as_secs(), 1.0);
+        assert!(r.duration().as_secs() > 1e-4);
+    }
+
+    #[test]
+    fn shared_link_causes_cross_device_contention() {
+        let link = SharedLink::default();
+        let mut a = Gpu::with_link(GpuSpec::gt200(), link.clone());
+        let mut b = Gpu::with_link(GpuSpec::gt200(), link);
+        let ra = a.h2d(SimTime::ZERO, 1 << 26);
+        let rb = b.h2d(SimTime::ZERO, 1 << 26);
+        assert_eq!(rb.start, ra.end);
+    }
+
+    #[test]
+    fn reset_clock_clears_time_but_not_memory() {
+        let mut g = gpu();
+        let _buf = g.alloc::<u8>(128).unwrap();
+        g.h2d(SimTime::ZERO, 1 << 20);
+        g.reset_clock();
+        assert_eq!(g.compute_free_at(), SimTime::ZERO);
+        assert_eq!(g.stats().h2d_bytes, 0);
+        assert_eq!(g.mem.used(), 128);
+    }
+}

@@ -1,0 +1,105 @@
+//! CUDA-style occupancy calculation.
+//!
+//! Occupancy — resident warps divided by the hardware maximum — determines
+//! how well a kernel hides memory latency. The calculator mirrors NVIDIA's
+//! spreadsheet logic: residency is limited by threads, blocks, shared
+//! memory, and registers per SM, and the binding constraint wins.
+
+use crate::kernel::LaunchConfig;
+use crate::spec::GpuSpec;
+
+/// The occupancy achieved by a launch configuration on a device.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Occupancy {
+    /// Blocks resident per SM.
+    pub blocks_per_sm: u32,
+    /// Fraction of maximum resident warps, in `(0, 1]` for a valid launch.
+    pub fraction: f64,
+}
+
+/// Compute occupancy for `cfg` on `spec`.
+///
+/// Returns a zero occupancy if the block cannot run at all (too many
+/// threads, registers, or shared memory for even one resident block);
+/// callers usually validate the launch first.
+pub fn occupancy(spec: &GpuSpec, cfg: &LaunchConfig) -> Occupancy {
+    let threads = cfg.block_threads.max(1);
+    // Warp-granular thread residency.
+    let warps_per_block = threads.div_ceil(spec.warp_size);
+    let by_warps = spec.max_warps_per_sm() / warps_per_block.max(1);
+    let by_blocks = spec.max_blocks_per_sm;
+    let by_shared = if cfg.shared_bytes == 0 {
+        u32::MAX
+    } else {
+        spec.shared_mem_per_sm / cfg.shared_bytes
+    };
+    let regs_per_block = cfg.regs_per_thread.max(1) * threads;
+    let by_regs = if regs_per_block == 0 {
+        u32::MAX
+    } else {
+        spec.registers_per_sm / regs_per_block
+    };
+
+    let blocks = by_warps.min(by_blocks).min(by_shared).min(by_regs);
+    let resident_warps = blocks * warps_per_block;
+    Occupancy {
+        blocks_per_sm: blocks,
+        fraction: resident_warps as f64 / spec.max_warps_per_sm() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(block: u32) -> LaunchConfig {
+        LaunchConfig::grid(64, block)
+    }
+
+    #[test]
+    fn small_blocks_hit_block_limit() {
+        let spec = GpuSpec::gt200();
+        // 32-thread blocks: 8-block limit binds -> 8 warps of 32 resident.
+        let occ = occupancy(&spec, &cfg(32));
+        assert_eq!(occ.blocks_per_sm, 8);
+        assert!((occ.fraction - 8.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_blocks_hit_thread_limit() {
+        let spec = GpuSpec::gt200();
+        // 512-thread blocks: 1024/512 = 2 resident blocks, 32 warps = 100%.
+        let occ = occupancy(&spec, &cfg(512));
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert!((occ.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_memory_limits_residency() {
+        let spec = GpuSpec::gt200();
+        let c = LaunchConfig::grid(64, 64).with_shared_bytes(8 * 1024);
+        let occ = occupancy(&spec, &c);
+        // 16 kB / 8 kB = 2 blocks of 2 warps = 4 warps resident.
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert!((occ.fraction - 4.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registers_limit_residency() {
+        let spec = GpuSpec::gt200();
+        let c = LaunchConfig::grid(64, 256).with_regs_per_thread(32);
+        // 256*32 = 8192 regs/block; 16384/8192 = 2 blocks = 16 warps.
+        let occ = occupancy(&spec, &c);
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert!((occ.fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_shared_mem_gives_zero() {
+        let spec = GpuSpec::gt200();
+        let c = LaunchConfig::grid(1, 64).with_shared_bytes(32 * 1024);
+        let occ = occupancy(&spec, &c);
+        assert_eq!(occ.blocks_per_sm, 0);
+        assert_eq!(occ.fraction, 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! A whole simulated GPU cluster: devices wired to shared PCI-e links and
+//! an interconnect fabric.
+//!
+//! This is the object the GPMR engine runs against. It owns one [`Gpu`]
+//! per rank, with the paper's S1070 link sharing (two GPUs per host PCI-e
+//! link) and one NIC per node.
+
+use crate::fabric::Fabric;
+use crate::topology::Topology;
+use gpmr_sim_gpu::{Gpu, GpuSpec, PcieLink, SharedLink};
+
+/// A simulated cluster of GPUs.
+pub struct Cluster {
+    topology: Topology,
+    gpus: Vec<Gpu>,
+    fabric: Fabric,
+    gpu_direct: bool,
+}
+
+impl Cluster {
+    /// Build the paper's cluster shape for `gpu_count` GPUs of type `spec`.
+    pub fn accelerator(gpu_count: u32, spec: GpuSpec) -> Self {
+        Self::new(Topology::accelerator(gpu_count), spec)
+    }
+
+    /// Build a cluster with an explicit topology.
+    pub fn new(topology: Topology, spec: GpuSpec) -> Self {
+        Self::build(topology, spec, 1.0)
+    }
+
+    /// Build the paper's cluster shape with every hardware throughput
+    /// scaled down by `scale` (workload-scaling mode: run workloads
+    /// shrunk by `scale` and obtain full-scale simulated times; see
+    /// [`GpuSpec::scaled`]). The GPU spec is scaled too.
+    pub fn accelerator_scaled(gpu_count: u32, spec: GpuSpec, scale: f64) -> Self {
+        Self::build(Topology::accelerator(gpu_count), spec.scaled(scale), scale)
+    }
+
+    /// Build with an explicitly pre-scaled GPU spec and a separate scale
+    /// for the transfer fabric (PCI-e links, NICs, host memory). Used by
+    /// workloads whose compute and traffic scale differently — Matrix
+    /// Multiplication scales compute by `d^3` but traffic by `d^2` when
+    /// matrix order shrinks by `d`.
+    pub fn custom_scaled(
+        topology: Topology,
+        spec: GpuSpec,
+        transfer_scale: f64,
+    ) -> Self {
+        Self::build(topology, spec, transfer_scale)
+    }
+
+    fn build(topology: Topology, spec: GpuSpec, scale: f64) -> Self {
+        // One shared PCI-e link per (node, link-slot) pair.
+        let mut links: Vec<Vec<SharedLink>> = (0..topology.nodes)
+            .map(|_| {
+                (0..topology.pcie_links_per_node)
+                    .map(|_| SharedLink::new(PcieLink::gen1_x16().scaled(scale)))
+                    .collect()
+            })
+            .collect();
+        let gpus = topology
+            .ranks()
+            .map(|rank| {
+                let node = topology.node_of(rank) as usize;
+                let link = topology.pcie_link_of(rank) as usize;
+                Gpu::with_link(spec.clone(), links[node][link].clone())
+            })
+            .collect();
+        // `links` handles stay alive inside the GPUs.
+        links.clear();
+        Cluster {
+            topology,
+            gpus,
+            fabric: Fabric::scaled(topology, scale),
+            gpu_direct: false,
+        }
+    }
+
+    /// Enable GPU-direct networking: the what-if hardware of the paper's
+    /// conclusion ("we hope GPU and network vendors work together to allow
+    /// sourcing and sinking by the GPU for network I/O ... GPMR would
+    /// benefit by moving intermediate data between nodes without having to
+    /// route through CPU memory"). With it on, the engine skips the PCI-e
+    /// round trips that bracket every network transfer of intermediate
+    /// pairs.
+    pub fn with_gpu_direct(mut self, enabled: bool) -> Self {
+        self.gpu_direct = enabled;
+        self
+    }
+
+    /// Whether GPU-direct networking is enabled.
+    pub fn gpu_direct(&self) -> bool {
+        self.gpu_direct
+    }
+
+    /// The cluster shape.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of ranks (GPUs).
+    pub fn size(&self) -> u32 {
+        self.topology.total_gpus
+    }
+
+    /// Borrow the GPU for `rank`.
+    pub fn gpu(&mut self, rank: u32) -> &mut Gpu {
+        &mut self.gpus[rank as usize]
+    }
+
+    /// Borrow the fabric.
+    pub fn fabric(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    /// Borrow a GPU and the fabric at once (the engine frequently needs
+    /// both while binning).
+    pub fn gpu_and_fabric(&mut self, rank: u32) -> (&mut Gpu, &mut Fabric) {
+        (&mut self.gpus[rank as usize], &mut self.fabric)
+    }
+
+    /// Reset every timeline in the cluster (between jobs).
+    pub fn reset_clocks(&mut self) {
+        for g in &mut self.gpus {
+            g.reset_clock();
+        }
+        self.fabric.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpmr_sim_gpu::SimTime;
+
+    #[test]
+    fn cluster_builds_all_ranks() {
+        let mut c = Cluster::accelerator(8, GpuSpec::gt200());
+        assert_eq!(c.size(), 8);
+        assert_eq!(c.topology().nodes, 2);
+        assert_eq!(c.gpu(7).spec.sm_count, 30);
+    }
+
+    #[test]
+    fn accelerator_gpus_have_dedicated_links() {
+        let mut c = Cluster::accelerator(4, GpuSpec::gt200());
+        let r0 = c.gpu(0).h2d(SimTime::ZERO, 64 << 20);
+        let r1 = c.gpu(1).h2d(SimTime::ZERO, 64 << 20);
+        assert_eq!(r0.start, SimTime::ZERO);
+        assert_eq!(r1.start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn paired_gpus_share_a_pcie_link_in_ablation_topology() {
+        // The physical S1070 wiring: two GPUs per host link.
+        let mut c = Cluster::new(Topology::new(1, 4, 2), GpuSpec::gt200());
+        let r0 = c.gpu(0).h2d(SimTime::ZERO, 64 << 20);
+        let r1 = c.gpu(1).h2d(SimTime::ZERO, 64 << 20);
+        assert_eq!(r1.start, r0.end);
+        // Rank 2 is on link 1: starts immediately.
+        let r2 = c.gpu(2).h2d(SimTime::ZERO, 64 << 20);
+        assert_eq!(r2.start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn gpu_direct_flag_round_trips() {
+        let c = Cluster::accelerator(2, GpuSpec::gt200());
+        assert!(!c.gpu_direct());
+        let c = c.with_gpu_direct(true);
+        assert!(c.gpu_direct());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = Cluster::accelerator(4, GpuSpec::gt200());
+        c.gpu(0).h2d(SimTime::ZERO, 1 << 20);
+        c.fabric().send(0, 4 - 1, SimTime::ZERO, 1 << 20);
+        c.reset_clocks();
+        assert_eq!(c.gpu(0).compute_free_at(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn gpu_and_fabric_split_borrow() {
+        let mut c = Cluster::accelerator(8, GpuSpec::gt200());
+        let (gpu, fabric) = c.gpu_and_fabric(0);
+        let r = gpu.d2h(SimTime::ZERO, 1 << 20);
+        let arrival = fabric.send(0, 4, r.end, 1 << 20);
+        assert!(arrival > r.end);
+    }
+}

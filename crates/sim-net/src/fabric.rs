@@ -1,0 +1,242 @@
+//! The interconnect fabric: timed point-to-point messages between ranks.
+//!
+//! GPMR's Bin substage runs on the CPU and pushes partitioned key-value
+//! buckets to their reducer ranks. The fabric computes *when* such a
+//! message arrives: cross-node messages reserve the sender's NIC send
+//! engine and the receiver's NIC receive engine (after wire latency);
+//! intra-node messages go through host memory on a per-node copy timeline.
+//! Payloads themselves travel through a [`Mailbox`] so data stays
+//! bit-exact.
+
+use crate::nic::{CpuSpec, Nic};
+use crate::topology::Topology;
+use gpmr_sim_gpu::{SimDuration, SimTime, Timeline};
+
+/// Timing model for the whole cluster interconnect.
+#[derive(Debug)]
+pub struct Fabric {
+    topology: Topology,
+    nics: Vec<Nic>,
+    /// Per-node host-memory copy engine used for intra-node exchanges.
+    local_copy: Vec<Timeline>,
+    cpu: CpuSpec,
+}
+
+impl Fabric {
+    /// Build the fabric for `topology` with QDR InfiniBand NICs and the
+    /// paper's Opteron hosts.
+    pub fn new(topology: Topology) -> Self {
+        Self::with_hardware(topology, Nic::qdr_infiniband, CpuSpec::dual_opteron_2216())
+    }
+
+    /// Build with every throughput scaled down by `s` (workload-scaling
+    /// mode; see `gpmr_sim_gpu::GpuSpec::scaled`).
+    pub fn scaled(topology: Topology, s: f64) -> Self {
+        Self::with_hardware(
+            topology,
+            || Nic::qdr_infiniband().scaled(s),
+            CpuSpec::dual_opteron_2216().scaled(s),
+        )
+    }
+
+    /// Build with custom NIC and host models.
+    pub fn with_hardware(topology: Topology, mut nic: impl FnMut() -> Nic, cpu: CpuSpec) -> Self {
+        Fabric {
+            topology,
+            nics: (0..topology.nodes).map(|_| nic()).collect(),
+            local_copy: (0..topology.nodes).map(|_| Timeline::new()).collect(),
+            cpu,
+        }
+    }
+
+    /// Cluster shape this fabric serves.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Deliver `bytes` from `from` to `to`, with the payload available at
+    /// the sender no earlier than `ready`. Returns the arrival instant at
+    /// the receiver.
+    pub fn send(&mut self, from: u32, to: u32, ready: SimTime, bytes: u64) -> SimTime {
+        if from == to {
+            // Rank-local handoff: stays in the process; free.
+            return ready;
+        }
+        if self.topology.same_node(from, to) {
+            // Through host memory on the node's copy engine. The node has
+            // two Opteron sockets with independent memory controllers, so
+            // aggregate copy bandwidth is twice the per-stream STREAM
+            // figure recorded in `CpuSpec::mem_bandwidth`.
+            let node = self.topology.node_of(from) as usize;
+            let dur =
+                SimDuration::from_secs(0.5e-6 + bytes as f64 / (2.0 * self.cpu.mem_bandwidth));
+            return self.local_copy[node].reserve(ready, dur).end;
+        }
+        let (sn, rn) = (
+            self.topology.node_of(from) as usize,
+            self.topology.node_of(to) as usize,
+        );
+        let latency = SimDuration::from_secs(self.nics[sn].latency_s);
+        let sent = self.nics[sn].reserve_send(ready, bytes);
+        let recv = self.nics[rn].reserve_recv(sent.start + latency, bytes);
+        recv.end
+    }
+
+    /// Total NIC busy time over the whole fabric (for utilization stats).
+    pub fn network_busy(&self) -> SimDuration {
+        self.nics.iter().map(|n| n.busy_time()).sum()
+    }
+
+    /// Reset all timelines to idle.
+    pub fn reset(&mut self) {
+        for n in &mut self.nics {
+            n.reset();
+        }
+        for t in &mut self.local_copy {
+            t.reset();
+        }
+    }
+}
+
+/// Typed, timestamped message queues, one per rank.
+///
+/// The fabric times deliveries; the mailbox carries the actual payloads so
+/// receivers obtain bit-exact data along with its arrival instant.
+#[derive(Debug)]
+pub struct Mailbox<T> {
+    queues: Vec<Vec<Delivery<T>>>,
+}
+
+/// One delivered message.
+#[derive(Debug)]
+pub struct Delivery<T> {
+    /// Sender rank.
+    pub from: u32,
+    /// Simulated arrival instant at the receiver.
+    pub arrival: SimTime,
+    /// The payload.
+    pub payload: T,
+}
+
+impl<T> Mailbox<T> {
+    /// A mailbox for `ranks` receivers.
+    pub fn new(ranks: u32) -> Self {
+        Mailbox {
+            queues: (0..ranks).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Send `payload` from `from` to `to` over `fabric`; the payload is
+    /// `bytes` long on the wire and ready at `ready`. Returns the arrival
+    /// instant.
+    pub fn send(
+        &mut self,
+        fabric: &mut Fabric,
+        from: u32,
+        to: u32,
+        ready: SimTime,
+        bytes: u64,
+        payload: T,
+    ) -> SimTime {
+        let arrival = fabric.send(from, to, ready, bytes);
+        self.queues[to as usize].push(Delivery {
+            from,
+            arrival,
+            payload,
+        });
+        arrival
+    }
+
+    /// Drain everything delivered to `rank`, in arrival order
+    /// (ties broken by sender rank for determinism).
+    pub fn drain(&mut self, rank: u32) -> Vec<Delivery<T>> {
+        let mut msgs = std::mem::take(&mut self.queues[rank as usize]);
+        msgs.sort_by(|a, b| {
+            a.arrival
+                .partial_cmp(&b.arrival)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.from.cmp(&b.from))
+        });
+        msgs
+    }
+
+    /// Number of undelivered messages queued for `rank`.
+    pub fn pending(&self, rank: u32) -> usize {
+        self.queues[rank as usize].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(gpus: u32) -> Fabric {
+        Fabric::new(Topology::accelerator(gpus))
+    }
+
+    #[test]
+    fn self_send_is_free() {
+        let mut f = fabric(4);
+        let t = f.send(1, 1, SimTime::from_secs(1.0), 1 << 30);
+        assert_eq!(t.as_secs(), 1.0);
+        assert_eq!(f.network_busy(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn intra_node_skips_the_network() {
+        let mut f = fabric(8);
+        // Small messages: host-memory handoff beats the wire's latency.
+        let local = f.send(0, 1, SimTime::ZERO, 1 << 10);
+        let mut f2 = fabric(8);
+        let remote = f2.send(0, 4, SimTime::ZERO, 1 << 10);
+        assert!(local < remote, "local {local} remote {remote}");
+        // Large messages still never touch the NICs when staying local.
+        f.send(0, 1, SimTime::ZERO, 64 << 20);
+        assert_eq!(f.network_busy(), SimDuration::ZERO);
+        assert!(f2.network_busy().as_secs() > 0.0);
+    }
+
+    #[test]
+    fn sender_nic_serializes_messages() {
+        let mut f = fabric(12);
+        // Two large cross-node sends from the same node.
+        let a = f.send(0, 4, SimTime::ZERO, 32 << 20);
+        let b = f.send(0, 8, SimTime::ZERO, 32 << 20);
+        assert!(b > a);
+        // Roughly double the single-message time.
+        assert!(b.as_secs() > a.as_secs() * 1.9);
+    }
+
+    #[test]
+    fn receiver_nic_is_a_bottleneck_for_fan_in() {
+        let mut f = fabric(12);
+        // Many nodes sending to rank 0 simultaneously.
+        let t1 = f.send(4, 0, SimTime::ZERO, 32 << 20);
+        let t2 = f.send(8, 0, SimTime::ZERO, 32 << 20);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn mailbox_delivers_in_arrival_order() {
+        let mut f = fabric(12);
+        let mut mb: Mailbox<&'static str> = Mailbox::new(12);
+        // The receiver NIC serializes: first-requested is first-delivered,
+        // and a big message delays everything queued behind it.
+        mb.send(&mut f, 4, 0, SimTime::ZERO, 1 << 10, "small");
+        mb.send(&mut f, 8, 0, SimTime::ZERO, 256 << 20, "big");
+        assert_eq!(mb.pending(0), 2);
+        let got = mb.drain(0);
+        assert_eq!(got[0].payload, "small");
+        assert_eq!(got[1].payload, "big");
+        assert!(got[1].arrival > got[0].arrival);
+        assert_eq!(mb.pending(0), 0);
+    }
+
+    #[test]
+    fn reset_clears_timelines() {
+        let mut f = fabric(8);
+        f.send(0, 4, SimTime::ZERO, 1 << 20);
+        f.reset();
+        assert_eq!(f.network_busy(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,36 @@
+//! Linear regression over a point cloud on a GPU cluster — the paper's LR
+//! benchmark: an accumulating job that reduces a whole data set to six
+//! sufficient statistics, plus the fitted model.
+//!
+//! Run with: `cargo run --release --example linear_regression`
+
+use gpmr::apps::lr::{generate_samples, model_from_stats, stats_from_output, LrJob};
+use gpmr::prelude::*;
+
+fn main() {
+    const SAMPLES: usize = 2_000_000;
+    let (true_slope, true_intercept) = (1.75f32, -4.0f32);
+    let data = generate_samples(SAMPLES, true_slope, true_intercept, 5);
+    let chunks = SliceChunk::split(&data, 256 * 1024);
+    println!(
+        "{SAMPLES} samples of y = {true_slope}x + {true_intercept} + noise, {} chunks\n",
+        chunks.len()
+    );
+
+    for gpus in [1u32, 4, 8] {
+        let mut cluster = Cluster::accelerator(gpus, GpuSpec::gt200());
+        let result = run_job(&mut cluster, &LrJob, chunks.clone()).expect("LR job failed");
+        let stats = stats_from_output(&result.merged_output());
+        let model = model_from_stats(&stats);
+        println!(
+            "{gpus:>2} GPUs: {}  ->  y = {:.4}x + {:.4}  (r = {:.5})",
+            result.total_time(),
+            model.slope,
+            model.intercept,
+            model.correlation
+        );
+        assert!((model.slope - f64::from(true_slope)).abs() < 0.01);
+        assert!((model.intercept - f64::from(true_intercept)).abs() < 0.05);
+    }
+    println!("\nmodel recovered the generating line on every cluster size");
+}

@@ -1,0 +1,42 @@
+//! Visualize a GPMR schedule: run a job with tracing enabled and print
+//! the ASCII Gantt chart — uploads overlapping map kernels, binning
+//! overlapping computation, the sort barrier, and the reduce tail.
+//!
+//! Run with: `cargo run --release --example schedule_trace`
+
+use gpmr::core::{run_job_traced, TraceKind};
+use gpmr::prelude::*;
+use gpmr_apps::sio::{generate_integers, sio_chunks};
+
+fn main() {
+    let gpus = 4;
+    let data = generate_integers(2_000_000, 7);
+    let chunks = sio_chunks(&data, 512 * 1024);
+    println!(
+        "Sparse Integer Occurrence: {} integers, {} chunks, {gpus} GPUs\n",
+        data.len(),
+        chunks.len()
+    );
+
+    let mut cluster = Cluster::accelerator(gpus, GpuSpec::gt200());
+    let (result, trace) =
+        run_job_traced(&mut cluster, &SioJob::default(), chunks).expect("job failed");
+
+    println!("{}", trace.gantt(gpus, 110));
+    println!("simulated time: {}", result.total_time());
+    println!("events recorded: {}", trace.events.len());
+
+    // Quantify the overlap the chart shows: how much upload time hides
+    // under map kernels.
+    for r in 0..gpus {
+        let upload = trace.busy_by_kind(r, TraceKind::Upload);
+        let map = trace.busy_by_kind(r, TraceKind::Map);
+        let sort = trace.busy_by_kind(r, TraceKind::Sort);
+        println!(
+            "rank {r}: upload busy {upload}, map busy {map}, sort busy {sort}"
+        );
+    }
+    println!("\n(the 'u' upload cells sit under/next to 'M' map cells: PCI-e");
+    println!("streaming of the next chunk overlaps the current map kernel,");
+    println!("and 's' bin sends overlap both — the paper's pipeline design)");
+}

@@ -1,0 +1,59 @@
+//! Word Occurrence across a GPU cluster — the paper's WO benchmark as a
+//! user would run it: generate a corpus, count words with the
+//! accumulating GPMR job, verify against a sequential reference, and
+//! show the partitioner crossover in action.
+//!
+//! Run with: `cargo run --release --example word_occurrence`
+
+use std::sync::Arc;
+
+use gpmr::apps::text::{chunk_text, generate_text};
+use gpmr::apps::wo::{counts_from_output, cpu_reference};
+use gpmr::prelude::*;
+
+fn main() {
+    // A 2k-word dictionary with its minimal perfect hash (the paper uses
+    // 43k words; smaller here for a fast example).
+    let dict = Arc::new(Dictionary::generate(2_000, 42));
+    println!(
+        "dictionary: {} words, MPH table {} bytes",
+        dict.len(),
+        dict.mph.table_bytes()
+    );
+
+    // 4 MB of random dictionary text, chunked at line boundaries.
+    let text = generate_text(&dict, 4 << 20, 43);
+    let chunks = chunk_text(&text, 256 * 1024);
+    println!("corpus: {} bytes in {} chunks", text.len(), chunks.len());
+
+    let expected = cpu_reference(&dict, &text);
+
+    for gpus in [1u32, 4, 16] {
+        let mut cluster = Cluster::accelerator(gpus, GpuSpec::gt200());
+        let job = WoJob::new(dict.clone(), gpus);
+        let partitioned = job.pipeline().partition != PartitionMode::None;
+        let result = run_job(&mut cluster, &job, chunks.clone()).expect("WO job failed");
+        let counts = counts_from_output(&dict, &result.merged_output());
+        assert_eq!(counts, expected, "GPU result must match the reference");
+        println!(
+            "{gpus:>2} GPUs: {} (partitioner {}), {} pairs shuffled",
+            result.total_time(),
+            if partitioned { "on " } else { "off" },
+            result.timings.pairs_shuffled,
+        );
+    }
+
+    // A couple of word counts, for flavour.
+    let mut top: Vec<(usize, u32)> = expected.iter().copied().enumerate().collect();
+    top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("\nmost frequent words:");
+    for &(idx, count) in top.iter().take(5) {
+        // Find the word with this MPH index.
+        let word = dict
+            .words
+            .iter()
+            .find(|w| dict.mph.index(w) as usize == idx)
+            .expect("index maps to a word");
+        println!("  {:<14} {count}", String::from_utf8_lossy(word));
+    }
+}

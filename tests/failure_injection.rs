@@ -1,0 +1,152 @@
+//! Failure injection: the error paths a user can hit must surface as
+//! typed errors, not silent wrong answers.
+
+use gpmr::baselines::{run_mars, MarsError};
+use gpmr::core::{EngineError, MapMode, PipelineConfig};
+use gpmr::prelude::*;
+use gpmr::sim_gpu::{Gpu, SimGpuError, SimGpuResult, SimTime};
+use gpmr_apps::sio::sio_chunks;
+
+#[test]
+fn oversized_chunks_are_rejected_with_capacity_info() {
+    // A 16 MB device cannot double-buffer a 12 MB chunk.
+    let spec = GpuSpec::gt200().with_mem_capacity(16 << 20);
+    let mut cluster = Cluster::new(gpmr::sim_net::Topology::new(1, 2, 2), spec);
+    let data = vec![7u32; 3 << 20];
+    let chunks = sio_chunks(&data, 12 << 20);
+    let err = run_job(&mut cluster, &SioJob::default(), chunks).unwrap_err();
+    match err {
+        EngineError::ChunkTooLarge { bytes, capacity } => {
+            assert_eq!(bytes, 12 << 20);
+            assert_eq!(capacity, 16 << 20);
+        }
+        other => panic!("expected ChunkTooLarge, got {other}"),
+    }
+    assert!(err.to_string().contains("double-buffered"));
+}
+
+#[test]
+fn invalid_pipeline_combinations_are_rejected() {
+    struct BadJob;
+    impl GpmrJob for BadJob {
+        type Chunk = SliceChunk<u32>;
+        type Key = u32;
+        type Value = u32;
+        fn pipeline(&self) -> PipelineConfig {
+            PipelineConfig {
+                map_mode: MapMode::Accumulate,
+                combine: true, // mutually exclusive with Accumulation
+                ..PipelineConfig::default()
+            }
+        }
+        fn map(
+            &self,
+            _gpu: &mut Gpu,
+            at: SimTime,
+            _chunk: &Self::Chunk,
+        ) -> SimGpuResult<(KvSet<u32, u32>, SimTime)> {
+            Ok((KvSet::new(), at))
+        }
+    }
+    let mut cluster = Cluster::accelerator(2, GpuSpec::gt200());
+    let err = run_job(&mut cluster, &BadJob, vec![SliceChunk::new(0, 0, vec![1u32])]).unwrap_err();
+    assert!(matches!(err, EngineError::InvalidPipeline(_)));
+}
+
+#[test]
+fn kernel_shared_memory_overflow_propagates() {
+    struct GreedyKernelJob;
+    impl GpmrJob for GreedyKernelJob {
+        type Chunk = SliceChunk<u32>;
+        type Key = u32;
+        type Value = u32;
+        fn map(
+            &self,
+            gpu: &mut Gpu,
+            at: SimTime,
+            _chunk: &Self::Chunk,
+        ) -> SimGpuResult<(KvSet<u32, u32>, SimTime)> {
+            let cfg = LaunchConfig::grid(4, 128).with_shared_bytes(64);
+            let (_, res) = gpu.try_launch(at, &cfg, |ctx| {
+                // Asks for more shared memory than the launch declared.
+                let _buf: Vec<u64> = ctx.shared_alloc(100)?;
+                Ok(())
+            })?;
+            Ok((KvSet::new(), res.end))
+        }
+    }
+    let mut cluster = Cluster::accelerator(1, GpuSpec::gt200());
+    let err = run_job(
+        &mut cluster,
+        &GreedyKernelJob,
+        vec![SliceChunk::new(0, 0, vec![1u32; 16])],
+    )
+    .unwrap_err();
+    match err {
+        EngineError::Gpu(SimGpuError::SharedMemExceeded { declared, .. }) => {
+            assert_eq!(declared, 64);
+        }
+        other => panic!("expected SharedMemExceeded, got {other}"),
+    }
+}
+
+#[test]
+fn device_oom_is_a_typed_error() {
+    let gpu = Gpu::new(GpuSpec::gt200().with_mem_capacity(1024));
+    let err = gpu.alloc::<u64>(1000).unwrap_err();
+    assert!(matches!(err, SimGpuError::OutOfMemory { .. }));
+    // The error chain renders human-readable information.
+    let msg = EngineError::from(err).to_string();
+    assert!(msg.contains("out of memory"));
+}
+
+#[test]
+fn mars_in_core_violation_reports_requirements() {
+    struct FatEmitter;
+    impl gpmr::baselines::MarsApp for FatEmitter {
+        type Item = u32;
+        type Key = u32;
+        type Value = [f64; 8];
+        fn count(&self, _ctx: &mut gpmr::sim_gpu::BlockCtx, _items: &[u32], _idx: usize) -> usize {
+            4 // four 68-byte pairs per 4-byte item
+        }
+        fn emit(
+            &self,
+            _ctx: &mut gpmr::sim_gpu::BlockCtx,
+            items: &[u32],
+            idx: usize,
+            out: &mut Vec<(u32, [f64; 8])>,
+        ) {
+            for i in 0..4 {
+                out.push((items[idx].wrapping_add(i), [0.0; 8]));
+            }
+        }
+        fn reduce(
+            &self,
+            _ctx: &mut gpmr::sim_gpu::BlockCtx,
+            _key: u32,
+            vals: &[[f64; 8]],
+        ) -> [f64; 8] {
+            vals[0]
+        }
+    }
+    let mut gpu = Gpu::new(GpuSpec::gt200().with_mem_capacity(1 << 20));
+    let items = vec![1u32; 100_000];
+    let err = run_mars(&mut gpu, &FatEmitter, &items).unwrap_err();
+    match err {
+        MarsError::InCoreViolation { required, capacity } => {
+            assert!(required > capacity);
+            assert_eq!(capacity, 1 << 20);
+        }
+        other => panic!("expected InCoreViolation, got {other}"),
+    }
+}
+
+#[test]
+fn invalid_launches_are_rejected() {
+    let mut gpu = Gpu::new(GpuSpec::gt200());
+    // GT200 caps blocks at 512 threads.
+    let cfg = LaunchConfig::grid(1, 1024);
+    let err = gpu.launch(SimTime::ZERO, &cfg, |_| ()).unwrap_err();
+    assert!(matches!(err, SimGpuError::InvalidLaunch(_)));
+}
