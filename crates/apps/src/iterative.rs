@@ -9,8 +9,8 @@
 //! related-work section discusses).
 
 use gpmr_core::{run_job, EngineResult, SliceChunk};
-use gpmr_sim_net::{broadcast, Cluster};
 use gpmr_sim_gpu::{SimDuration, SimTime};
+use gpmr_sim_net::{broadcast, Cluster};
 
 use crate::kmc::{centers_from_sums, sums_from_output, KmcJob, Point, DIMS};
 
@@ -62,7 +62,7 @@ pub fn run_kmeans(
         let result = run_job(cluster, &job, chunks.clone())?;
         total_time += result.timings.total;
 
-        let sums = sums_from_output(centers.len(), &result.merged_output());
+        let sums = sums_from_output(centers.len(), &result.into_merged_output());
         let updated = centers_from_sums(&centers, &sums);
 
         // Broadcast the updated centers to every rank for the next
@@ -124,8 +124,7 @@ mod tests {
         let points = generate_points(20_000, 6, 31);
         let init = initial_centers(6, 32);
         let mut cluster = Cluster::accelerator(4, GpuSpec::gt200());
-        let gpu_result =
-            run_kmeans(&mut cluster, &points, init.clone(), 4096, 10, 1e-6).unwrap();
+        let gpu_result = run_kmeans(&mut cluster, &points, init.clone(), 4096, 10, 1e-6).unwrap();
         let (ref_centers, ref_iters) = reference_kmeans(&points, init, 10, 1e-6);
 
         assert_eq!(gpu_result.iterations, ref_iters);

@@ -16,12 +16,12 @@
 //! 2. [`MmSumJob`] — a second Map sums the partial tiles per key
 //!    (again bypassing Sort/Reduce), producing the final tiles.
 
+use gpmr_core::JobTimings;
 use gpmr_core::{
     Chunk, EngineResult, GpmrJob, KvSet, PartitionMode, PipelineConfig, Pod, SliceChunk,
 };
-use gpmr_sim_gpu::{Gpu, LaunchConfig, SimGpuResult, SimTime};
-use gpmr_core::JobTimings;
 use gpmr_sim_gpu::SimDuration;
+use gpmr_sim_gpu::{Gpu, LaunchConfig, SimGpuResult, SimTime};
 use gpmr_sim_net::Cluster;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -338,8 +338,8 @@ impl GpmrJob for MmSumJob {
         if groups.is_empty() {
             return Ok((KvSet::new(), at));
         }
-        let cfg = LaunchConfig::grid(groups.len() as u32, 256)
-            .with_shared_bytes((TILE_ELEMS * 4) as u32);
+        let cfg =
+            LaunchConfig::grid(groups.len() as u32, 256).with_shared_bytes((TILE_ELEMS * 4) as u32);
         let (launch, res) = gpu.launch(at, &cfg, |ctx| {
             let g = &groups[ctx.block_idx as usize];
             ctx.charge_read::<f32>(TILE_ELEMS * g.len());

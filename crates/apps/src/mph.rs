@@ -152,9 +152,7 @@ mod tests {
 
     fn words(n: usize) -> Vec<Vec<u8>> {
         // Deterministic distinct pseudo-words.
-        (0..n)
-            .map(|i| format!("word{i:06}").into_bytes())
-            .collect()
+        (0..n).map(|i| format!("word{i:06}").into_bytes()).collect()
     }
 
     #[test]

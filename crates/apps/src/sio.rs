@@ -115,7 +115,7 @@ impl GpmrJob for SioJob {
     fn partition(&self, key: &u32, ranks: u32) -> u32 {
         match self.block_keyspace {
             Some(max) => gpmr_core::block_partition(u64::from(*key), max, ranks),
-            None => (key % ranks.max(1)) as u32,
+            None => key % ranks.max(1),
         }
     }
 
@@ -242,7 +242,12 @@ mod tests {
     fn sio_matches_reference_on_one_gpu() {
         let data = generate_integers(20_000, 1);
         let mut cluster = Cluster::accelerator(1, GpuSpec::gt200());
-        let result = run_job(&mut cluster, &SioJob::default(), sio_chunks(&data, 16 * 1024)).unwrap();
+        let result = run_job(
+            &mut cluster,
+            &SioJob::default(),
+            sio_chunks(&data, 16 * 1024),
+        )
+        .unwrap();
         check_counts(&result.merged_output(), &cpu_reference(&data));
     }
 
@@ -250,7 +255,12 @@ mod tests {
     fn sio_matches_reference_on_eight_gpus() {
         let data = generate_integers(50_000, 2);
         let mut cluster = Cluster::accelerator(8, GpuSpec::gt200());
-        let result = run_job(&mut cluster, &SioJob::default(), sio_chunks(&data, 8 * 1024)).unwrap();
+        let result = run_job(
+            &mut cluster,
+            &SioJob::default(),
+            sio_chunks(&data, 8 * 1024),
+        )
+        .unwrap();
         check_counts(&result.merged_output(), &cpu_reference(&data));
         // Round-robin partitioning: every rank holds only keys ≡ rank (mod 8).
         for (r, out) in result.outputs.iter().enumerate() {
@@ -262,7 +272,12 @@ mod tests {
     fn sio_total_count_equals_input_len() {
         let data = generate_integers(30_000, 3);
         let mut cluster = Cluster::accelerator(4, GpuSpec::gt200());
-        let result = run_job(&mut cluster, &SioJob::default(), sio_chunks(&data, 16 * 1024)).unwrap();
+        let result = run_job(
+            &mut cluster,
+            &SioJob::default(),
+            sio_chunks(&data, 16 * 1024),
+        )
+        .unwrap();
         let total: u64 = result
             .merged_output()
             .vals

@@ -72,7 +72,12 @@ impl WoJob {
 
     /// Scan the words starting within `range` of `text`, calling `f` with
     /// each word's dictionary index.
-    fn scan_words(&self, text: &[u8], range: std::ops::Range<usize>, mut f: impl FnMut(u32)) -> u64 {
+    fn scan_words(
+        &self,
+        text: &[u8],
+        range: std::ops::Range<usize>,
+        mut f: impl FnMut(u32),
+    ) -> u64 {
         let sep = |b: u8| b == b' ' || b == b'\n';
         let mut i = range.start;
         let mut words = 0u64;

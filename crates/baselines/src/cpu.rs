@@ -5,8 +5,8 @@
 //! byte counts, so Phoenix and GPMR times are directly comparable
 //! (Table 2).
 
-use gpmr_sim_net::CpuSpec;
 use gpmr_sim_gpu::SimDuration;
+use gpmr_sim_net::CpuSpec;
 
 /// Work performed by a CPU stage.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -27,9 +27,13 @@ impl CpuCost {
         bytes: 0,
         bytes_random: 0,
     };
+}
+
+impl std::ops::Add for CpuCost {
+    type Output = CpuCost;
 
     /// Component-wise sum.
-    pub fn add(self, other: CpuCost) -> CpuCost {
+    fn add(self, other: CpuCost) -> CpuCost {
         CpuCost {
             ops: self.ops + other.ops,
             bytes: self.bytes + other.bytes,
@@ -40,7 +44,7 @@ impl CpuCost {
 
 impl std::ops::AddAssign for CpuCost {
     fn add_assign(&mut self, rhs: CpuCost) {
-        *self = self.add(rhs);
+        *self = *self + rhs;
     }
 }
 

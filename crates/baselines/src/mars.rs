@@ -137,8 +137,7 @@ pub fn run_mars<A: MarsApp>(
 
     // Mars's in-core requirement: input + pairs + the sort's double
     // buffer must be simultaneously resident.
-    let pair_bytes =
-        (std::mem::size_of::<A::Key>() + std::mem::size_of::<A::Value>()) as u64;
+    let pair_bytes = (std::mem::size_of::<A::Key>() + std::mem::size_of::<A::Value>()) as u64;
     let required = item_bytes + 2 * total_pairs * pair_bytes;
     let capacity = gpu.mem.capacity();
     if required > capacity {
@@ -214,13 +213,7 @@ mod tests {
             ctx.charge_read::<u32>(1);
             1
         }
-        fn emit(
-            &self,
-            ctx: &mut BlockCtx,
-            items: &[u32],
-            idx: usize,
-            out: &mut Vec<(u32, u32)>,
-        ) {
+        fn emit(&self, ctx: &mut BlockCtx, items: &[u32], idx: usize, out: &mut Vec<(u32, u32)>) {
             ctx.charge_read::<u32>(1);
             out.push((items[idx], 1));
         }

@@ -4,17 +4,18 @@
 //! Phoenix runs on one shared-memory node: map tasks are spread over
 //! worker threads, intermediate pairs are grouped with a hash table, and
 //! reduce tasks run per key. The executor here does the real computation
-//! on host threads (crossbeam scope, deterministic merge order) while the
-//! time charged comes from the [`CpuCost`] model, so Phoenix runtimes are
-//! directly comparable with the simulated GPMR runtimes.
+//! on host threads (the shared persistent worker pool, deterministic merge
+//! order) while the time charged comes from the [`CpuCost`] model, so
+//! Phoenix runtimes are directly comparable with the simulated GPMR
+//! runtimes.
 
 use std::collections::HashMap;
 use std::ops::Range;
 
 use gpmr_core::{Key, Value};
 use gpmr_primitives::RadixKey;
-use gpmr_sim_net::CpuSpec;
 use gpmr_sim_gpu::SimDuration;
+use gpmr_sim_net::CpuSpec;
 
 use crate::cpu::{cpu_time, CpuCost};
 
@@ -74,6 +75,12 @@ pub struct PhoenixResult<K, V> {
     pub reduce_time: SimDuration,
 }
 
+/// Per-worker map output: the emitted pairs plus the accumulated cost.
+type MapOutput<A> = (
+    Vec<(<A as PhoenixApp>::Key, <A as PhoenixApp>::Value)>,
+    CpuCost,
+);
+
 /// Run a Phoenix job over `items`.
 pub fn run_phoenix<A: PhoenixApp>(
     cfg: &PhoenixConfig,
@@ -84,31 +91,22 @@ pub fn run_phoenix<A: PhoenixApp>(
     let task_items = cfg.task_items.max(1);
     let n_tasks = items.len().div_ceil(task_items).max(1);
 
-    // --- Map: tasks statically striped over workers, real execution. ----
-    let mut worker_outputs: Vec<(Vec<(A::Key, A::Value)>, CpuCost)> = Vec::with_capacity(workers);
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(workers);
-        for w in 0..workers {
-            handles.push(s.spawn(move |_| {
-                let mut out = Vec::new();
-                let mut cost = CpuCost::ZERO;
-                let mut t = w;
-                while t < n_tasks {
-                    let start = t * task_items;
-                    let end = ((t + 1) * task_items).min(items.len());
-                    if start < end {
-                        cost += app.map_range(items, start..end, &mut out);
-                    }
-                    t += workers;
-                }
-                (out, cost)
-            }));
+    // --- Map: tasks statically striped over workers, real execution on
+    // the shared persistent pool (results come back in worker order). ----
+    let worker_outputs: Vec<MapOutput<A>> = gpmr_sim_gpu::pool::run_indexed(workers, |w| {
+        let mut out = Vec::new();
+        let mut cost = CpuCost::ZERO;
+        let mut t = w;
+        while t < n_tasks {
+            let start = t * task_items;
+            let end = ((t + 1) * task_items).min(items.len());
+            if start < end {
+                cost += app.map_range(items, start..end, &mut out);
+            }
+            t += workers;
         }
-        for h in handles {
-            worker_outputs.push(h.join().expect("phoenix map worker panicked"));
-        }
-    })
-    .expect("phoenix scope panicked");
+        (out, cost)
+    });
 
     // The map stage finishes when the slowest worker's *compute* finishes
     // or when the shared memory bus has moved everyone's bytes, whichever
@@ -127,18 +125,17 @@ pub fn run_phoenix<A: PhoenixApp>(
         })
         .fold(SimDuration::ZERO, SimDuration::max);
     let total_mem = worker_outputs.iter().fold(CpuCost::ZERO, |acc, (_, c)| {
-        acc.add(CpuCost {
+        acc + CpuCost {
             bytes: c.bytes,
             bytes_random: c.bytes_random,
             ..CpuCost::ZERO
-        })
+        }
     });
     let map_time = compute_time.max(cpu_time(&cfg.cpu, workers, &total_mem));
 
     // --- Group: hash-partition all pairs (deterministic worker order). --
     let total_pairs: usize = worker_outputs.iter().map(|(o, _)| o.len()).sum();
-    let pair_bytes =
-        (std::mem::size_of::<A::Key>() + std::mem::size_of::<A::Value>()) as u64;
+    let pair_bytes = (std::mem::size_of::<A::Key>() + std::mem::size_of::<A::Value>()) as u64;
     let group_cost = CpuCost {
         ops: 12 * total_pairs as u64,
         bytes: 2 * total_pairs as u64 * pair_bytes,

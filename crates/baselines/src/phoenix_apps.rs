@@ -9,8 +9,8 @@ use gpmr_apps::kmc::{Point, DIMS};
 use gpmr_apps::lr::{Sample, STAT_KEYS};
 use gpmr_apps::mm::Matrix;
 use gpmr_apps::text::Dictionary;
-use gpmr_sim_net::CpuSpec;
 use gpmr_sim_gpu::SimDuration;
+use gpmr_sim_net::CpuSpec;
 
 use crate::cpu::{cpu_time, CpuCost};
 use crate::phoenix::PhoenixApp;

@@ -1,0 +1,96 @@
+//! Hot-path microbenches for the execution backend and shuffle/sort
+//! allocation work introduced by the persistent worker pool: kernel
+//! launch overhead (pool vs spawn-per-launch), radix sort throughput,
+//! and the engine's bucket-split/combine shuffle path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpmr_core::helpers::{combine_pairs, split_buckets};
+use gpmr_core::KvSet;
+use gpmr_primitives::sort_pairs;
+use gpmr_sim_gpu::{set_exec_backend, ExecBackend, Gpu, GpuSpec, LaunchConfig, SimTime};
+
+fn pseudo_random(n: usize, seed: u64) -> Vec<u32> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 16) as u32
+        })
+        .collect()
+}
+
+/// One cheap 64-block kernel: the real work is negligible, so the
+/// measured time is dominated by handing blocks to host threads.
+fn tiny_launch(gpu: &mut Gpu) -> usize {
+    let cfg = LaunchConfig::for_items(4096, 64, 64);
+    let (launch, _) = gpu
+        .launch(SimTime::ZERO, &cfg, |ctx| {
+            let r = ctx.item_range(4096);
+            ctx.charge_flops(r.len() as u64);
+            r.len()
+        })
+        .expect("launch");
+    launch.outputs.into_iter().sum()
+}
+
+fn bench_launch_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("launch_overhead");
+    for (name, backend) in [("pool", ExecBackend::Pool), ("spawn", ExecBackend::Spawn)] {
+        group.bench_function(name, |b| {
+            set_exec_backend(backend);
+            let mut gpu = Gpu::new(GpuSpec::gt200());
+            // Force the parallel path even on single-core CI runners so
+            // the backends are actually compared.
+            gpu.worker_threads = 4;
+            b.iter(|| tiny_launch(&mut gpu));
+            set_exec_backend(ExecBackend::Pool);
+        });
+    }
+    group.finish();
+}
+
+fn bench_sort_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort_throughput");
+    for &n in &[256 * 1024usize, 1024 * 1024] {
+        let keys = pseudo_random(n, 42);
+        let vals: Vec<u32> = (0..n as u32).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut gpu = Gpu::new(GpuSpec::gt200());
+            b.iter(|| sort_pairs(&mut gpu, SimTime::ZERO, &keys, &vals).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_shuffle_throughput(c: &mut Criterion) {
+    let n = 512 * 1024usize;
+    let keys = pseudo_random(n, 9);
+    let mut group = c.benchmark_group("shuffle_throughput");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("split_buckets_64", |b| {
+        b.iter(|| {
+            let pairs: KvSet<u32, u32> = KvSet::from_parts(keys.clone(), (0..n as u32).collect());
+            split_buckets(pairs, 64, |k| k % 64)
+        });
+    });
+    group.bench_function("combine_pairs", |b| {
+        let mut gpu = Gpu::new(GpuSpec::gt200());
+        b.iter(|| {
+            let pairs: KvSet<u32, u32> =
+                KvSet::from_parts(keys.iter().map(|k| k % 4096).collect(), vec![1u32; n]);
+            combine_pairs(&mut gpu, SimTime::ZERO, pairs, |a, b| a.wrapping_add(b)).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    hot_path,
+    bench_launch_overhead,
+    bench_sort_throughput,
+    bench_shuffle_throughput
+);
+criterion_main!(hot_path);

@@ -6,14 +6,12 @@
 //! times at full calibrated scale.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gpmr_bench::runners::{
-    run_kmc, run_lr, run_mm_bench, run_sio, run_wo, shared_dictionary,
-};
-use gpmr_baselines::phoenix::{run_phoenix, PhoenixConfig};
-use gpmr_baselines::phoenix_apps::PhoenixSio;
+use gpmr_apps::{kmc, sio};
 use gpmr_baselines::mars::run_mars;
 use gpmr_baselines::mars_apps::MarsKmc;
-use gpmr_apps::{kmc, sio};
+use gpmr_baselines::phoenix::{run_phoenix, PhoenixConfig};
+use gpmr_baselines::phoenix_apps::PhoenixSio;
+use gpmr_bench::runners::{run_kmc, run_lr, run_mm_bench, run_sio, run_wo, shared_dictionary};
 use gpmr_sim_gpu::{Gpu, GpuSpec};
 
 /// Miniature scale: tiny workloads, hardware scaled to match.

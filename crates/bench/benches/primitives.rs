@@ -50,7 +50,10 @@ fn bench_histogram(c: &mut Criterion) {
     c.bench_function("histogram_1M_256bins", |b| {
         let mut gpu = Gpu::new(GpuSpec::gt200());
         b.iter(|| {
-            histogram(&mut gpu, SimTime::ZERO, &input, 256, |&v| (v & 255) as usize).unwrap()
+            histogram(&mut gpu, SimTime::ZERO, &input, 256, |&v| {
+                (v & 255) as usize
+            })
+            .unwrap()
         });
     });
 }

@@ -122,7 +122,12 @@ fn main() {
         println!(
             "{}",
             render(
-                &["cluster", "partition never", "crossover 8 (paper)", "partition always"],
+                &[
+                    "cluster",
+                    "partition never",
+                    "crossover 8 (paper)",
+                    "partition always"
+                ],
                 &rows
             )
         );
@@ -140,8 +145,11 @@ fn main() {
             ("GT200 (per-block pools)", GpuSpec::gt200()),
             ("Fermi (FP atomics)", GpuSpec::fermi()),
         ] {
-            let mut cl =
-                Cluster::custom_scaled(Topology::accelerator(1), spec.scaled(scale as f64), scale as f64);
+            let mut cl = Cluster::custom_scaled(
+                Topology::accelerator(1),
+                spec.scaled(scale as f64),
+                scale as f64,
+            );
             let r = run_job(&mut cl, &KmcJob::new(centers.clone()), chunks.clone()).unwrap();
             rows.push(vec![label.to_string(), format!("{}", r.timings.total)]);
         }
@@ -175,10 +183,7 @@ fn main() {
             rows.push(cells);
         }
         println!("SIO pair distribution (8 GPUs): round-robin vs consecutive blocks:");
-        println!(
-            "{}",
-            render(&["key set", "round-robin", "blocks"], &rows)
-        );
+        println!("{}", render(&["key set", "round-robin", "blocks"], &rows));
     }
 
     // ---- 7. Chunk-size sweep -------------------------------------------
@@ -236,14 +241,14 @@ fn main() {
         // Pile the big chunks onto rank 0's queue (round-robin assigns
         // chunk i to rank i % gpus).
         let split = elements * 4 / 5;
-        let mut heavy = sio::sio_chunks(&data[..split], chunk_bytes(4 * split as u64, 2, scale))
-            .into_iter();
-        let mut light = sio::sio_chunks(&data[split..], 4 * 1024 / scale.max(1) as usize + 1024)
-            .into_iter();
+        let mut heavy =
+            sio::sio_chunks(&data[..split], chunk_bytes(4 * split as u64, 2, scale)).into_iter();
+        let mut light =
+            sio::sio_chunks(&data[split..], 4 * 1024 / scale.max(1) as usize + 1024).into_iter();
         let mut chunks = Vec::new();
         let mut i = 0usize;
         loop {
-            let next = if i % gpus as usize == 0 {
+            let next = if i.is_multiple_of(gpus as usize) {
                 heavy.next().or_else(|| light.next())
             } else {
                 light.next().or_else(|| heavy.next())
@@ -274,7 +279,10 @@ fn main() {
             ]);
         }
         println!("SIO scheduling under skewed queues (8 GPUs):");
-        println!("{}", render(&["scheduler", "runtime", "chunks stolen"], &rows));
+        println!(
+            "{}",
+            render(&["scheduler", "runtime", "chunks stolen"], &rows)
+        );
         println!("(On a transfer-bound job like SIO, migrating a chunk costs about as");
         println!("much as mapping it, so stealing roughly breaks even — the dynamic");
         println!("scheduler pays off on compute-bound work, never hurts here.)\n");
@@ -289,11 +297,8 @@ fn main() {
         let mut rows = Vec::new();
         for (label, links) in [("dedicated links", 4u32), ("S1070 paired links", 2)] {
             let topo = Topology::new(1, 4, links);
-            let mut cl = Cluster::custom_scaled(
-                topo,
-                GpuSpec::gt200().scaled(scale as f64),
-                scale as f64,
-            );
+            let mut cl =
+                Cluster::custom_scaled(topo, GpuSpec::gt200().scaled(scale as f64), scale as f64);
             let r = run_job(&mut cl, &LrJob, chunks.clone()).unwrap();
             rows.push(vec![label.to_string(), format!("{}", r.timings.total)]);
         }

@@ -1,0 +1,158 @@
+//! Before/after summary for the persistent-worker-pool PR: measures
+//! kernel launch overhead under the pooled and spawn-per-launch backends,
+//! sort and shuffle throughput, and wall-clock for a representative
+//! Figure-3 Word Occurrence point at 1 and 8 GPUs under both backends —
+//! while asserting that simulated times are bit-identical between them.
+//!
+//! Usage: `cargo run --release -p gpmr-bench --bin bench_pr1 [--scale N]`
+//! Writes `BENCH_PR1.json` in the current directory.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gpmr_apps::text::{chunk_text, generate_text, Dictionary};
+use gpmr_apps::wo::WoJob;
+use gpmr_bench::{parse_scale, run_wo, shared_dictionary, RunOutcome};
+use gpmr_core::{run_job, KvSet};
+use gpmr_sim_gpu::{set_exec_backend, ExecBackend, Gpu, GpuSpec, LaunchConfig, SimTime};
+use gpmr_sim_net::{Cluster, Topology};
+
+/// One cheap 64-block kernel; wall time is dominated by block dispatch.
+fn tiny_launch(gpu: &mut Gpu) -> usize {
+    let cfg = LaunchConfig::for_items(4096, 64, 64);
+    let (launch, _) = gpu
+        .launch(SimTime::ZERO, &cfg, |ctx| {
+            let r = ctx.item_range(4096);
+            ctx.charge_flops(r.len() as u64);
+            r.len()
+        })
+        .expect("launch");
+    launch.outputs.into_iter().sum()
+}
+
+/// Median wall nanoseconds per launch under `backend`.
+fn launch_ns(backend: ExecBackend) -> f64 {
+    set_exec_backend(backend);
+    let mut gpu = Gpu::new(GpuSpec::gt200());
+    gpu.worker_threads = 4; // force the parallel path on 1-core machines
+    for _ in 0..50 {
+        tiny_launch(&mut gpu); // warm-up (lazy pool spawn, page faults)
+    }
+    let mut samples: Vec<f64> = (0..30)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..20 {
+                tiny_launch(&mut gpu);
+            }
+            t.elapsed().as_nanos() as f64 / 20.0
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    set_exec_backend(ExecBackend::Pool);
+    samples[samples.len() / 2]
+}
+
+/// Wall milliseconds and outcome of one WO fig-3 point under `backend`.
+fn wo_point(gpus: u32, bytes: usize, scale: u64, backend: ExecBackend) -> (f64, RunOutcome) {
+    set_exec_backend(backend);
+    let dict = shared_dictionary(scale);
+    let t = Instant::now();
+    let out = run_wo(gpus, bytes, scale, &dict, 0x47504d52);
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    set_exec_backend(ExecBackend::Pool);
+    (wall_ms, out)
+}
+
+/// Per-rank outputs of a small 4-rank WO job under `backend`.
+fn wo_outputs(backend: ExecBackend) -> Vec<KvSet<u32, u32>> {
+    set_exec_backend(backend);
+    let mut cluster = Cluster::new(Topology::new(2, 2, 2), GpuSpec::gt200());
+    for rank in 0..4 {
+        cluster.gpu(rank).worker_threads = 4;
+    }
+    let dict = Arc::new(Dictionary::generate(300, 11));
+    let text = generate_text(&dict, 120_000, 12);
+    let chunks = chunk_text(&text, 16 * 1024);
+    let result = run_job(&mut cluster, &WoJob::new(dict, 4), chunks).expect("WO job");
+    set_exec_backend(ExecBackend::Pool);
+    result.outputs
+}
+
+fn main() {
+    let scale = parse_scale();
+    std::env::set_var("GPMR_WORKER_THREADS", "4");
+
+    println!("launch overhead (64-block kernel, 4 workers)...");
+    let spawn_ns = launch_ns(ExecBackend::Spawn);
+    let pool_ns = launch_ns(ExecBackend::Pool);
+    let speedup = spawn_ns / pool_ns;
+    println!("  spawn {spawn_ns:.0} ns/launch, pool {pool_ns:.0} ns/launch, {speedup:.1}x");
+
+    println!("sort throughput (1M u32 pairs)...");
+    let n = 1 << 20;
+    let keys: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    let vals: Vec<u32> = (0..n as u32).collect();
+    let mut gpu = Gpu::new(GpuSpec::gt200());
+    gpmr_primitives::sort_pairs(&mut gpu, SimTime::ZERO, &keys, &vals).unwrap(); // warm-up
+    let t = Instant::now();
+    let reps = 5;
+    for _ in 0..reps {
+        gpmr_primitives::sort_pairs(&mut gpu, SimTime::ZERO, &keys, &vals).unwrap();
+    }
+    let sort_melem_s = (reps * n) as f64 / t.elapsed().as_secs_f64() / 1e6;
+    println!("  {sort_melem_s:.1} Melem/s");
+
+    println!("shuffle throughput (512K pairs into 64 buckets)...");
+    let m = 512 * 1024usize;
+    let t = Instant::now();
+    for _ in 0..reps {
+        let pairs: KvSet<u32, u32> = KvSet::from_parts(keys[..m].to_vec(), vals[..m].to_vec());
+        std::hint::black_box(gpmr_core::helpers::split_buckets(pairs, 64, |k| k % 64));
+    }
+    let shuffle_melem_s = (reps * m) as f64 / t.elapsed().as_secs_f64() / 1e6;
+    println!("  {shuffle_melem_s:.1} Melem/s");
+
+    println!("fig3 WO points (scale {scale}) under both backends...");
+    let bytes = ((512usize << 20) / scale as usize).max(1 << 20);
+    let mut fig3 = String::new();
+    let mut all_identical = true;
+    for gpus in [1u32, 8] {
+        let (pool_ms, pool_out) = wo_point(gpus, bytes, scale, ExecBackend::Pool);
+        let (spawn_ms, spawn_out) = wo_point(gpus, bytes, scale, ExecBackend::Spawn);
+        let identical = pool_out.timings == spawn_out.timings;
+        all_identical &= identical;
+        println!(
+            "  {gpus} GPU(s): pool {pool_ms:.0} ms wall, spawn {spawn_ms:.0} ms wall, \
+             sim {} , identical sim times: {identical}",
+            pool_out.time
+        );
+        fig3.push_str(&format!(
+            "    {{\"gpus\": {gpus}, \"wall_ms_pool\": {pool_ms:.1}, \
+             \"wall_ms_spawn\": {spawn_ms:.1}, \"simulated_s\": {:.6}, \
+             \"identical_sim_times\": {identical}}},\n",
+            pool_out.time.as_secs()
+        ));
+    }
+    fig3.pop();
+    fig3.pop(); // trailing ",\n"
+
+    let outputs_identical = wo_outputs(ExecBackend::Pool) == wo_outputs(ExecBackend::Spawn);
+    all_identical &= outputs_identical;
+    println!("  outputs identical across backends: {outputs_identical}");
+    assert!(
+        all_identical,
+        "backends diverged — the pool must not change results"
+    );
+
+    let json = format!(
+        "{{\n  \"pr\": 1,\n  \"scale\": {scale},\n  \"launch_overhead\": {{\n    \
+         \"spawn_ns_per_launch\": {spawn_ns:.0},\n    \"pool_ns_per_launch\": {pool_ns:.0},\n    \
+         \"speedup\": {speedup:.2}\n  }},\n  \
+         \"sort_throughput_melem_per_s\": {sort_melem_s:.1},\n  \
+         \"shuffle_split_melem_per_s\": {shuffle_melem_s:.1},\n  \
+         \"fig3_wo_512mb\": [\n{fig3}\n  ],\n  \
+         \"outputs_identical_across_backends\": {outputs_identical}\n}}\n"
+    );
+    std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");
+    println!("wrote BENCH_PR1.json");
+}

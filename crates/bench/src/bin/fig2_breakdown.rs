@@ -19,8 +19,7 @@ fn main() {
     );
 
     let want_csv = gpmr_bench::harness::parse_flag("--csv");
-    let mut csv =
-        String::from("benchmark,gpus,map_pct,bin_pct,sort_pct,reduce_pct,sched_pct\n");
+    let mut csv = String::from("benchmark,gpus,map_pct,bin_pct,sort_pct,reduce_pct,sched_pct\n");
     let gpu_counts = [1u32, 8, 64];
     let headers = ["benchmark", "GPUs", "Map", "Bin", "Sort", "Reduce", "Sched"];
     let mut rows = Vec::new();

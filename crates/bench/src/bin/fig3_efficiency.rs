@@ -68,10 +68,7 @@ fn main() {
                 ));
             }
             rows.push(cells);
-            chart_series.push(Series {
-                label,
-                points,
-            });
+            chart_series.push(Series { label, points });
         }
         println!("{}", render(&header_refs, &rows));
         println!("{}", render_chart(&chart_series, 64, 12, 1.3));

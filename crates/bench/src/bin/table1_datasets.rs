@@ -63,13 +63,7 @@ fn main() {
             })
             .collect::<Vec<_>>()
             .join(", ");
-        rows.push(vec![
-            bench.name().to_string(),
-            elem,
-            strong,
-            weak,
-            actual,
-        ]);
+        rows.push(vec![bench.name().to_string(), elem, strong, weak, actual]);
     }
     println!("{}", render(&headers, &rows));
     println!(

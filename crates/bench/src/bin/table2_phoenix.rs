@@ -14,8 +14,8 @@ use gpmr_bench::table::{render, speedup_cell};
 use gpmr_bench::{
     run_kmc, run_lr, run_mm_bench, run_sio, run_wo, shared_dictionary, HarnessConfig,
 };
-use gpmr_sim_net::CpuSpec;
 use gpmr_sim_gpu::SimDuration;
+use gpmr_sim_net::CpuSpec;
 
 fn main() {
     let cfg = HarnessConfig::from_args();

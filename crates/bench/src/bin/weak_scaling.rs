@@ -20,12 +20,7 @@ fn main() {
     );
 
     let gpu_counts = [1u32, 4, 16, 64];
-    for bench in [
-        Benchmark::Sio,
-        Benchmark::Wo,
-        Benchmark::Kmc,
-        Benchmark::Lr,
-    ] {
+    for bench in [Benchmark::Sio, Benchmark::Wo, Benchmark::Kmc, Benchmark::Lr] {
         // Mid-range per-GPU size by default; the whole set with --full.
         let sizes = bench.weak_sizes_per_gpu();
         let chosen: Vec<u64> = if full {
@@ -34,42 +29,39 @@ fn main() {
             vec![sizes[sizes.len() / 2]]
         };
         for per_gpu_m in chosen {
-        let per_gpu = (per_gpu_m * 1_000_000 / cfg.scale.max(1)).max(1024) as usize;
+            let per_gpu = (per_gpu_m * 1_000_000 / cfg.scale.max(1)).max(1024) as usize;
 
-        let mut headers: Vec<String> = vec![format!(
-            "{} ({}M/GPU paper)",
-            bench.name(),
-            per_gpu_m
-        )];
-        headers.extend(gpu_counts.iter().map(|g| format!("{g} GPU")));
-        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+            let mut headers: Vec<String> =
+                vec![format!("{} ({}M/GPU paper)", bench.name(), per_gpu_m)];
+            headers.extend(gpu_counts.iter().map(|g| format!("{g} GPU")));
+            let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
 
-        let mut time_cells = vec!["runtime".to_string()];
-        let mut eff_cells = vec!["weak efficiency".to_string()];
-        let mut t1 = SimDuration::ZERO;
-        for &g in &gpu_counts {
-            let total = per_gpu * g as usize;
-            let t = match bench {
-                Benchmark::Sio => run_sio(g, total, cfg.scale, cfg.seed).time,
-                Benchmark::Wo => {
-                    let dict = shared_dictionary(cfg.scale);
-                    run_wo(g, total, cfg.scale, &dict, cfg.seed).time
+            let mut time_cells = vec!["runtime".to_string()];
+            let mut eff_cells = vec!["weak efficiency".to_string()];
+            let mut t1 = SimDuration::ZERO;
+            for &g in &gpu_counts {
+                let total = per_gpu * g as usize;
+                let t = match bench {
+                    Benchmark::Sio => run_sio(g, total, cfg.scale, cfg.seed).time,
+                    Benchmark::Wo => {
+                        let dict = shared_dictionary(cfg.scale);
+                        run_wo(g, total, cfg.scale, &dict, cfg.seed).time
+                    }
+                    Benchmark::Kmc => run_kmc(g, total, cfg.scale, cfg.seed).time,
+                    Benchmark::Lr => run_lr(g, total, cfg.scale, cfg.seed).time,
+                    Benchmark::Mm => unreachable!("MM has no weak-scaling set"),
+                };
+                if g == 1 {
+                    t1 = t;
                 }
-                Benchmark::Kmc => run_kmc(g, total, cfg.scale, cfg.seed).time,
-                Benchmark::Lr => run_lr(g, total, cfg.scale, cfg.seed).time,
-                Benchmark::Mm => unreachable!("MM has no weak-scaling set"),
-            };
-            if g == 1 {
-                t1 = t;
+                time_cells.push(format!("{t}"));
+                eff_cells.push(efficiency_cell(if t.as_secs() > 0.0 {
+                    t1.as_secs() / t.as_secs()
+                } else {
+                    0.0
+                }));
             }
-            time_cells.push(format!("{t}"));
-            eff_cells.push(efficiency_cell(if t.as_secs() > 0.0 {
-                t1.as_secs() / t.as_secs()
-            } else {
-                0.0
-            }));
-        }
-        println!("{}", render(&header_refs, &[time_cells, eff_cells]));
+            println!("{}", render(&header_refs, &[time_cells, eff_cells]));
         }
     }
     println!("Ideal weak scaling holds runtime flat (efficiency 1.0) as GPUs grow;");

@@ -10,10 +10,10 @@
 //!
 //! Usage: `cargo run --release -p gpmr-bench --bin whatif_gpu_direct [--scale N]`
 
+use gpmr_apps::lr::{self, LrJob};
 use gpmr_apps::sio::{self, SioJob};
 use gpmr_apps::text::chunk_text;
 use gpmr_apps::wo::WoJob;
-use gpmr_apps::lr::{self, LrJob};
 use gpmr_bench::harness::chunk_bytes;
 use gpmr_bench::runners::corpus_for;
 use gpmr_bench::table::{render, speedup_cell};
@@ -22,7 +22,13 @@ use gpmr_core::{run_job, GpmrJob, SliceChunk};
 use gpmr_sim_gpu::{GpuSpec, SimDuration};
 use gpmr_sim_net::Cluster;
 
-fn timed<J: GpmrJob>(gpus: u32, scale: u64, direct: bool, job: &J, chunks: Vec<J::Chunk>) -> SimDuration {
+fn timed<J: GpmrJob>(
+    gpus: u32,
+    scale: u64,
+    direct: bool,
+    job: &J,
+    chunks: Vec<J::Chunk>,
+) -> SimDuration {
     let mut cluster =
         Cluster::accelerator_scaled(gpus, GpuSpec::gt200(), scale as f64).with_gpu_direct(direct);
     run_job(&mut cluster, job, chunks)
@@ -34,9 +40,7 @@ fn timed<J: GpmrJob>(gpus: u32, scale: u64, direct: bool, job: &J, chunks: Vec<J
 fn main() {
     let cfg = HarnessConfig::from_args();
     let scale = cfg.scale;
-    println!(
-        "What-if: GPU-direct networking (paper §7 future work), scale divisor {scale}\n"
-    );
+    println!("What-if: GPU-direct networking (paper §7 future work), scale divisor {scale}\n");
 
     let headers = ["benchmark", "GPUs", "host-staged", "GPU-direct", "gain x"];
     let mut rows = Vec::new();

@@ -43,6 +43,7 @@ pub fn render_chart(series: &[Series], width: usize, height: usize, y_max: f64) 
         // interpolation per column).
         for w in s.points.windows(2) {
             let (c0, c1) = (col(w[0].0), col(w[1].0));
+            #[allow(clippy::needless_range_loop)] // each column targets its own row
             for c in c0..=c1 {
                 let t = if c1 == c0 {
                     0.0

@@ -56,10 +56,13 @@ pub fn shared_dictionary(scale: u64) -> Arc<Dictionary> {
         .clone()
 }
 
+/// One memoized corpus: (bytes, seed, text).
+type CorpusCache = OnceLock<Mutex<Option<(usize, u64, Arc<Vec<u8>>)>>>;
+
 /// Memoized corpus text so repeated WO runs (different GPU counts) reuse
 /// one generation pass.
 pub fn corpus_for(dict: &Arc<Dictionary>, bytes: usize, seed: u64) -> Arc<Vec<u8>> {
-    static CACHE: OnceLock<Mutex<Option<(usize, u64, Arc<Vec<u8>>)>>> = OnceLock::new();
+    static CACHE: CorpusCache = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(None));
     let mut guard = cache.lock().expect("corpus cache poisoned");
     if let Some((b, s, text)) = guard.as_ref() {
@@ -85,7 +88,13 @@ pub fn run_sio(gpus: u32, elements: usize, scale: u64, seed: u64) -> RunOutcome 
 }
 
 /// Word Occurrence over `bytes` of corpus text.
-pub fn run_wo(gpus: u32, bytes: usize, scale: u64, dict: &Arc<Dictionary>, seed: u64) -> RunOutcome {
+pub fn run_wo(
+    gpus: u32,
+    bytes: usize,
+    scale: u64,
+    dict: &Arc<Dictionary>,
+    seed: u64,
+) -> RunOutcome {
     let text = corpus_for(dict, bytes, seed);
     let chunks = chunk_text(&text, chunk_bytes(bytes as u64, gpus, scale));
     let mut cl = scaled_cluster(gpus, scale);
@@ -139,8 +148,7 @@ pub fn run_mm_bench(gpus: u32, n: usize, scale: u64, seed: u64) -> RunOutcome {
     let d = gpmr_apps::datasets::mm_dim_factor(scale);
     let full_spec = GpuSpec::gt200();
     let nt_full = n * d as usize / gpmr_apps::mm::TILE;
-    let (side_f, _, kb_f) =
-        gpmr_apps::mm::mm_auto_blocks(nt_full, gpus, full_spec.mem_capacity);
+    let (side_f, _, kb_f) = gpmr_apps::mm::mm_auto_blocks(nt_full, gpus, full_spec.mem_capacity);
     let side = (side_f / d as usize).max(1);
     let kb = (kb_f / d as usize).max(1);
 

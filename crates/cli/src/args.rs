@@ -78,7 +78,9 @@ impl Args {
             } else if valued.contains(&key.as_str()) {
                 let value = match inline {
                     Some(v) => v,
-                    None => it.next().ok_or_else(|| ArgError::MissingValue(key.clone()))?,
+                    None => it
+                        .next()
+                        .ok_or_else(|| ArgError::MissingValue(key.clone()))?,
                 };
                 args.options.insert(key, value);
             } else {
@@ -176,6 +178,8 @@ mod tests {
         assert!(ArgError::MissingValue("gpus".into())
             .to_string()
             .contains("--gpus"));
-        assert!(ArgError::UnknownOption("x".into()).to_string().contains("--x"));
+        assert!(ArgError::UnknownOption("x".into())
+            .to_string()
+            .contains("--x"));
     }
 }

@@ -97,7 +97,12 @@ where
     }
 }
 
-fn report(label: &str, gpus: u32, items: u64, result: &JobResult<u32, impl gpmr_core::Value>) -> String {
+fn report(
+    label: &str,
+    gpus: u32,
+    items: u64,
+    result: &JobResult<u32, impl gpmr_core::Value>,
+) -> String {
     let p = result.timings.mean_percentages();
     let t = result.total_time();
     let throughput = if t.as_secs() > 0.0 {
@@ -114,7 +119,11 @@ fn report(label: &str, gpus: u32, items: u64, result: &JobResult<u32, impl gpmr_
         result.timings.pairs_emitted,
         result.timings.pairs_shuffled,
         result.timings.chunks_stolen,
-        p[0], p[1], p[2], p[3], p[4],
+        p[0],
+        p[1],
+        p[2],
+        p[3],
+        p[4],
     )
 }
 
@@ -178,7 +187,12 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
             let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(16, n));
             let (result, trace) = run_job_traced(&mut cluster, &KmcJob::new(centers), chunks)
                 .map_err(|e| CliError::Invalid(e.to_string()))?;
-            let mut out = report("K-Means Clustering (one iteration)", gpus, n as u64, &result);
+            let mut out = report(
+                "K-Means Clustering (one iteration)",
+                gpus,
+                n as u64,
+                &result,
+            );
             maybe_gantt(&mut out, want_trace.then_some(trace), gpus);
             Ok(out)
         }
@@ -188,8 +202,8 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
             let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(8, n));
             let (result, trace) = run_job_traced(&mut cluster, &LrJob, chunks)
                 .map_err(|e| CliError::Invalid(e.to_string()))?;
-            let model = lr::model_from_stats(&lr::stats_from_output(&result.merged_output()));
             let mut out = report("Linear Regression", gpus, n as u64, &result);
+            let model = lr::model_from_stats(&lr::stats_from_output(&result.into_merged_output()));
             out.push_str(&format!(
                 "model          : y = {:.4}x + {:.4} (r = {:.5})\n",
                 model.slope, model.intercept, model.correlation
@@ -199,7 +213,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
         }
         "mm" => {
             let n: usize = args.get_or("size", 512)?;
-            if n % 16 != 0 {
+            if !n.is_multiple_of(16) {
                 return Err(CliError::Invalid(
                     "--size for mm must be a multiple of 16".into(),
                 ));
@@ -239,15 +253,9 @@ fn cmd_kmeans(args: &Args) -> Result<String, CliError> {
     let init = kmc::initial_centers(k, seed + 1);
     let mut cluster = Cluster::accelerator(gpus, GpuSpec::gt200());
     let chunk_points = (points / (4 * gpus as usize)).max(1024);
-    let result = gpmr_apps::iterative::run_kmeans(
-        &mut cluster,
-        &data,
-        init,
-        chunk_points,
-        iterations,
-        1e-4,
-    )
-    .map_err(|e| CliError::Invalid(e.to_string()))?;
+    let result =
+        gpmr_apps::iterative::run_kmeans(&mut cluster, &data, init, chunk_points, iterations, 1e-4)
+            .map_err(|e| CliError::Invalid(e.to_string()))?;
     let mut out = format!(
         "Iterative K-Means: {points} points, k={k}, {gpus} GPU(s)
          iterations     : {} (tolerance 1e-4)
@@ -342,7 +350,16 @@ mod tests {
 
     #[test]
     fn run_sio_small() {
-        let out = run(&["run", "--benchmark", "sio", "--gpus", "2", "--size", "20000"]).unwrap();
+        let out = run(&[
+            "run",
+            "--benchmark",
+            "sio",
+            "--gpus",
+            "2",
+            "--size",
+            "20000",
+        ])
+        .unwrap();
         assert!(out.contains("Sparse Integer Occurrence"));
         assert!(out.contains("simulated time"));
         assert!(out.contains("breakdown"));
@@ -382,7 +399,8 @@ mod tests {
 
     #[test]
     fn bad_benchmark_and_gpus_rejected() {
-        assert!(run(&["run", "--benchmark", "nope"]).unwrap_err()
+        assert!(run(&["run", "--benchmark", "nope"])
+            .unwrap_err()
             .to_string()
             .contains("unknown benchmark"));
         assert!(run(&["run", "--benchmark", "sio", "--gpus", "0"])
@@ -401,16 +419,25 @@ mod tests {
 
     #[test]
     fn kmeans_rejects_zero_k() {
-        assert!(run(&["kmeans", "--k", "0"]).unwrap_err()
+        assert!(run(&["kmeans", "--k", "0"])
+            .unwrap_err()
             .to_string()
             .contains("--k"));
     }
 
     #[test]
     fn run_wo_and_kmc_small() {
-        assert!(run(&["run", "--benchmark", "wo", "--size", "20000", "--scale", "64"])
-            .unwrap()
-            .contains("Word Occurrence"));
+        assert!(run(&[
+            "run",
+            "--benchmark",
+            "wo",
+            "--size",
+            "20000",
+            "--scale",
+            "64"
+        ])
+        .unwrap()
+        .contains("Word Occurrence"));
         assert!(run(&["run", "--benchmark", "kmc", "--size", "10000"])
             .unwrap()
             .contains("K-Means"));

@@ -16,8 +16,8 @@
 //! is verified against CPU references in the application crates.
 
 use gpmr_primitives::{bitonic_sort_pairs_by, extract_segments, sort_pairs, RadixKey, Segments};
-use gpmr_sim_net::{Cluster, Mailbox};
 use gpmr_sim_gpu::{SimDuration, SimTime};
+use gpmr_sim_net::{Cluster, Mailbox};
 
 use crate::error::{EngineError, EngineResult};
 use crate::helpers::{charge_partition, combine_pairs, split_buckets};
@@ -27,6 +27,9 @@ use crate::stats::{JobTimings, StageTimes};
 use crate::trace::{JobTrace, TraceKind};
 use crate::types::KvSet;
 use crate::Chunk;
+
+/// Result of a traced run: the job result paired with its schedule trace.
+pub type TracedRun<K, V> = EngineResult<(JobResult<K, V>, JobTrace)>;
 
 /// Engine policy knobs: scheduler behaviour and fixed-cost calibration.
 ///
@@ -75,11 +78,28 @@ pub struct JobResult<K, V> {
 }
 
 impl<K: crate::types::Key, V: crate::types::Value> JobResult<K, V> {
-    /// All output pairs concatenated in rank order.
+    /// All output pairs concatenated in rank order (copied; the per-rank
+    /// outputs stay available). See [`JobResult::into_merged_output`] for
+    /// the owning variant that avoids the copy.
     pub fn merged_output(&self) -> KvSet<K, V> {
-        let mut out = KvSet::new();
+        let total: usize = self.outputs.iter().map(KvSet::len).sum();
+        let mut out = KvSet::with_capacity(total);
         for o in &self.outputs {
-            out.append(o.clone());
+            out.extend_from_set(o);
+        }
+        out
+    }
+
+    /// Consume the result, concatenating all output pairs in rank order
+    /// without copying rank 0's (usually dominant) buffer when it is the
+    /// only one.
+    pub fn into_merged_output(self) -> KvSet<K, V> {
+        let total: usize = self.outputs.iter().map(KvSet::len).sum();
+        let mut outputs = self.outputs.into_iter();
+        let mut out = outputs.next().unwrap_or_default();
+        out.reserve(total - out.len());
+        for o in outputs {
+            out.append(o);
         }
         out
     }
@@ -154,7 +174,7 @@ pub fn run_job_traced<J: GpmrJob>(
     cluster: &mut Cluster,
     job: &J,
     chunks: Vec<J::Chunk>,
-) -> EngineResult<(JobResult<J::Key, J::Value>, JobTrace)> {
+) -> TracedRun<J::Key, J::Value> {
     let mut trace = Some(JobTrace::new());
     let result = run_job_impl(cluster, job, chunks, &EngineTuning::default(), &mut trace)?;
     Ok((result, trace.expect("trace populated")))
@@ -218,20 +238,17 @@ fn run_job_impl<J: GpmrJob>(
         }
     }
 
-    loop {
-        // Earliest-ready active rank.
-        let Some(r) = (0..ranks)
-            .filter(|&r| st[r as usize].active)
-            .min_by(|&a, &b| {
-                st[a as usize]
-                    .cursor
-                    .partial_cmp(&st[b as usize].cursor)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.cmp(&b))
-            })
-        else {
-            break;
-        };
+    // Drive the earliest-ready active rank until none remain.
+    while let Some(r) = (0..ranks)
+        .filter(|&r| st[r as usize].active)
+        .min_by(|&a, &b| {
+            st[a as usize]
+                .cursor
+                .partial_cmp(&st[b as usize].cursor)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        })
+    {
         let ri = r as usize;
 
         // Obtain a chunk: own queue, else steal, else retire.
@@ -302,7 +319,13 @@ fn run_job_impl<J: GpmrJob>(
             MapMode::Plain | MapMode::PartialReduce => {
                 let (mut pairs, mut t) = job.map(gpu, up.end, &chunk)?;
                 if let Some(tr) = trace.as_mut() {
-                    tr.record(r, TraceKind::Map, up.end, t, format!("{} pairs", pairs.len()));
+                    tr.record(
+                        r,
+                        TraceKind::Map,
+                        up.end,
+                        t,
+                        format!("{} pairs", pairs.len()),
+                    );
                 }
                 pairs_emitted += pairs.len() as u64;
                 if cfg.map_mode == MapMode::PartialReduce {
@@ -483,7 +506,8 @@ fn run_job_impl<J: GpmrJob>(
     for r in 0..ranks {
         let ri = r as usize;
         let deliveries = mailbox.drain(r);
-        let mut incoming: KvSet<J::Key, J::Value> = KvSet::new();
+        let mut incoming: KvSet<J::Key, J::Value> =
+            KvSet::with_capacity(deliveries.iter().map(|d| d.payload.len()).sum());
         let mut last_arrival = SimTime::ZERO;
         for d in deliveries {
             last_arrival = last_arrival.max(d.arrival);
@@ -528,13 +552,11 @@ fn run_job_impl<J: GpmrJob>(
         }
         let (skeys, svals, t1) = match cfg.sort {
             SortMode::Radix => sort_pairs(gpu, sort_start, &incoming.keys, &incoming.vals)?,
-            SortMode::Bitonic => bitonic_sort_pairs_by(
-                gpu,
-                sort_start,
-                &incoming.keys,
-                &incoming.vals,
-                |a, b| a.radix().cmp(&b.radix()),
-            )?,
+            SortMode::Bitonic => {
+                bitonic_sort_pairs_by(gpu, sort_start, &incoming.keys, &incoming.vals, |a, b| {
+                    a.radix().cmp(&b.radix())
+                })?
+            }
         };
         let (segs, t2) = extract_segments(gpu, t1, &skeys)?;
         if let Some(tr) = trace.as_mut() {
@@ -548,8 +570,9 @@ fn run_job_impl<J: GpmrJob>(
         }
         st[ri].sort_done = t2;
 
-        // Reduce: chunked by the job's callback.
-        let mut out: KvSet<J::Key, J::Value> = KvSet::new();
+        // Reduce: chunked by the job's callback. Typical reducers emit one
+        // pair per unique key, so size for that.
+        let mut out: KvSet<J::Key, J::Value> = KvSet::with_capacity(segs.len());
         let mut t = t2;
         let mut i = 0usize;
         let val_bytes = std::mem::size_of::<J::Value>().max(1);
@@ -561,8 +584,7 @@ fn run_job_impl<J: GpmrJob>(
             // Memory safety net: a reduce chunk's values must fit on the
             // device (quarter of memory, leaving room for outputs and the
             // double buffer) regardless of what the callback asked for.
-            while take > 1
-                && (segs.offsets[i + take] - segs.offsets[i]) * val_bytes > reduce_budget
+            while take > 1 && (segs.offsets[i + take] - segs.offsets[i]) * val_bytes > reduce_budget
             {
                 take /= 2;
             }
@@ -636,9 +658,9 @@ fn route_pairs<J: GpmrJob>(
             buckets[0] = pairs;
             buckets
         }
-        PartitionMode::RoundRobin => split_buckets(pairs, ranks, |k| {
-            (k.radix() % u64::from(ranks)) as u32
-        }),
+        PartitionMode::RoundRobin => {
+            split_buckets(pairs, ranks, |k| (k.radix() % u64::from(ranks)) as u32)
+        }
         PartitionMode::Custom => split_buckets(pairs, ranks, |k| job.partition(k, ranks)),
     }
 }
@@ -741,7 +763,12 @@ mod tests {
     fn combine_mode_defers_binning_and_matches_plain() {
         let plain = {
             let mut cl = Cluster::accelerator(4, GpuSpec::gt200());
-            run_job(&mut cl, &TestJob::with(PipelineConfig::default()), input(8000)).unwrap()
+            run_job(
+                &mut cl,
+                &TestJob::with(PipelineConfig::default()),
+                input(8000),
+            )
+            .unwrap()
         };
         let combined = {
             let mut cl = Cluster::accelerator(4, GpuSpec::gt200());
@@ -781,7 +808,12 @@ mod tests {
     fn bitonic_sorter_path_matches_radix_path() {
         let radix = {
             let mut cl = Cluster::accelerator(3, GpuSpec::gt200());
-            run_job(&mut cl, &TestJob::with(PipelineConfig::default()), input(5000)).unwrap()
+            run_job(
+                &mut cl,
+                &TestJob::with(PipelineConfig::default()),
+                input(5000),
+            )
+            .unwrap()
         };
         let bitonic = {
             let mut cl = Cluster::accelerator(3, GpuSpec::gt200());
@@ -799,8 +831,12 @@ mod tests {
         let large = GpuSpec::gt200();
         let run_with = |spec: GpuSpec| {
             let mut cl = Cluster::new(gpmr_sim_net::Topology::new(1, 1, 1), spec);
-            let r = run_job(&mut cl, &TestJob::with(PipelineConfig::default()), input(4000))
-                .unwrap();
+            let r = run_job(
+                &mut cl,
+                &TestJob::with(PipelineConfig::default()),
+                input(4000),
+            )
+            .unwrap();
             let stats = cl.gpu(0).stats();
             (r, stats.h2d_bytes)
         };

@@ -30,9 +30,17 @@ pub fn split_buckets<K: Key, V: Value>(
     ranks: u32,
     route: impl Fn(&K) -> u32,
 ) -> Vec<KvSet<K, V>> {
-    let mut buckets: Vec<KvSet<K, V>> = (0..ranks).map(|_| KvSet::new()).collect();
-    for (k, v) in pairs.keys.into_iter().zip(pairs.vals) {
-        let dest = route(&k).min(ranks - 1);
+    // Counting pre-pass: route every key once to size each bucket exactly,
+    // so the fill loop never reallocates.
+    let mut dests: Vec<u32> = Vec::with_capacity(pairs.len());
+    let mut counts = vec![0usize; ranks as usize];
+    for k in &pairs.keys {
+        let dest = route(k).min(ranks - 1);
+        counts[dest as usize] += 1;
+        dests.push(dest);
+    }
+    let mut buckets: Vec<KvSet<K, V>> = counts.into_iter().map(KvSet::with_capacity).collect();
+    for ((k, v), dest) in pairs.keys.into_iter().zip(pairs.vals).zip(dests) {
         buckets[dest as usize].push(k, v);
     }
     buckets
@@ -79,7 +87,7 @@ where
         out
     })?;
 
-    let mut out = KvSet::new();
+    let mut out = KvSet::with_capacity(segs.len());
     for part in folded.outputs {
         out.append(part);
     }

@@ -27,6 +27,10 @@ use gpmr_sim_gpu::{Gpu, SimGpuResult, SimTime};
 use crate::chunk::Chunk;
 use crate::types::{Key, KvSet, Value};
 
+/// Return type of the pair-producing job kernels: the emitted pairs plus
+/// the simulated time at which they are ready.
+pub type KernelOutput<K, V> = SimGpuResult<(KvSet<K, V>, SimTime)>;
+
 /// Which Map-stage reduction substage a job uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MapMode {
@@ -188,7 +192,7 @@ pub trait GpmrJob: Send + Sync {
         gpu: &mut Gpu,
         at: SimTime,
         chunk: &Self::Chunk,
-    ) -> SimGpuResult<(KvSet<Self::Key, Self::Value>, SimTime)>;
+    ) -> KernelOutput<Self::Key, Self::Value>;
 
     /// Partial Reduction: shrink the GPU-resident pair set emitted by one
     /// map before it is downloaded. Default: identity (no shrink).
@@ -197,7 +201,7 @@ pub trait GpmrJob: Send + Sync {
         _gpu: &mut Gpu,
         at: SimTime,
         pairs: KvSet<Self::Key, Self::Value>,
-    ) -> SimGpuResult<(KvSet<Self::Key, Self::Value>, SimTime)> {
+    ) -> KernelOutput<Self::Key, Self::Value> {
         Ok((pairs, at))
     }
 
@@ -208,7 +212,7 @@ pub trait GpmrJob: Send + Sync {
         &self,
         _gpu: &mut Gpu,
         _at: SimTime,
-    ) -> SimGpuResult<(KvSet<Self::Key, Self::Value>, SimTime)> {
+    ) -> KernelOutput<Self::Key, Self::Value> {
         unimplemented!("job uses MapMode::Accumulate but does not implement accumulate_init")
     }
 
@@ -245,7 +249,7 @@ pub trait GpmrJob: Send + Sync {
         at: SimTime,
         _segs: &Segments<Self::Key>,
         _vals: &[Self::Value],
-    ) -> SimGpuResult<(KvSet<Self::Key, Self::Value>, SimTime)> {
+    ) -> KernelOutput<Self::Key, Self::Value> {
         // Jobs that bypass sort+reduce never reach here.
         Ok((KvSet::new(), at))
     }
@@ -336,7 +340,7 @@ mod tests {
         assert_eq!(dest[0], 0);
         assert_eq!(dest[100], 3);
         for r in 0..4 {
-            assert!(dest.iter().any(|&d| d == r));
+            assert!(dest.contains(&r));
         }
         // Out-of-range keys clamp to the last rank.
         assert_eq!(block_partition(1_000_000, 100, 4), 3);

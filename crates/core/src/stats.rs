@@ -10,7 +10,7 @@
 use gpmr_sim_gpu::SimDuration;
 
 /// Wall-clock (simulated) spans of the pipeline stages on one rank.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct StageTimes {
     /// Map stage: job start until the rank's last map kernel finishes
     /// (chunk uploads and partial reductions overlap inside it).
@@ -50,7 +50,7 @@ impl StageTimes {
 }
 
 /// Aggregate timing result of one job.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct JobTimings {
     /// Job makespan: the latest rank's reduce completion.
     pub total: SimDuration,

@@ -78,10 +78,22 @@ impl<K: Key, V: Value> KvSet<K, V> {
         self.vals.push(val);
     }
 
+    /// Reserve capacity for at least `additional` more pairs.
+    pub fn reserve(&mut self, additional: usize) {
+        self.keys.reserve(additional);
+        self.vals.reserve(additional);
+    }
+
     /// Append all pairs of `other`.
     pub fn append(&mut self, mut other: KvSet<K, V>) {
         self.keys.append(&mut other.keys);
         self.vals.append(&mut other.vals);
+    }
+
+    /// Append copies of all pairs of `other`, leaving it intact.
+    pub fn extend_from_set(&mut self, other: &KvSet<K, V>) {
+        self.keys.extend_from_slice(&other.keys);
+        self.vals.extend_from_slice(&other.vals);
     }
 
     /// Size in bytes when resident or transferred.
@@ -132,6 +144,19 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn from_parts_validates_lengths() {
         let _ = KvSet::from_parts(vec![1u32], vec![1u8, 2]);
+    }
+
+    #[test]
+    fn reserve_and_extend_from_set() {
+        let mut a: KvSet<u32, u32> = KvSet::new();
+        a.reserve(8);
+        assert!(a.keys.capacity() >= 8 && a.vals.capacity() >= 8);
+        let b: KvSet<u32, u32> = [(1u32, 10u32), (2, 20)].into_iter().collect();
+        a.extend_from_set(&b);
+        a.extend_from_set(&b);
+        assert_eq!(b.len(), 2); // untouched
+        let pairs: Vec<(u32, u32)> = a.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(pairs, vec![(1, 10), (2, 20), (1, 10), (2, 20)]);
     }
 
     #[test]

@@ -103,7 +103,8 @@ mod tests {
     fn bitonic_costs_more_than_radix_at_scale() {
         let data: Vec<u32> = (0..200_000u32).map(|i| i.wrapping_mul(40503)).collect();
         let mut g1 = gpu();
-        let (_, t_bitonic) = bitonic_sort_by(&mut g1, SimTime::ZERO, &data, |a, b| a.cmp(b)).unwrap();
+        let (_, t_bitonic) =
+            bitonic_sort_by(&mut g1, SimTime::ZERO, &data, |a, b| a.cmp(b)).unwrap();
         let mut g2 = gpu();
         let (_, t_radix) = sort_keys(&mut g2, SimTime::ZERO, &data).unwrap();
         assert!(
@@ -126,7 +127,8 @@ mod tests {
     #[test]
     fn trivial_inputs_are_free() {
         let mut g = gpu();
-        let (out, t) = bitonic_sort_by::<u32, _>(&mut g, SimTime::ZERO, &[], |a, b| a.cmp(b)).unwrap();
+        let (out, t) =
+            bitonic_sort_by::<u32, _>(&mut g, SimTime::ZERO, &[], |a, b| a.cmp(b)).unwrap();
         assert!(out.is_empty());
         assert_eq!(t, SimTime::ZERO);
         let (one, t) = bitonic_sort_by(&mut g, SimTime::ZERO, &[3u8], |a, b| a.cmp(b)).unwrap();

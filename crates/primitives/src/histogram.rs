@@ -76,8 +76,7 @@ mod tests {
     fn histogram_counts_correctly() {
         let mut g = gpu();
         let input: Vec<u32> = (0..60_000).map(|i| i % 10).collect();
-        let (counts, end) =
-            histogram(&mut g, SimTime::ZERO, &input, 10, |&v| v as usize).unwrap();
+        let (counts, end) = histogram(&mut g, SimTime::ZERO, &input, 10, |&v| v as usize).unwrap();
         assert_eq!(counts, vec![6000; 10]);
         assert!(end > SimTime::ZERO);
     }

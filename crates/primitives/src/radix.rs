@@ -78,18 +78,25 @@ where
     }
     let passes = significant_bits.clamp(1, K::BITS).div_ceil(DIGIT_BITS);
 
-    let mut cur_keys: Vec<K> = keys.to_vec();
-    let mut cur_vals: Vec<V> = vals.to_vec();
+    // Ping-pong between two owned buffer pairs: pass 0 reads the borrowed
+    // input directly, so neither an up-front clone of the dataset nor a
+    // fresh output allocation per pass is needed.
+    let mut a = SortBufs::default();
+    let mut b = SortBufs::default();
     let mut t = at;
 
     for pass in 0..passes {
         let shift = pass * DIGIT_BITS;
-        let (k, v, end) = counting_pass(gpu, t, &cur_keys, &cur_vals, shift)?;
-        cur_keys = k;
-        cur_vals = v;
-        t = end;
+        t = if pass == 0 {
+            counting_pass_into(gpu, t, keys, vals, shift, &mut a)?
+        } else if pass % 2 == 1 {
+            counting_pass_into(gpu, t, &a.keys, &a.vals, shift, &mut b)?
+        } else {
+            counting_pass_into(gpu, t, &b.keys, &b.vals, shift, &mut a)?
+        };
     }
-    Ok((cur_keys, cur_vals, t))
+    let out = if passes % 2 == 1 { a } else { b };
+    Ok((out.keys, out.vals, t))
 }
 
 /// Sort keys only (values are implicit indices nobody needs).
@@ -104,11 +111,7 @@ pub fn sort_keys<K: RadixKey>(
     Ok((k, t))
 }
 
-fn max_radix<K: RadixKey>(
-    gpu: &mut Gpu,
-    at: SimTime,
-    keys: &[K],
-) -> SimGpuResult<(u64, SimTime)> {
+fn max_radix<K: RadixKey>(gpu: &mut Gpu, at: SimTime, keys: &[K]) -> SimGpuResult<(u64, SimTime)> {
     if keys.is_empty() {
         return Ok((0, at));
     }
@@ -119,14 +122,34 @@ fn max_radix<K: RadixKey>(
     Ok((max, t))
 }
 
-/// One stable counting-sort pass on an 8-bit digit at `shift`.
-fn counting_pass<K, V>(
+/// Reusable destination buffers for one ping-pong direction of the sort.
+struct SortBufs<K, V> {
+    keys: Vec<K>,
+    vals: Vec<V>,
+    /// Scanned (digit x block) histogram scratch, indexed `b * DIGITS + d`.
+    offsets: Vec<usize>,
+}
+
+impl<K, V> Default for SortBufs<K, V> {
+    fn default() -> Self {
+        SortBufs {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            offsets: Vec::new(),
+        }
+    }
+}
+
+/// One stable counting-sort pass on an 8-bit digit at `shift`, writing the
+/// reordered pairs into `out` (buffers are reused across passes).
+fn counting_pass_into<K, V>(
     gpu: &mut Gpu,
     at: SimTime,
     keys: &[K],
     vals: &[V],
     shift: u32,
-) -> SimGpuResult<(Vec<K>, Vec<V>, SimTime)>
+    out: &mut SortBufs<K, V>,
+) -> SimGpuResult<SimTime>
 where
     K: RadixKey,
     V: Copy + Send + Sync + 'static,
@@ -135,30 +158,40 @@ where
     let cfg = LaunchConfig::for_items(n, SORT_ITEMS_PER_BLOCK, 256)
         .with_shared_bytes((DIGITS * 4) as u32);
 
-    // Kernel 1: per-block, bucket (key, value) pairs by digit. This fuses
-    // the histogram and local ordering; the global stable order is
-    // digit-major then block-major then local order.
-    let (buckets, r1) = gpu.launch(at, &cfg, |ctx| {
+    // Kernel 1: per-block digit histogram. The global stable order is
+    // digit-major then block-major then local order; with counts per block
+    // the scatter below can place every pair directly, so no per-block
+    // bucket lists are materialized.
+    let (hist, r1) = gpu.launch(at, &cfg, |ctx| {
         let range = ctx.item_range(n);
         ctx.charge_read::<K>(range.len());
         ctx.charge_read::<V>(range.len());
         ctx.charge_flops(3 * range.len() as u64); // digit extract + shared atomic
-        let mut local: Vec<Vec<(K, V)>> = vec![Vec::new(); DIGITS];
+        let mut counts = [0usize; DIGITS];
         for i in range {
             let d = ((keys[i].radix() >> shift) & (DIGITS as u64 - 1)) as usize;
-            local[d].push((keys[i], vals[i]));
+            counts[d] += 1;
         }
-        local
+        counts
     })?;
 
     // Digit-major exclusive scan over the (digit x block) histogram.
-    let blocks = buckets.outputs.len();
+    let blocks = hist.outputs.len();
     let scan_cost = KernelCost {
         flops: (DIGITS * blocks) as u64,
         bytes_coalesced: (2 * DIGITS * blocks * 4) as u64,
         ..KernelCost::ZERO
     };
     let r2 = gpu.charge_compute(r1.end, &scan_cost, 1.0);
+    out.offsets.clear();
+    out.offsets.resize(blocks * DIGITS, 0);
+    let mut running = 0usize;
+    for d in 0..DIGITS {
+        for (b, counts) in hist.outputs.iter().enumerate() {
+            out.offsets[b * DIGITS + d] = running;
+            running += counts[d];
+        }
+    }
 
     // Kernel 2 (scatter): each pair lands at its scanned offset. Writes are
     // scattered across the output — charged uncoalesced, reads coalesced.
@@ -171,18 +204,25 @@ where
     };
     let r3 = gpu.charge_compute(r2.end, &scatter_cost, 1.0);
 
-    // Assemble the stable digit-major order (this *is* the scatter).
-    let mut out_keys = Vec::with_capacity(n);
-    let mut out_vals = Vec::with_capacity(n);
-    for d in 0..DIGITS {
-        for block in &buckets.outputs {
-            for &(k, v) in &block[d] {
-                out_keys.push(k);
-                out_vals.push(v);
-            }
+    // A forward scan writes each pair at its block's scanned offset;
+    // forward order within a block keeps the sort stable.
+    out.keys.clear();
+    out.vals.clear();
+    out.keys.resize(n, keys[0]);
+    out.vals.resize(n, vals[0]);
+    let per = n.div_ceil(blocks);
+    for b in 0..blocks {
+        let start = (b * per).min(n);
+        let end = ((b + 1) * per).min(n);
+        for i in start..end {
+            let d = ((keys[i].radix() >> shift) & (DIGITS as u64 - 1)) as usize;
+            let pos = &mut out.offsets[b * DIGITS + d];
+            out.keys[*pos] = keys[i];
+            out.vals[*pos] = vals[i];
+            *pos += 1;
         }
     }
-    Ok((out_keys, out_vals, r3.end))
+    Ok(r3.end)
 }
 
 #[cfg(test)]
@@ -268,8 +308,7 @@ mod tests {
         let mut g = gpu();
         let keys: Vec<u64> = (0..5000u64).rev().collect();
         let vals: Vec<u8> = (0..5000).map(|i| (i % 256) as u8).collect();
-        let (sk, sv, _) =
-            sort_pairs_with_bits(&mut g, SimTime::ZERO, &keys, &vals, 13).unwrap();
+        let (sk, sv, _) = sort_pairs_with_bits(&mut g, SimTime::ZERO, &keys, &vals, 13).unwrap();
         assert_eq!(sk[0], 0);
         assert_eq!(sk[4999], 4999);
         assert_eq!(sv[0], (4999 % 256) as u8);

@@ -186,7 +186,10 @@ mod tests {
         flags[0] = true;
         let (out, _) = segmented_inclusive_scan(&mut g, SimTime::ZERO, &values, &flags).unwrap();
         assert_eq!(out[n - 1], n as u64);
-        assert_eq!(out[SEGMENTED_ITEMS_PER_BLOCK], (SEGMENTED_ITEMS_PER_BLOCK + 1) as u64);
+        assert_eq!(
+            out[SEGMENTED_ITEMS_PER_BLOCK],
+            (SEGMENTED_ITEMS_PER_BLOCK + 1) as u64
+        );
     }
 
     #[test]
@@ -201,8 +204,7 @@ mod tests {
     #[test]
     fn empty_inputs_are_free() {
         let mut g = gpu();
-        let (out, t) =
-            segmented_inclusive_scan::<u32>(&mut g, SimTime::ZERO, &[], &[]).unwrap();
+        let (out, t) = segmented_inclusive_scan::<u32>(&mut g, SimTime::ZERO, &[], &[]).unwrap();
         assert!(out.is_empty());
         assert_eq!(t, SimTime::ZERO);
     }

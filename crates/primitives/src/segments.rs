@@ -176,7 +176,7 @@ mod tests {
         // Runs exactly the size of a block partition stress the i-1 read.
         let mut keys = Vec::new();
         for run in 0..10u32 {
-            keys.extend(std::iter::repeat(run).take(SEGMENT_ITEMS_PER_BLOCK));
+            keys.extend(std::iter::repeat_n(run, SEGMENT_ITEMS_PER_BLOCK));
         }
         let (segs, _) = extract_segments(&mut g, SimTime::ZERO, &keys).unwrap();
         assert_eq!(segs.len(), 10);

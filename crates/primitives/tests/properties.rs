@@ -177,9 +177,9 @@ mod segmented_props {
             let flags = flags_from_segments(&segs, values.len());
             let (scan, _) =
                 segmented_inclusive_scan(&mut gpu, SimTime::ZERO, &values, &flags).unwrap();
-            for i in 0..segs.len() {
+            for (i, &sum) in sums.iter().enumerate() {
                 let r = segs.range(i);
-                prop_assert_eq!(scan[r.end - 1], sums[i]);
+                prop_assert_eq!(scan[r.end - 1], sum);
             }
         }
     }

@@ -101,7 +101,7 @@ pub fn coalesce_warp(addresses: &[u64], elem_bytes: u64) -> CoalescingSummary {
             let lo = half
                 .iter()
                 .filter(|&&a| a / seg == s)
-                .map(|&a| a)
+                .copied()
                 .min()
                 .unwrap_or(s * seg);
             let hi = half
@@ -214,7 +214,7 @@ mod tests {
     #[test]
     fn byte_accesses_use_32_byte_segments() {
         // 16 consecutive bytes in one half-warp: one 32-byte transaction.
-        let addrs: Vec<u64> = (0..16).map(|i| i).collect();
+        let addrs: Vec<u64> = (0..16).collect();
         let s = coalesce_warp(&addrs, 1);
         assert_eq!(s.transactions, 1);
         assert_eq!(s.bytes_moved, 32);

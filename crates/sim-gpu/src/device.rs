@@ -36,8 +36,10 @@ pub struct Gpu {
     compute: Timeline,
     link: SharedLink,
     stats: GpuStats,
-    /// Host worker threads used to execute kernel blocks. Defaults to the
-    /// machine's available parallelism.
+    /// Host worker threads used to execute kernel blocks. Defaults to
+    /// [`crate::pool::worker_threads`] (`GPMR_WORKER_THREADS`, else the
+    /// machine's available parallelism). Outputs and simulated times do
+    /// not depend on this value.
     pub worker_threads: usize,
 }
 
@@ -56,9 +58,7 @@ impl Gpu {
             compute: Timeline::new(),
             link,
             stats: GpuStats::default(),
-            worker_threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            worker_threads: crate::pool::worker_threads(),
         }
     }
 

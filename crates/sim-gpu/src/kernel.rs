@@ -306,34 +306,40 @@ where
         return Ok((outputs, cost));
     }
 
-    // Contiguous partition of the grid over worker threads; each worker
-    // fills an independent vector, concatenated in order afterwards.
+    // Contiguous partition of the grid over worker spans; each span fills
+    // an independent vector, concatenated in span order afterwards, so the
+    // result is identical to the sequential path for any thread count.
     let per = grid.div_ceil(threads);
-    let mut results: Vec<SimGpuResult<(Vec<R>, KernelCost)>> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            let start = t * per;
-            let end = ((t + 1) * per).min(grid);
-            if start >= end {
-                break;
-            }
-            handles.push(s.spawn(move |_| {
-                let mut out = Vec::with_capacity(end - start);
-                let mut cost = KernelCost::ZERO;
-                for b in start..end {
-                    let mut ctx = BlockCtx::new(spec, cfg, b as u32);
-                    out.push(f(&mut ctx)?);
-                    cost += ctx.cost;
-                }
-                Ok((out, cost))
-            }));
+    let spans: Vec<(usize, usize)> = (0..threads)
+        .map(|t| (t * per, ((t + 1) * per).min(grid)))
+        .filter(|&(start, end)| start < end)
+        .collect();
+    let run_span = |(start, end): (usize, usize)| -> SimGpuResult<(Vec<R>, KernelCost)> {
+        let mut out = Vec::with_capacity(end - start);
+        let mut cost = KernelCost::ZERO;
+        for b in start..end {
+            let mut ctx = BlockCtx::new(spec, cfg, b as u32);
+            out.push(f(&mut ctx)?);
+            cost += ctx.cost;
         }
-        for h in handles {
-            results.push(h.join().expect("kernel worker panicked"));
+        Ok((out, cost))
+    };
+
+    let results: Vec<SimGpuResult<(Vec<R>, KernelCost)>> = match crate::pool::exec_backend() {
+        crate::pool::ExecBackend::Pool => {
+            crate::pool::run_indexed(spans.len(), |t| run_span(spans[t]))
         }
-    })
-    .expect("kernel scope panicked");
+        crate::pool::ExecBackend::Spawn => std::thread::scope(|s| {
+            let handles: Vec<_> = spans
+                .iter()
+                .map(|&span| s.spawn(move || run_span(span)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("kernel worker panicked"))
+                .collect()
+        }),
+    };
 
     let mut outputs = Vec::with_capacity(grid);
     let mut cost = KernelCost::ZERO;
@@ -380,7 +386,7 @@ mod tests {
     fn item_range_partitions_exactly() {
         let s = spec();
         let cfg = LaunchConfig::grid(7, 32);
-        let mut covered = vec![false; 100];
+        let mut covered = [false; 100];
         for b in 0..7 {
             let ctx = BlockCtx::new(&s, &cfg, b);
             for i in ctx.item_range(100) {
@@ -400,11 +406,20 @@ mod tests {
             Ok(ctx.block_idx)
         };
         let (seq, cost_seq) = run_blocks(&s, &cfg, 1, &f).unwrap();
-        let (par, cost_par) = run_blocks(&s, &cfg, 8, &f).unwrap();
         assert_eq!(seq, (0..37).collect::<Vec<_>>());
-        assert_eq!(seq, par);
-        assert_eq!(cost_seq, cost_par);
         assert_eq!(cost_seq.flops, (0..37).sum::<u64>());
+        for workers in [2, 8] {
+            for backend in [
+                crate::pool::ExecBackend::Pool,
+                crate::pool::ExecBackend::Spawn,
+            ] {
+                crate::pool::set_exec_backend(backend);
+                let (par, cost_par) = run_blocks(&s, &cfg, workers, &f).unwrap();
+                assert_eq!(seq, par, "{workers} workers on {backend:?}");
+                assert_eq!(cost_seq, cost_par, "{workers} workers on {backend:?}");
+            }
+        }
+        crate::pool::set_exec_backend(crate::pool::ExecBackend::Pool);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod kernel;
 pub mod link;
 pub mod memory;
 pub mod occupancy;
+pub mod pool;
 pub mod spec;
 pub mod stream;
 pub mod time;
@@ -42,6 +43,7 @@ pub use kernel::{BlockCtx, Launch, LaunchConfig};
 pub use link::{Direction, PcieLink, SharedLink};
 pub use memory::{DeviceBuffer, DeviceMemory};
 pub use occupancy::{occupancy, Occupancy};
+pub use pool::{exec_backend, run_indexed, set_exec_backend, worker_threads, ExecBackend};
 pub use spec::GpuSpec;
 pub use stream::Stream;
 pub use time::{Reservation, SimDuration, SimTime, Timeline};

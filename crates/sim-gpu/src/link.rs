@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::time::{Reservation, SimDuration, SimTime, Timeline};
 
@@ -106,22 +106,22 @@ impl SharedLink {
 
     /// Reserve a transfer; see [`PcieLink::transfer`].
     pub fn transfer(&self, dir: Direction, at: SimTime, bytes: u64) -> Reservation {
-        self.0.lock().transfer(dir, at, bytes)
+        self.0.lock().unwrap().transfer(dir, at, bytes)
     }
 
     /// See [`PcieLink::free_at`].
     pub fn free_at(&self, dir: Direction) -> SimTime {
-        self.0.lock().free_at(dir)
+        self.0.lock().unwrap().free_at(dir)
     }
 
     /// See [`PcieLink::busy_time`].
     pub fn busy_time(&self) -> SimDuration {
-        self.0.lock().busy_time()
+        self.0.lock().unwrap().busy_time()
     }
 
     /// See [`PcieLink::reset`].
     pub fn reset(&self) {
-        self.0.lock().reset()
+        self.0.lock().unwrap().reset()
     }
 }
 

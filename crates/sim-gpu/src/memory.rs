@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::error::{SimGpuError, SimGpuResult};
 
@@ -96,7 +96,7 @@ impl DeviceMemory {
     }
 
     fn charge(&self, bytes: u64) -> SimGpuResult<()> {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         if st.used + bytes > st.capacity {
             return Err(SimGpuError::OutOfMemory {
                 requested: bytes,
@@ -110,34 +110,34 @@ impl DeviceMemory {
     }
 
     fn release(&self, bytes: u64) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.used = st.used.saturating_sub(bytes);
     }
 
     /// Bytes currently allocated.
     pub fn used(&self) -> u64 {
-        self.state.lock().used
+        self.state.lock().unwrap().used
     }
 
     /// Total capacity in bytes.
     pub fn capacity(&self) -> u64 {
-        self.state.lock().capacity
+        self.state.lock().unwrap().capacity
     }
 
     /// Bytes still available.
     pub fn available(&self) -> u64 {
-        let st = self.state.lock();
+        let st = self.state.lock().unwrap();
         st.capacity - st.used
     }
 
     /// High-water mark of allocated bytes.
     pub fn peak(&self) -> u64 {
-        self.state.lock().peak
+        self.state.lock().unwrap().peak
     }
 
     /// Number of allocations performed over the allocator's lifetime.
     pub fn allocation_count(&self) -> u64 {
-        self.state.lock().allocations
+        self.state.lock().unwrap().allocations
     }
 }
 

@@ -28,17 +28,15 @@ pub fn occupancy(spec: &GpuSpec, cfg: &LaunchConfig) -> Occupancy {
     let warps_per_block = threads.div_ceil(spec.warp_size);
     let by_warps = spec.max_warps_per_sm() / warps_per_block.max(1);
     let by_blocks = spec.max_blocks_per_sm;
-    let by_shared = if cfg.shared_bytes == 0 {
-        u32::MAX
-    } else {
-        spec.shared_mem_per_sm / cfg.shared_bytes
-    };
+    let by_shared = spec
+        .shared_mem_per_sm
+        .checked_div(cfg.shared_bytes)
+        .unwrap_or(u32::MAX);
     let regs_per_block = cfg.regs_per_thread.max(1) * threads;
-    let by_regs = if regs_per_block == 0 {
-        u32::MAX
-    } else {
-        spec.registers_per_sm / regs_per_block
-    };
+    let by_regs = spec
+        .registers_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(u32::MAX);
 
     let blocks = by_warps.min(by_blocks).min(by_shared).min(by_regs);
     let resident_warps = blocks * warps_per_block;

@@ -45,11 +45,7 @@ impl Stream {
     }
 
     /// Upload `src` to a new device buffer on this stream.
-    pub fn upload<T: Clone>(
-        &mut self,
-        gpu: &mut Gpu,
-        src: &[T],
-    ) -> SimGpuResult<DeviceBuffer<T>> {
+    pub fn upload<T: Clone>(&mut self, gpu: &mut Gpu, src: &[T]) -> SimGpuResult<DeviceBuffer<T>> {
         let (buf, res) = gpu.upload(self.cursor, src)?;
         self.cursor = res.end;
         Ok(buf)

@@ -41,11 +41,7 @@ impl Cluster {
     /// workloads whose compute and traffic scale differently — Matrix
     /// Multiplication scales compute by `d^3` but traffic by `d^2` when
     /// matrix order shrinks by `d`.
-    pub fn custom_scaled(
-        topology: Topology,
-        spec: GpuSpec,
-        transfer_scale: f64,
-    ) -> Self {
+    pub fn custom_scaled(topology: Topology, spec: GpuSpec, transfer_scale: f64) -> Self {
         Self::build(topology, spec, transfer_scale)
     }
 

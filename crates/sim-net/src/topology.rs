@@ -94,7 +94,7 @@ impl Topology {
     /// Number of ranks on the busiest node minus the emptiest used node —
     /// nonzero when a run does not fill nodes evenly.
     pub fn imbalance(&self) -> u32 {
-        if self.total_gpus % self.gpus_per_node == 0 || self.nodes == 1 {
+        if self.total_gpus.is_multiple_of(self.gpus_per_node) || self.nodes == 1 {
             0
         } else {
             self.gpus_per_node - self.total_gpus % self.gpus_per_node

@@ -14,7 +14,10 @@ use gpmr_apps::sio::{generate_integers, sio_chunks, SioJob};
 fn main() {
     let data = generate_integers(1_000_000, 3);
     let chunks = sio_chunks(&data, 256 * 1024);
-    println!("SIO, {} integers on 8 GPUs, four hardware variants:\n", data.len());
+    println!(
+        "SIO, {} integers on 8 GPUs, four hardware variants:\n",
+        data.len()
+    );
 
     // 1. The paper's testbed: GT200s, gen-1 PCI-e, QDR InfiniBand.
     let mut baseline = Cluster::accelerator(8, GpuSpec::gt200());

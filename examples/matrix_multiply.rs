@@ -12,7 +12,10 @@ fn main() {
     const N: usize = 512;
     let a = Matrix::random(N, 1);
     let b = Matrix::random(N, 2);
-    println!("multiplying two {N}x{N} matrices ({} tiles per dim)\n", N / 16);
+    println!(
+        "multiplying two {N}x{N} matrices ({} tiles per dim)\n",
+        N / 16
+    );
 
     let reference = a.multiply_reference(&b);
 

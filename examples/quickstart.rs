@@ -86,7 +86,10 @@ fn main() {
     let output = result.merged_output();
     let total: u64 = output.vals.iter().map(|&v| u64::from(v)).sum();
     println!("distinct keys: {}", output.len());
-    println!("total counted: {total} (matches input: {})", total == 1_000_000);
+    println!(
+        "total counted: {total} (matches input: {})",
+        total == 1_000_000
+    );
     println!("simulated job time on 4 GPUs: {}", result.total_time());
     let p = result.timings.mean_percentages();
     println!(

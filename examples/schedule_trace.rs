@@ -32,9 +32,7 @@ fn main() {
         let upload = trace.busy_by_kind(r, TraceKind::Upload);
         let map = trace.busy_by_kind(r, TraceKind::Map);
         let sort = trace.busy_by_kind(r, TraceKind::Sort);
-        println!(
-            "rank {r}: upload busy {upload}, map busy {map}, sort busy {sort}"
-        );
+        println!("rank {r}: upload busy {upload}, map busy {map}, sort busy {sort}");
     }
     println!("\n(the 'u' upload cells sit under/next to 'M' map cells: PCI-e");
     println!("streaming of the next chunk overlaps the current map kernel,");

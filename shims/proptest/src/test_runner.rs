@@ -1,0 +1,66 @@
+//! Test-runner plumbing: configuration, case-level errors, and the
+//! deterministic per-case RNG.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Number of generated cases per property (and, upstream, much more; only
+/// `cases` is honoured here).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Cases to generate per property test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; this shim keeps the suite fast while
+        // still exercising a meaningful sample.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed test case (assertion failure or rejected input).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result type of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The deterministic RNG for case `case` of the test named `name`:
+/// reruns of a failing case regenerate identical inputs.
+pub fn case_rng(name: &str, case: u32) -> SmallRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h ^ (u64::from(case) << 32 | u64::from(case)))
+}

@@ -1,0 +1,230 @@
+//! Offline shim for the subset of the `rand` crate this workspace uses.
+//!
+//! The build environment has no crates-io access, so the workspace ships
+//! an API-compatible replacement for the pieces of `rand` 0.8 the
+//! workload generators call: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`],
+//! and [`Rng::gen_range`] over integer and float ranges. The generator is
+//! xoshiro256**, seeded through SplitMix64 — the same construction real
+//! `SmallRng` uses on 64-bit targets. Streams are deterministic for a
+//! given seed but are not guaranteed to match upstream `rand` bit-for-bit;
+//! everything in this repository that consumes them only requires
+//! self-consistency (seeded generation, CPU references computed from the
+//! same data).
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: 64 random bits at a time.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// A uniform sample of a whole type (bool only; the full `Standard`
+    /// distribution surface is not needed by this workspace).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that can produce uniform samples of `T`. Blanket-implemented
+/// for `Range<T>`/`RangeInclusive<T>` over every [`SampleUniform`] type so
+/// that type inference flows from the range into the result exactly as it
+/// does with upstream `rand` (e.g. an unsuffixed float literal range picks
+/// up `f32` from the surrounding expression).
+pub trait SampleRange<T> {
+    /// Draw one sample from `rng`.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Types uniformly sampleable from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// One sample from `[low, high)`.
+    fn sample_range<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// One sample from `[low, high]`.
+    fn sample_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_inclusive(start, end, rng)
+    }
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 random mantissa bits in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn unit_f32(bits: u64) -> f32 {
+    // 24 random mantissa bits in [0, 1).
+    (bits >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore>(low: $t, high: $t, rng: &mut R) -> $t {
+                let span = (high as u128).wrapping_sub(low as u128) as u64;
+                // Lemire multiply-shift reduction: unbiased enough for
+                // workload generation, exactly reproducible.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                low.wrapping_add(hi as $t)
+            }
+            fn sample_inclusive<R: RngCore>(low: $t, high: $t, rng: &mut R) -> $t {
+                let span = (high as u128).wrapping_sub(low as u128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let hi = ((rng.next_u64() as u128 * (span as u128 + 1)) >> 64) as u64;
+                low.wrapping_add(hi as $t)
+            }
+        }
+    )+};
+}
+
+int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore>(low: f64, high: f64, rng: &mut R) -> f64 {
+        low + (high - low) * unit_f64(rng.next_u64())
+    }
+    fn sample_inclusive<R: RngCore>(low: f64, high: f64, rng: &mut R) -> f64 {
+        low + (high - low) * unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore>(low: f32, high: f32, rng: &mut R) -> f32 {
+        low + (high - low) * unit_f32(rng.next_u64())
+    }
+    fn sample_inclusive<R: RngCore>(low: f32, high: f32, rng: &mut R) -> f32 {
+        low + (high - low) * unit_f32(rng.next_u64())
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as upstream rand does for SmallRng.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        let same: Vec<u32> = (0..32).map(|_| c.gen_range(0u32..1000)).collect();
+        let mut d = SmallRng::seed_from_u64(9);
+        let diff: Vec<u32> = (0..32).map(|_| d.gen_range(0u32..1000)).collect();
+        assert_ne!(same, diff);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let b = rng.gen_range(b'a'..=b'z');
+            assert!(b.is_ascii_lowercase());
+            let i = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn full_width_samples_cover_high_values() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen_high = false;
+        for _ in 0..1000 {
+            if rng.gen_range(0usize..usize::MAX) > usize::MAX / 2 {
+                seen_high = true;
+            }
+        }
+        assert!(seen_high);
+    }
+}

@@ -1,0 +1,50 @@
+//! Execution-backend determinism: a full multi-GPU job must produce
+//! bit-identical outputs AND identical simulated times no matter how many
+//! host worker threads execute the kernels, and no matter whether the
+//! persistent pool or the legacy spawn-per-launch backend runs them.
+//! Simulated time is an integer cost model summed per block, so the
+//! schedule of real host threads must never leak into results.
+
+use std::sync::Arc;
+
+use gpmr::apps::text::{chunk_text, generate_text};
+use gpmr::prelude::*;
+use gpmr::sim_gpu::{set_exec_backend, ExecBackend};
+
+fn run_wo(workers: usize, backend: ExecBackend) -> (Vec<KvSet<u32, u32>>, gpmr::core::JobTimings) {
+    set_exec_backend(backend);
+    // 2 nodes x 2 GPUs, the smallest shape that exercises both intra-node
+    // PCI-e sharing and inter-node network binning.
+    let mut cluster = Cluster::new(Topology::new(2, 2, 2), GpuSpec::gt200());
+    for rank in 0..4 {
+        cluster.gpu(rank).worker_threads = workers;
+    }
+    let dict = Arc::new(Dictionary::generate(300, 11));
+    let text = generate_text(&dict, 120_000, 12);
+    let chunks = chunk_text(&text, 16 * 1024);
+    let job = WoJob::new(dict, 4);
+    let result = run_job(&mut cluster, &job, chunks).expect("job runs");
+    set_exec_backend(ExecBackend::Pool);
+    (result.outputs, result.timings)
+}
+
+#[test]
+fn outputs_and_times_are_independent_of_workers_and_backend() {
+    let (base_out, base_times) = run_wo(1, ExecBackend::Pool);
+    assert_eq!(base_out.len(), 4, "one output set per rank");
+    assert!(base_times.total > SimDuration::ZERO);
+
+    for workers in [2, 8] {
+        for backend in [ExecBackend::Pool, ExecBackend::Spawn] {
+            let (out, times) = run_wo(workers, backend);
+            assert_eq!(
+                out, base_out,
+                "outputs changed with {workers} workers on {backend:?}"
+            );
+            assert_eq!(
+                times, base_times,
+                "simulated times changed with {workers} workers on {backend:?}"
+            );
+        }
+    }
+}

@@ -8,7 +8,12 @@ use gpmr_apps::sio::{generate_integers, sio_chunks};
 fn run_sio(gpus: u32, elements: usize) -> gpmr::core::JobResult<u32, u32> {
     let data = generate_integers(elements, 42);
     let mut cluster = Cluster::accelerator(gpus, GpuSpec::gt200());
-    run_job(&mut cluster, &SioJob::default(), sio_chunks(&data, 32 * 1024)).unwrap()
+    run_job(
+        &mut cluster,
+        &SioJob::default(),
+        sio_chunks(&data, 32 * 1024),
+    )
+    .unwrap()
 }
 
 #[test]
@@ -89,8 +94,12 @@ fn scaled_hardware_reproduces_full_scale_times() {
             let data = generate_integers(elements, 9);
             let mut cluster = Cluster::accelerator_scaled(4, GpuSpec::gt200(), k as f64);
             let chunk_bytes = (4 * elements / 16).max(1024);
-            let r = run_job(&mut cluster, &SioJob::default(), sio_chunks(&data, chunk_bytes))
-                .unwrap();
+            let r = run_job(
+                &mut cluster,
+                &SioJob::default(),
+                sio_chunks(&data, chunk_bytes),
+            )
+            .unwrap();
             r.total_time()
         })
         .collect();
@@ -131,12 +140,7 @@ fn chunked_reduce_matches_single_kernel_reduce() {
     let mut c1 = Cluster::accelerator(2, GpuSpec::gt200());
     let whole = run_job(&mut c1, &SioJob::default(), chunks.clone()).unwrap();
     let mut c2 = Cluster::accelerator(2, GpuSpec::gt200());
-    let chunked = run_job(
-        &mut c2,
-        &SioJob::default().with_reduce_chunk(1000),
-        chunks,
-    )
-    .unwrap();
+    let chunked = run_job(&mut c2, &SioJob::default().with_reduce_chunk(1000), chunks).unwrap();
 
     assert_eq!(whole.merged_output(), chunked.merged_output());
     // Chunked reduce pays more launch overhead.
@@ -172,7 +176,12 @@ fn reduce_memory_clamp_handles_tiny_devices() {
     let data = generate_integers(40_000, 22);
     let spec = GpuSpec::gt200().with_mem_capacity(256 * 1024);
     let mut cluster = Cluster::new(gpmr::sim_net::Topology::new(1, 2, 2), spec);
-    let result = run_job(&mut cluster, &SioJob::default(), sio_chunks(&data, 16 * 1024)).unwrap();
+    let result = run_job(
+        &mut cluster,
+        &SioJob::default(),
+        sio_chunks(&data, 16 * 1024),
+    )
+    .unwrap();
     let total: u64 = result
         .merged_output()
         .vals
@@ -196,7 +205,7 @@ fn dynamic_scheduling_beats_static_on_skewed_work() {
     let mut big: Vec<_> = Vec::new();
     let mut i = 0usize;
     loop {
-        let next = if i % 8 == 0 {
+        let next = if i.is_multiple_of(8) {
             heavy.next().or_else(|| light.next())
         } else {
             light.next().or_else(|| heavy.next())
@@ -219,7 +228,10 @@ fn dynamic_scheduling_beats_static_on_skewed_work() {
 
     assert_eq!(dynamic.merged_output(), fixed.merged_output());
     assert_eq!(fixed.timings.chunks_stolen, 0);
-    assert!(dynamic.timings.chunks_stolen > 0, "skew should trigger steals");
+    assert!(
+        dynamic.timings.chunks_stolen > 0,
+        "skew should trigger steals"
+    );
     assert!(
         dynamic.total_time().as_secs() < fixed.total_time().as_secs(),
         "dynamic {} should beat static {}",

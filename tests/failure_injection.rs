@@ -49,7 +49,12 @@ fn invalid_pipeline_combinations_are_rejected() {
         }
     }
     let mut cluster = Cluster::accelerator(2, GpuSpec::gt200());
-    let err = run_job(&mut cluster, &BadJob, vec![SliceChunk::new(0, 0, vec![1u32])]).unwrap_err();
+    let err = run_job(
+        &mut cluster,
+        &BadJob,
+        vec![SliceChunk::new(0, 0, vec![1u32])],
+    )
+    .unwrap_err();
     assert!(matches!(err, EngineError::InvalidPipeline(_)));
 }
 

@@ -76,8 +76,8 @@ fn trace_covers_every_stage_and_respects_the_makespan() {
 fn traced_and_untraced_runs_are_identical() {
     let data = generate_integers(50_000, 2);
     let mut c1 = Cluster::accelerator(4, GpuSpec::gt200());
-    let plain = gpmr::core::run_job(&mut c1, &SioJob::default(), sio_chunks(&data, 16 * 1024))
-        .unwrap();
+    let plain =
+        gpmr::core::run_job(&mut c1, &SioJob::default(), sio_chunks(&data, 16 * 1024)).unwrap();
     let mut c2 = Cluster::accelerator(4, GpuSpec::gt200());
     let (traced, _) =
         run_job_traced(&mut c2, &SioJob::default(), sio_chunks(&data, 16 * 1024)).unwrap();
