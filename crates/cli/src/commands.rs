@@ -10,7 +10,7 @@ use gpmr_apps::sio::{self, SioJob};
 use gpmr_apps::text::{chunk_text, generate_text, Dictionary};
 use gpmr_apps::wo::WoJob;
 use gpmr_core::{run_job_traced, JobResult, JobTrace};
-use gpmr_sim_gpu::{GpuSpec, PcieLink};
+use gpmr_sim_gpu::{FaultPlan, GpuSpec, PcieLink};
 use gpmr_sim_net::{Cluster, CpuSpec, Nic, Topology};
 
 use crate::args::{ArgError, Args};
@@ -22,6 +22,7 @@ gpmr — Multi-GPU MapReduce on a simulated GPU cluster
 USAGE:
     gpmr run    --benchmark <mm|sio|wo|kmc|lr> [--gpus N] [--size X]
                 [--scale K] [--seed S] [--trace]
+                [--fault-plan SPEC | --fault-seed S]
     gpmr kmeans [--points N] [--k K] [--gpus N] [--iterations I] [--seed S]
     gpmr info   [--gpus N]
     gpmr help
@@ -33,6 +34,15 @@ RUN OPTIONS:
     --scale       workload/hardware scale divisor         [default: 1]
     --seed        workload generator seed                 [default: 42]
     --trace       print an ASCII Gantt chart of the schedule
+    --fault-plan  inject faults from an explicit plan. `;`-separated:
+                  kill:R@T (lose rank R's GPU at T seconds),
+                  stall:R@T+D (freeze rank R at T for D seconds),
+                  xfail:F->T@S..U*N (fail first N tries of F->T transfers
+                  ready in [S,U); `*` = any rank, `..U` optional),
+                  delay:F->T@S..U+D (delay matching transfers by D).
+                  Example: --fault-plan 'kill:1@2e-3; xfail:0->2@0..1e-2*2'
+    --fault-seed  generate a random fault plan from seed S (deterministic;
+                  always leaves at least one GPU alive)
 ";
 
 /// Errors surfaced to the user.
@@ -71,6 +81,8 @@ pub const VALUED: &[&str] = &[
     "points",
     "k",
     "iterations",
+    "fault-plan",
+    "fault-seed",
 ];
 /// Boolean flags.
 pub const BOOLEAN: &[&str] = &["trace"];
@@ -110,15 +122,25 @@ fn report(
     } else {
         0.0
     };
+    let tm = &result.timings;
+    let recovery =
+        if tm.gpus_lost + tm.chunks_requeued + tm.transfer_retries + tm.stalls_injected > 0 {
+            format!(
+            "recovery       : {} GPU(s) lost, {} chunks requeued, {} transfer retries, {} stalls\n",
+            tm.gpus_lost, tm.chunks_requeued, tm.transfer_retries, tm.stalls_injected,
+        )
+        } else {
+            String::new()
+        };
     format!(
         "{label} on {gpus} GPU(s)\n\
          simulated time : {t}\n\
          throughput     : {throughput:.1} M items/s\n\
          pairs          : {} emitted, {} shuffled, {} chunks stolen\n\
-         breakdown      : map {:.1}%  bin {:.1}%  sort {:.1}%  reduce {:.1}%  sched {:.1}%\n",
-        result.timings.pairs_emitted,
-        result.timings.pairs_shuffled,
-        result.timings.chunks_stolen,
+         {recovery}breakdown      : map {:.1}%  bin {:.1}%  sort {:.1}%  reduce {:.1}%  sched {:.1}%\n",
+        tm.pairs_emitted,
+        tm.pairs_shuffled,
+        tm.chunks_stolen,
         p[0],
         p[1],
         p[2],
@@ -148,6 +170,19 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     }
 
     let mut cluster = Cluster::accelerator_scaled(gpus, GpuSpec::gt200(), scale as f64);
+    match (args.get("fault-plan"), args.get("fault-seed")) {
+        (Some(spec), _) => {
+            let plan = FaultPlan::parse(spec).map_err(|e| CliError::Invalid(e.to_string()))?;
+            cluster.set_fault_plan(Some(plan));
+        }
+        (None, Some(_)) => {
+            let fault_seed: u64 = args.get_or("fault-seed", 0)?;
+            // Horizon covers the first ~10 simulated ms, where the default
+            // benchmark sizes do most of their work.
+            cluster.set_fault_plan(Some(FaultPlan::generate(fault_seed, gpus, 10e-3)));
+        }
+        (None, None) => {}
+    }
     let chunk_items = |elem_bytes: u64, n: usize| -> usize {
         let per = (n as u64 * elem_bytes) / (4 * u64::from(gpus));
         (per.clamp(64 * 1024 / scale.max(1), (32 << 20) / scale.max(1)) / elem_bytes).max(1)
@@ -423,6 +458,91 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("--k"));
+    }
+
+    #[test]
+    fn run_with_fault_plan_reports_recovery() {
+        let out = run(&[
+            "run",
+            "--benchmark",
+            "sio",
+            "--gpus",
+            "2",
+            "--size",
+            "20000",
+            "--fault-plan",
+            "kill:1@1e-4",
+        ])
+        .unwrap();
+        assert!(out.contains("recovery"), "missing recovery line:\n{out}");
+        assert!(out.contains("1 GPU(s) lost"), "{out}");
+    }
+
+    #[test]
+    fn faulted_run_matches_fault_free_output() {
+        let clean = run(&[
+            "run",
+            "--benchmark",
+            "sio",
+            "--gpus",
+            "2",
+            "--size",
+            "20000",
+        ])
+        .unwrap();
+        let faulted = run(&[
+            "run",
+            "--benchmark",
+            "sio",
+            "--gpus",
+            "2",
+            "--size",
+            "20000",
+            "--fault-plan",
+            "xfail:0->1@0..1*2",
+        ])
+        .unwrap();
+        // Pair accounting is identical; only timing and recovery differ.
+        let pairs = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("pairs"))
+                .map(str::to_string)
+        };
+        assert_eq!(pairs(&clean), pairs(&faulted));
+        assert!(faulted.contains("transfer retries"), "{faulted}");
+    }
+
+    #[test]
+    fn bad_fault_plan_rejected() {
+        let err = run(&[
+            "run",
+            "--benchmark",
+            "sio",
+            "--size",
+            "20000",
+            "--fault-plan",
+            "explode:1@0",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("invalid fault plan"), "{err}");
+    }
+
+    #[test]
+    fn fault_seed_generates_deterministic_plans() {
+        let args = [
+            "run",
+            "--benchmark",
+            "sio",
+            "--gpus",
+            "4",
+            "--size",
+            "20000",
+            "--fault-seed",
+            "7",
+        ];
+        let a = run(&args).unwrap();
+        let b = run(&args).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

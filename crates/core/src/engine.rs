@@ -16,8 +16,8 @@
 //! is verified against CPU references in the application crates.
 
 use gpmr_primitives::{bitonic_sort_pairs_by, extract_segments, sort_pairs, RadixKey, Segments};
-use gpmr_sim_gpu::{SimDuration, SimTime};
-use gpmr_sim_net::{Cluster, Mailbox};
+use gpmr_sim_gpu::{FaultPlan, SimDuration, SimTime};
+use gpmr_sim_net::{Cluster, Fabric, Mailbox};
 
 use crate::error::{EngineError, EngineResult};
 use crate::helpers::{charge_partition, combine_pairs, split_buckets};
@@ -54,6 +54,14 @@ pub struct EngineTuning {
     /// internal / scheduler" floor that erodes efficiency at 64 GPUs on
     /// light jobs.
     pub setup_per_rank_s: f64,
+    /// How many times a failing fabric transfer is retried (with capped
+    /// exponential backoff) before the job aborts with
+    /// [`EngineError::TransferFailed`].
+    pub max_transfer_retries: u32,
+    /// First retry backoff, in seconds; each further retry doubles it.
+    pub retry_backoff_base_s: f64,
+    /// Ceiling on the exponential backoff, in seconds.
+    pub retry_backoff_cap_s: f64,
 }
 
 impl Default for EngineTuning {
@@ -63,6 +71,9 @@ impl Default for EngineTuning {
             sched_overhead_s: 30.0e-6,
             setup_base_s: 0.5e-3,
             setup_per_rank_s: 0.25e-3,
+            max_transfer_retries: 8,
+            retry_backoff_base_s: 50.0e-6,
+            retry_backoff_cap_s: 5.0e-3,
         }
     }
 }
@@ -111,7 +122,7 @@ impl<K: crate::types::Key, V: crate::types::Value> JobResult<K, V> {
 }
 
 #[derive(Clone, Debug)]
-struct RankState<K, V> {
+struct RankState<K, V, C> {
     cursor: SimTime,
     prev_kernel_end: SimTime,
     last_map_end: SimTime,
@@ -124,9 +135,18 @@ struct RankState<K, V> {
     accum: Option<KvSet<K, V>>,
     store: KvSet<K, V>,
     active: bool,
+    /// False once the rank's GPU has been lost to an injected fault.
+    alive: bool,
+    /// Next entry of the rank's injected-stall schedule to apply.
+    stall_idx: usize,
+    /// Chunks already folded into this rank's GPU-resident accumulate
+    /// state. Retained only when the fault plan schedules a kill for this
+    /// rank in accumulate mode: the state dies with the device, so these
+    /// must be rerun on survivors.
+    processed: Vec<(u64, C)>,
 }
 
-impl<K: crate::types::Key, V: crate::types::Value> Default for RankState<K, V> {
+impl<K: crate::types::Key, V: crate::types::Value, C> Default for RankState<K, V, C> {
     fn default() -> Self {
         RankState {
             cursor: SimTime::ZERO,
@@ -141,8 +161,149 @@ impl<K: crate::types::Key, V: crate::types::Value> Default for RankState<K, V> {
             accum: None,
             store: KvSet::new(),
             active: true,
+            alive: true,
+            stall_idx: 0,
+            processed: Vec::new(),
         }
     }
+}
+
+/// Fault-recovery counters surfaced through [`JobTimings`].
+#[derive(Clone, Copy, Debug, Default)]
+struct FaultCounters {
+    gpus_lost: u32,
+    chunks_requeued: u32,
+    transfer_retries: u32,
+    stalls_injected: u32,
+}
+
+/// Time a transfer through the fabric, retrying plan-injected failures
+/// with capped exponential backoff. Returns the arrival instant at `to`,
+/// or [`EngineError::TransferFailed`] once the retry budget is exhausted.
+#[allow(clippy::too_many_arguments)]
+fn transfer_with_retry(
+    fabric: &mut Fabric,
+    from: u32,
+    to: u32,
+    mut ready: SimTime,
+    bytes: u64,
+    tuning: &EngineTuning,
+    trace: &mut Option<JobTrace>,
+    retries: &mut u32,
+) -> EngineResult<SimTime> {
+    let mut attempt = 0u32;
+    loop {
+        match fabric.try_send(from, to, ready, bytes, attempt) {
+            Ok(arrival) => return Ok(arrival),
+            Err(fault) => {
+                attempt += 1;
+                *retries += 1;
+                if attempt > tuning.max_transfer_retries {
+                    return Err(EngineError::TransferFailed { attempt, fault });
+                }
+                let backoff = SimDuration::from_secs(
+                    (tuning.retry_backoff_base_s * f64::from(1u32 << (attempt - 1).min(31)))
+                        .min(tuning.retry_backoff_cap_s),
+                );
+                if let Some(tr) = trace.as_mut() {
+                    tr.record(
+                        from,
+                        TraceKind::Retry,
+                        ready,
+                        ready + backoff,
+                        format!("transfer to rank {to} failed (attempt {attempt}); backing off"),
+                    );
+                }
+                ready += backoff;
+            }
+        }
+    }
+}
+
+/// Handle a fail-stop GPU loss on rank `r` detected at simulated instant
+/// `now`: mark the rank dead, collect every chunk whose work died with the
+/// device (the in-flight chunk, anything still queued, and — in accumulate
+/// mode — chunks already folded into the lost GPU-resident state), and
+/// migrate them to surviving ranks round-robin, charging the fabric for
+/// each move. Errors with [`EngineError::GpuLost`] when no rank survives.
+#[allow(clippy::too_many_arguments)]
+fn kill_rank<K: crate::types::Key, V: crate::types::Value, C: Chunk>(
+    r: u32,
+    now: SimTime,
+    in_flight: Option<(u64, C)>,
+    queues: &mut WorkQueues<(u64, C)>,
+    st: &mut [RankState<K, V, C>],
+    cluster: &mut Cluster,
+    tuning: &EngineTuning,
+    trace: &mut Option<JobTrace>,
+    counters: &mut FaultCounters,
+) -> EngineResult<()> {
+    let ri = r as usize;
+    counters.gpus_lost += 1;
+    st[ri].alive = false;
+    st[ri].active = false;
+    st[ri].accum = None;
+    let mut orphans: Vec<(u64, C)> = std::mem::take(&mut st[ri].processed);
+    orphans.extend(in_flight);
+    orphans.extend(queues.drain_rank(r));
+    // Canonical migration order, independent of how the orphans mixed.
+    orphans.sort_by_key(|&(id, _)| id);
+    if let Some(tr) = trace.as_mut() {
+        tr.record(
+            r,
+            TraceKind::GpuLost,
+            now,
+            now,
+            format!("GPU lost; {} chunks orphaned", orphans.len()),
+        );
+    }
+    let live: Vec<u32> = (0..queues.ranks())
+        .filter(|&x| st[x as usize].alive)
+        .collect();
+    if live.is_empty() {
+        return Err(EngineError::GpuLost { rank: r });
+    }
+    // Spread orphans over survivors, starting just past the victim. The
+    // chunk data sits in the victim's *host* memory (chunks are streamed
+    // from rank-local storage and Bin is a CPU stage), so the surviving
+    // host forwards it across the fabric even though its GPU is gone.
+    let first = live.iter().position(|&x| x > r).unwrap_or(0);
+    for (i, (id, chunk)) in orphans.into_iter().enumerate() {
+        let dest = live[(first + i) % live.len()];
+        let bytes = chunk.serialize().len() as u64;
+        let arrival = transfer_with_retry(
+            cluster.fabric(),
+            r,
+            dest,
+            now,
+            bytes,
+            tuning,
+            trace,
+            &mut counters.transfer_retries,
+        )?;
+        if let Some(tr) = trace.as_mut() {
+            tr.record(
+                r,
+                TraceKind::Requeue,
+                now,
+                arrival,
+                format!("chunk {id} -> rank {dest}"),
+            );
+        }
+        queues.push_back(dest, (id, chunk));
+        let d = dest as usize;
+        st[d].cursor = st[d].cursor.max(arrival);
+        st[d].active = true;
+        counters.chunks_requeued += 1;
+    }
+    Ok(())
+}
+
+/// The rank that takes over a lost rank's remaining pipeline work: the
+/// next live rank cyclically past `r`.
+fn takeover<K, V, C>(r: u32, st: &[RankState<K, V, C>]) -> Option<u32> {
+    let n = st.len() as u32;
+    (1..n).map(|i| (r + i) % n).find(|&x| st[x as usize].alive)
 }
 
 /// Run `job` over `chunks` on `cluster`, returning per-rank outputs and
@@ -204,10 +365,31 @@ fn run_job_impl<J: GpmrJob>(
         }
     }
 
-    let mut queues = WorkQueues::distribute(chunks, ranks);
+    // Fault-injection state. Kills and stalls are read by the scheduler at
+    // its touch-points (chunk dispatch, chunk commit, sort readiness);
+    // transfer faults are applied inside `transfer_with_retry`.
+    let plan: Option<FaultPlan> = cluster.fault_plan().cloned();
+    let kill_at: Vec<Option<SimTime>> = (0..ranks)
+        .map(|r| plan.as_ref().and_then(|p| p.kill_time(r)))
+        .collect();
+    let stalls: Vec<Vec<(SimTime, SimDuration)>> = (0..ranks)
+        .map(|r| plan.as_ref().map_or_else(Vec::new, |p| p.stalls_for(r)))
+        .collect();
+    let mut counters = FaultCounters::default();
+
+    // Chunks carry their original index as a canonical id: requeues and
+    // steals change *which rank* processes a chunk, never its identity, so
+    // receivers can order inbound buckets identically across fault plans.
+    let n_chunks = chunks.len() as u64;
+    let ids: Vec<(u64, J::Chunk)> = chunks
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (i as u64, c))
+        .collect();
+    let mut queues = WorkQueues::distribute(ids, ranks);
     let setup =
         SimTime::from_secs(tuning.setup_base_s + tuning.setup_per_rank_s * f64::from(ranks));
-    let mut st: Vec<RankState<J::Key, J::Value>> = (0..ranks)
+    let mut st: Vec<RankState<J::Key, J::Value, J::Chunk>> = (0..ranks)
         .map(|_| RankState {
             cursor: setup,
             ..RankState::default()
@@ -251,8 +433,45 @@ fn run_job_impl<J: GpmrJob>(
     {
         let ri = r as usize;
 
+        // Straggler injection: a stall due at or before this dispatch
+        // freezes the rank before it takes more work.
+        while st[ri].stall_idx < stalls[ri].len() && stalls[ri][st[ri].stall_idx].0 <= st[ri].cursor
+        {
+            let (_, dur) = stalls[ri][st[ri].stall_idx];
+            st[ri].stall_idx += 1;
+            let begin = st[ri].cursor;
+            st[ri].cursor += dur;
+            counters.stalls_injected += 1;
+            if let Some(tr) = trace.as_mut() {
+                tr.record(
+                    r,
+                    TraceKind::Stall,
+                    begin,
+                    st[ri].cursor,
+                    format!("injected stall ({dur})"),
+                );
+            }
+        }
+
+        // Fail-stop check at dispatch: a GPU whose kill instant has passed
+        // takes no more work, and everything it held migrates away.
+        if kill_at[ri].is_some_and(|k| k <= st[ri].cursor) {
+            kill_rank(
+                r,
+                st[ri].cursor,
+                None,
+                &mut queues,
+                &mut st,
+                cluster,
+                tuning,
+                trace,
+                &mut counters,
+            )?;
+            continue;
+        }
+
         // Obtain a chunk: own queue, else steal, else retire.
-        let chunk = match queues.pop_local(r) {
+        let (chunk_id, chunk) = match queues.pop_local(r) {
             Some(c) => c,
             None if !tuning.allow_stealing => {
                 st[ri].active = false;
@@ -264,9 +483,18 @@ fn run_job_impl<J: GpmrJob>(
                     stolen += 1;
                     // Migration: serialized chunk crosses the fabric from the
                     // victim's host memory to the thief's.
-                    let bytes = c.serialize().len() as u64;
+                    let bytes = c.1.serialize().len() as u64;
                     let before = st[ri].cursor;
-                    let arrival = cluster.fabric().send(victim, r, before, bytes);
+                    let arrival = transfer_with_retry(
+                        cluster.fabric(),
+                        victim,
+                        r,
+                        before,
+                        bytes,
+                        tuning,
+                        trace,
+                        &mut counters.transfer_retries,
+                    )?;
                     if let Some(tr) = trace.as_mut() {
                         tr.record(
                             r,
@@ -306,6 +534,24 @@ fn run_job_impl<J: GpmrJob>(
             MapMode::Accumulate => {
                 let mut state = st[ri].accum.take().expect("accumulate state initialized");
                 let t = job.map_accumulate(gpu, up.end, &chunk, &mut state)?;
+                if kill_at[ri].is_some_and(|k| k <= t) {
+                    // The device died before this map finished. The whole
+                    // accumulate state dies with it, so every chunk it
+                    // covered — plus this one — reruns on survivors.
+                    drop(state);
+                    kill_rank(
+                        r,
+                        t,
+                        Some((chunk_id, chunk)),
+                        &mut queues,
+                        &mut st,
+                        cluster,
+                        tuning,
+                        trace,
+                        &mut counters,
+                    )?;
+                    continue;
+                }
                 if let Some(tr) = trace.as_mut() {
                     tr.record(r, TraceKind::Map, up.end, t, "map+accumulate");
                 }
@@ -315,34 +561,57 @@ fn run_job_impl<J: GpmrJob>(
                 s.cursor = up.end.max(prev_kernel_end);
                 s.prev_kernel_end = t;
                 s.chunks_done += 1;
+                if kill_at[ri].is_some() {
+                    s.processed.push((chunk_id, chunk));
+                }
             }
             MapMode::Plain | MapMode::PartialReduce => {
                 let (mut pairs, mut t) = job.map(gpu, up.end, &chunk)?;
+                let map_end = t;
+                let map_pairs = pairs.len();
+                let mut partial = None;
+                if cfg.map_mode == MapMode::PartialReduce {
+                    let (p, tp) = job.partial_reduce(gpu, t, pairs)?;
+                    partial = Some((t, tp, p.len()));
+                    pairs = p;
+                    t = tp;
+                }
+                if kill_at[ri].is_some_and(|k| k <= t) {
+                    // Kernels never completed: nothing was emitted, and the
+                    // chunk reruns on a survivor.
+                    drop(pairs);
+                    kill_rank(
+                        r,
+                        t,
+                        Some((chunk_id, chunk)),
+                        &mut queues,
+                        &mut st,
+                        cluster,
+                        tuning,
+                        trace,
+                        &mut counters,
+                    )?;
+                    continue;
+                }
                 if let Some(tr) = trace.as_mut() {
                     tr.record(
                         r,
                         TraceKind::Map,
                         up.end,
-                        t,
-                        format!("{} pairs", pairs.len()),
+                        map_end,
+                        format!("{map_pairs} pairs"),
                     );
-                }
-                pairs_emitted += pairs.len() as u64;
-                if cfg.map_mode == MapMode::PartialReduce {
-                    let before = t;
-                    let (p, tp) = job.partial_reduce(gpu, t, pairs)?;
-                    pairs = p;
-                    t = tp;
-                    if let Some(tr) = trace.as_mut() {
+                    if let Some((pr_start, pr_end, pr_pairs)) = partial {
                         tr.record(
                             r,
                             TraceKind::PartialReduce,
-                            before,
-                            t,
-                            format!("-> {} pairs", pairs.len()),
+                            pr_start,
+                            pr_end,
+                            format!("-> {pr_pairs} pairs"),
                         );
                     }
                 }
+                pairs_emitted += map_pairs as u64;
                 if cfg.combine {
                     // Pairs are stored in CPU memory until all maps finish.
                     let down = gpu.d2h(t, pairs.size_bytes());
@@ -380,15 +649,23 @@ fn run_job_impl<J: GpmrJob>(
                     }
                     pairs_shuffled += pairs.len() as u64;
                     let buckets = route_pairs(job, cfg.partition, pairs, ranks);
-                    let fabric = cluster.fabric();
                     let mut bin_done = st[ri].bin_done;
                     for (dest, bucket) in buckets.into_iter().enumerate() {
                         if bucket.is_empty() {
                             continue;
                         }
                         let bytes = bucket.size_bytes();
-                        let arrival =
-                            mailbox.send(fabric, r, dest as u32, send_ready, bytes, bucket);
+                        let arrival = transfer_with_retry(
+                            cluster.fabric(),
+                            r,
+                            dest as u32,
+                            send_ready,
+                            bytes,
+                            tuning,
+                            trace,
+                            &mut counters.transfer_retries,
+                        )?;
+                        mailbox.deliver(dest as u32, r, chunk_id, arrival, bucket);
                         if let Some(tr) = trace.as_mut() {
                             tr.record(
                                 r,
@@ -416,6 +693,11 @@ fn run_job_impl<J: GpmrJob>(
         MapMode::Accumulate => {
             for r in 0..ranks {
                 let ri = r as usize;
+                if !st[ri].alive {
+                    // The accumulate state died with the device; its chunks
+                    // were rerun on survivors, so there is nothing to ship.
+                    continue;
+                }
                 let state = st[ri].accum.take().unwrap_or_default();
                 pairs_shuffled += state.len() as u64;
                 let gpu = cluster.gpu(r);
@@ -427,14 +709,23 @@ fn run_job_impl<J: GpmrJob>(
                     gpu.d2h(t_part, state.size_bytes()).end
                 };
                 let buckets = route_pairs(job, cfg.partition, state, ranks);
-                let fabric = cluster.fabric();
                 let mut bin_done = st[ri].bin_done;
                 for (dest, bucket) in buckets.into_iter().enumerate() {
                     if bucket.is_empty() {
                         continue;
                     }
                     let bytes = bucket.size_bytes();
-                    let arrival = mailbox.send(fabric, r, dest as u32, send_ready, bytes, bucket);
+                    let arrival = transfer_with_retry(
+                        cluster.fabric(),
+                        r,
+                        dest as u32,
+                        send_ready,
+                        bytes,
+                        tuning,
+                        trace,
+                        &mut counters.transfer_retries,
+                    )?;
+                    mailbox.deliver(dest as u32, r, n_chunks + u64::from(r), arrival, bucket);
                     if let Some(tr) = trace.as_mut() {
                         tr.record(
                             r,
@@ -453,19 +744,34 @@ fn run_job_impl<J: GpmrJob>(
             for r in 0..ranks {
                 let ri = r as usize;
                 let store = std::mem::take(&mut st[ri].store);
+                if store.is_empty() {
+                    continue;
+                }
+                // The store lives in host memory, so it survives a GPU
+                // loss; a lost rank's combine runs on a surviving GPU.
+                let exec = if st[ri].alive {
+                    r
+                } else {
+                    takeover(r, &st).expect("kill_rank guarantees a survivor")
+                };
                 let t0 = st[ri].last_map_end.max(st[ri].last_d2h);
-                let gpu = cluster.gpu(r);
+                let gpu = cluster.gpu(exec);
                 // Stream stored pairs back down to the GPU for combination.
                 let up = gpu.h2d(t0, store.size_bytes());
                 let (combined, t1) =
                     combine_pairs(gpu, up.end, store, |a, b| job.combine_op(a, b))?;
                 if let Some(tr) = trace.as_mut() {
+                    let note = if exec == r {
+                        String::new()
+                    } else {
+                        format!(" (on rank {exec})")
+                    };
                     tr.record(
                         r,
                         TraceKind::Combine,
                         up.start,
                         t1,
-                        format!("-> {} pairs", combined.len()),
+                        format!("-> {} pairs{note}", combined.len()),
                     );
                 }
                 pairs_shuffled += combined.len() as u64;
@@ -476,14 +782,23 @@ fn run_job_impl<J: GpmrJob>(
                     gpu.d2h(t_part, combined.size_bytes()).end
                 };
                 let buckets = route_pairs(job, cfg.partition, combined, ranks);
-                let fabric = cluster.fabric();
                 let mut bin_done = st[ri].bin_done;
                 for (dest, bucket) in buckets.into_iter().enumerate() {
                     if bucket.is_empty() {
                         continue;
                     }
                     let bytes = bucket.size_bytes();
-                    let arrival = mailbox.send(fabric, r, dest as u32, send_ready, bytes, bucket);
+                    let arrival = transfer_with_retry(
+                        cluster.fabric(),
+                        r,
+                        dest as u32,
+                        send_ready,
+                        bytes,
+                        tuning,
+                        trace,
+                        &mut counters.transfer_retries,
+                    )?;
+                    mailbox.deliver(dest as u32, r, n_chunks + u64::from(r), arrival, bucket);
                     if let Some(tr) = trace.as_mut() {
                         tr.record(
                             r,
@@ -502,10 +817,15 @@ fn run_job_impl<J: GpmrJob>(
     }
 
     // --- Sort + Reduce stages --------------------------------------------
-    let mut outputs: Vec<KvSet<J::Key, J::Value>> = Vec::with_capacity(ranks as usize);
+    // Drain all inbound pairs first: sort-readiness must be known for
+    // every rank before lost GPUs are assigned takeover ranks. Deliveries
+    // are consumed in canonical (chunk-id, sender) order, so the
+    // concatenated set is identical no matter how faults, retries, or
+    // stalls reshuffled arrival times.
+    let mut inbound: Vec<KvSet<J::Key, J::Value>> = Vec::with_capacity(ranks as usize);
     for r in 0..ranks {
         let ri = r as usize;
-        let deliveries = mailbox.drain(r);
+        let deliveries = mailbox.drain_canonical(r);
         let mut incoming: KvSet<J::Key, J::Value> =
             KvSet::with_capacity(deliveries.iter().map(|d| d.payload.len()).sum());
         let mut last_arrival = SimTime::ZERO;
@@ -513,8 +833,41 @@ fn run_job_impl<J: GpmrJob>(
             last_arrival = last_arrival.max(d.arrival);
             incoming.append(d.payload);
         }
-        let sort_ready = st[ri].last_map_end.max(st[ri].bin_done).max(last_arrival);
-        st[ri].sort_ready = sort_ready;
+        st[ri].sort_ready = st[ri].last_map_end.max(st[ri].bin_done).max(last_arrival);
+        inbound.push(incoming);
+    }
+
+    // A rank whose GPU died after its map work completed is discovered
+    // here: its sort and reduce run on the next surviving rank, with the
+    // output still stored in the lost rank's slot.
+    let mut last_sort_loss = None;
+    for r in 0..ranks {
+        let ri = r as usize;
+        if st[ri].alive && kill_at[ri].is_some_and(|k| k <= st[ri].sort_ready) {
+            st[ri].alive = false;
+            counters.gpus_lost += 1;
+            last_sort_loss = Some(r);
+            if let Some(tr) = trace.as_mut() {
+                tr.record(
+                    r,
+                    TraceKind::GpuLost,
+                    st[ri].sort_ready,
+                    st[ri].sort_ready,
+                    "GPU lost before sort",
+                );
+            }
+        }
+    }
+    if st.iter().all(|s| !s.alive) {
+        return Err(EngineError::GpuLost {
+            rank: last_sort_loss.unwrap_or(0),
+        });
+    }
+
+    let mut outputs: Vec<KvSet<J::Key, J::Value>> = Vec::with_capacity(ranks as usize);
+    for (r, incoming) in (0..ranks).zip(inbound) {
+        let ri = r as usize;
+        let sort_ready = st[ri].sort_ready;
 
         if !cfg.sort_and_reduce || incoming.is_empty() {
             st[ri].sort_done = sort_ready;
@@ -523,9 +876,20 @@ fn run_job_impl<J: GpmrJob>(
             continue;
         }
 
+        let exec = if st[ri].alive {
+            r
+        } else {
+            takeover(r, &st).expect("a live rank exists")
+        };
+        let exec_note = if exec == r {
+            String::new()
+        } else {
+            format!(" (on rank {exec})")
+        };
+
         // Sort: upload received pairs (free with GPU-direct networking —
         // they arrived in device memory), radix sort, dedup keys.
-        let gpu = cluster.gpu(r);
+        let gpu = cluster.gpu(exec);
         let up = if gpu_direct {
             gpmr_sim_gpu::Reservation {
                 start: sort_ready,
@@ -565,7 +929,11 @@ fn run_job_impl<J: GpmrJob>(
                 TraceKind::Sort,
                 sort_ready,
                 t2,
-                format!("{} pairs, {} unique keys", skeys.len(), segs.len()),
+                format!(
+                    "{} pairs, {} unique keys{exec_note}",
+                    skeys.len(),
+                    segs.len()
+                ),
             );
         }
         st[ri].sort_done = t2;
@@ -608,7 +976,7 @@ fn run_job_impl<J: GpmrJob>(
                 TraceKind::Reduce,
                 t2,
                 down.end,
-                format!("{} output pairs", out.len()),
+                format!("{} output pairs{exec_note}", out.len()),
             );
         }
         st[ri].reduce_done = down.end;
@@ -641,6 +1009,10 @@ fn run_job_impl<J: GpmrJob>(
             chunks_stolen: stolen,
             pairs_emitted,
             pairs_shuffled,
+            gpus_lost: counters.gpus_lost,
+            chunks_requeued: counters.chunks_requeued,
+            transfer_retries: counters.transfer_retries,
+            stalls_injected: counters.stalls_injected,
         },
     })
 }

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use gpmr_sim_gpu::SimGpuError;
+use gpmr_sim_net::TransferFault;
 
 /// Errors raised while running a GPMR job.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -19,6 +20,21 @@ pub enum EngineError {
         /// The device capacity in bytes.
         capacity: u64,
     },
+    /// A GPU failed and no live GPU remained to take over its work. Raised
+    /// only when a fault plan kills *every* rank; any plan that leaves one
+    /// GPU alive recovers instead.
+    GpuLost {
+        /// The last rank to fail.
+        rank: u32,
+    },
+    /// A fabric transfer kept failing past the engine's retry budget
+    /// (`EngineTuning::max_transfer_retries`).
+    TransferFailed {
+        /// Number of attempts made (initial try plus retries).
+        attempt: u32,
+        /// The underlying fabric fault (source of this error).
+        fault: TransferFault,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -30,6 +46,12 @@ impl fmt::Display for EngineError {
                 f,
                 "chunk of {bytes} bytes cannot be double-buffered in {capacity} bytes of device memory"
             ),
+            EngineError::GpuLost { rank } => {
+                write!(f, "GPU on rank {rank} lost with no surviving GPU to recover onto")
+            }
+            EngineError::TransferFailed { attempt, fault } => {
+                write!(f, "transfer failed after {attempt} attempts: {fault}")
+            }
         }
     }
 }
@@ -38,6 +60,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Gpu(e) => Some(e),
+            EngineError::TransferFailed { fault, .. } => Some(fault),
             _ => None,
         }
     }

@@ -66,6 +66,18 @@ impl<C> WorkQueues<C> {
         self.queues[victim as usize].pop_back()
     }
 
+    /// Take everything still queued on `rank`, in queue order. Used when a
+    /// rank's GPU is lost and its pending chunks must migrate to survivors.
+    pub fn drain_rank(&mut self, rank: u32) -> Vec<C> {
+        self.queues[rank as usize].drain(..).collect()
+    }
+
+    /// Append a chunk to the tail of `rank`'s queue (requeue after a
+    /// migration; the rank finishes its original head-of-queue work first).
+    pub fn push_back(&mut self, rank: u32, chunk: C) {
+        self.queues[rank as usize].push_back(chunk);
+    }
+
     /// Number of queues.
     pub fn ranks(&self) -> u32 {
         self.queues.len() as u32
@@ -121,6 +133,17 @@ mod tests {
         let q: WorkQueues<u32> = WorkQueues::distribute((0..8).collect(), 2);
         assert_eq!(q.steal_victim(0), Some(1));
         assert_eq!(q.steal_victim(1), Some(0));
+    }
+
+    #[test]
+    fn drain_rank_empties_one_queue_in_order() {
+        let mut q = WorkQueues::distribute((0..9).collect(), 3);
+        assert_eq!(q.drain_rank(1), vec![1, 4, 7]);
+        assert_eq!(q.remaining(1), 0);
+        assert_eq!(q.total_remaining(), 6);
+        q.push_back(1, 99);
+        assert_eq!(q.remaining(1), 1);
+        assert_eq!(q.pop_local(1), Some(99));
     }
 
     #[test]

@@ -65,6 +65,14 @@ pub struct JobTimings {
     /// Pairs actually shipped to reducers (after partial reduce /
     /// accumulate / combine).
     pub pairs_shuffled: u64,
+    /// GPUs lost to injected fail-stop faults during the job.
+    pub gpus_lost: u32,
+    /// Chunks migrated off lost ranks and rerun on survivors.
+    pub chunks_requeued: u32,
+    /// Fabric transfer attempts that failed and were retried with backoff.
+    pub transfer_retries: u32,
+    /// Straggler stalls injected by the fault plan.
+    pub stalls_injected: u32,
 }
 
 impl JobTimings {

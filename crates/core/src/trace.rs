@@ -38,6 +38,14 @@ pub enum TraceKind {
     Sort,
     /// Reduce stage (chunked reduce kernels + output download).
     Reduce,
+    /// Fail-stop GPU loss detected by the scheduler (fault injection).
+    GpuLost,
+    /// Orphaned chunk migrated off a lost rank onto a survivor.
+    Requeue,
+    /// Transfer retry backoff after a plan-injected fabric failure.
+    Retry,
+    /// Injected straggler stall (fault injection).
+    Stall,
 }
 
 impl TraceKind {
@@ -56,6 +64,10 @@ impl TraceKind {
             TraceKind::Steal => '!',
             TraceKind::Sort => 'S',
             TraceKind::Reduce => 'R',
+            TraceKind::GpuLost => 'X',
+            TraceKind::Requeue => 'q',
+            TraceKind::Retry => 'r',
+            TraceKind::Stall => 'z',
         }
     }
 }
@@ -153,7 +165,7 @@ impl JobTrace {
         out.push_str(&format!(
             "time 0 .. {:.3} ms ({} columns; legend: # setup, u upload, M map, p partial-\n\
              reduce, a accum-init, t partition, d download, s send, C combine, ! steal,\n\
-             S sort, R reduce)\n",
+             S sort, R reduce, X gpu-lost, q requeue, r retry, z stall)\n",
             end * 1e3,
             width
         ));
@@ -272,6 +284,10 @@ mod tests {
             Steal,
             Sort,
             Reduce,
+            GpuLost,
+            Requeue,
+            Retry,
+            Stall,
         ];
         let tags: std::collections::HashSet<char> = kinds.iter().map(|k| k.tag()).collect();
         assert_eq!(tags.len(), kinds.len());

@@ -26,6 +26,7 @@ pub mod access;
 pub mod cost;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod kernel;
 pub mod link;
 pub mod memory;
@@ -39,6 +40,7 @@ pub use access::{coalesce_block, coalesce_warp, CoalescingSummary};
 pub use cost::{kernel_time, KernelCost};
 pub use device::{Gpu, GpuStats};
 pub use error::{SimGpuError, SimGpuResult};
+pub use fault::{FaultEvent, FaultPlan, FaultPlanParseError, TransferOutcome};
 pub use kernel::{BlockCtx, Launch, LaunchConfig};
 pub use link::{Direction, PcieLink, SharedLink};
 pub use memory::{DeviceBuffer, DeviceMemory};

@@ -7,7 +7,7 @@
 
 use crate::fabric::Fabric;
 use crate::topology::Topology;
-use gpmr_sim_gpu::{Gpu, GpuSpec, PcieLink, SharedLink};
+use gpmr_sim_gpu::{FaultPlan, Gpu, GpuSpec, PcieLink, SharedLink};
 
 /// A simulated cluster of GPUs.
 pub struct Cluster {
@@ -15,6 +15,7 @@ pub struct Cluster {
     gpus: Vec<Gpu>,
     fabric: Fabric,
     gpu_direct: bool,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Cluster {
@@ -69,7 +70,21 @@ impl Cluster {
             gpus,
             fabric: Fabric::scaled(topology, scale),
             gpu_direct: false,
+            fault_plan: None,
         }
+    }
+
+    /// Install (or clear) a fault plan for jobs run on this cluster. The
+    /// plan is forwarded to the fabric (transfer faults) and read by the
+    /// engine (GPU kills, rank stalls).
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fabric.set_fault_plan(plan.clone());
+        self.fault_plan = plan;
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Enable GPU-direct networking: the what-if hardware of the paper's

@@ -8,9 +8,31 @@
 //! Payloads themselves travel through a [`Mailbox`] so data stays
 //! bit-exact.
 
+use std::fmt;
+
 use crate::nic::{CpuSpec, Nic};
 use crate::topology::Topology;
-use gpmr_sim_gpu::{SimDuration, SimTime, Timeline};
+use gpmr_sim_gpu::{FaultPlan, SimDuration, SimTime, Timeline, TransferOutcome};
+
+/// A transfer attempt rejected by the active [`FaultPlan`].
+///
+/// Carries only the route (no timestamp) so it can sit inside `Eq` error
+/// types; the failing attempt's timing context lives with the caller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransferFault {
+    /// Sender rank of the rejected transfer.
+    pub from: u32,
+    /// Receiver rank of the rejected transfer.
+    pub to: u32,
+}
+
+impl fmt::Display for TransferFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fabric transfer {} -> {} failed", self.from, self.to)
+    }
+}
+
+impl std::error::Error for TransferFault {}
 
 /// Timing model for the whole cluster interconnect.
 #[derive(Debug)]
@@ -20,6 +42,7 @@ pub struct Fabric {
     /// Per-node host-memory copy engine used for intra-node exchanges.
     local_copy: Vec<Timeline>,
     cpu: CpuSpec,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Fabric {
@@ -46,12 +69,23 @@ impl Fabric {
             nics: (0..topology.nodes).map(|_| nic()).collect(),
             local_copy: (0..topology.nodes).map(|_| Timeline::new()).collect(),
             cpu,
+            fault_plan: None,
         }
     }
 
     /// Cluster shape this fabric serves.
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// Install (or clear) the fault plan consulted by [`Fabric::try_send`].
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Deliver `bytes` from `from` to `to`, with the payload available at
@@ -80,6 +114,36 @@ impl Fabric {
         let sent = self.nics[sn].reserve_send(ready, bytes);
         let recv = self.nics[rn].reserve_recv(sent.start + latency, bytes);
         recv.end
+    }
+
+    /// Like [`Fabric::send`], but consulting the fault plan first.
+    ///
+    /// `attempt` numbers retries of the same logical transfer from zero.
+    /// A plan-decreed failure returns `Err` *without* reserving any
+    /// timeline (the wire never carried the payload); a decreed delay
+    /// pushes `ready` later before the normal send. Rank-local handoffs
+    /// never touch the wire, so faults do not apply to them.
+    pub fn try_send(
+        &mut self,
+        from: u32,
+        to: u32,
+        ready: SimTime,
+        bytes: u64,
+        attempt: u32,
+    ) -> Result<SimTime, TransferFault> {
+        if from == to {
+            return Ok(ready);
+        }
+        match self
+            .fault_plan
+            .as_ref()
+            .map_or(TransferOutcome::Deliver, |p| {
+                p.transfer_outcome(from, to, ready, attempt)
+            }) {
+            TransferOutcome::Fail => Err(TransferFault { from, to }),
+            TransferOutcome::Delay(extra) => Ok(self.send(from, to, ready + extra, bytes)),
+            TransferOutcome::Deliver => Ok(self.send(from, to, ready, bytes)),
+        }
     }
 
     /// Total NIC busy time over the whole fabric (for utilization stats).
@@ -112,6 +176,9 @@ pub struct Mailbox<T> {
 pub struct Delivery<T> {
     /// Sender rank.
     pub from: u32,
+    /// Canonical sequence number assigned by the sender (the chunk's
+    /// global index, for the engine). Zero for plain [`Mailbox::send`].
+    pub seq: u64,
     /// Simulated arrival instant at the receiver.
     pub arrival: SimTime,
     /// The payload.
@@ -139,12 +206,20 @@ impl<T> Mailbox<T> {
         payload: T,
     ) -> SimTime {
         let arrival = fabric.send(from, to, ready, bytes);
+        self.deliver(to, from, 0, arrival, payload);
+        arrival
+    }
+
+    /// Enqueue an already-timed delivery for `to`. Used by callers that
+    /// time the transfer themselves (e.g. via [`Fabric::try_send`] with
+    /// retries) and want a canonical `seq` attached.
+    pub fn deliver(&mut self, to: u32, from: u32, seq: u64, arrival: SimTime, payload: T) {
         self.queues[to as usize].push(Delivery {
             from,
+            seq,
             arrival,
             payload,
         });
-        arrival
     }
 
     /// Drain everything delivered to `rank`, in arrival order
@@ -157,6 +232,16 @@ impl<T> Mailbox<T> {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.from.cmp(&b.from))
         });
+        msgs
+    }
+
+    /// Drain everything delivered to `rank` in *canonical* order —
+    /// `(seq, from)`, independent of arrival times — so receivers that
+    /// concatenate payloads produce bit-identical results no matter how
+    /// faults, retries, or stalls reshuffled the arrivals.
+    pub fn drain_canonical(&mut self, rank: u32) -> Vec<Delivery<T>> {
+        let mut msgs = std::mem::take(&mut self.queues[rank as usize]);
+        msgs.sort_by(|a, b| a.seq.cmp(&b.seq).then(a.from.cmp(&b.from)));
         msgs
     }
 
@@ -229,6 +314,72 @@ mod tests {
         assert_eq!(got[0].payload, "small");
         assert_eq!(got[1].payload, "big");
         assert!(got[1].arrival > got[0].arrival);
+        assert_eq!(mb.pending(0), 0);
+    }
+
+    #[test]
+    fn try_send_honours_the_fault_plan() {
+        let mut f = fabric(8);
+        f.set_fault_plan(Some(
+            FaultPlan::new()
+                .transfer_fail(Some(0), Some(4), 0.0, 1.0, 2)
+                .transfer_delay(Some(0), Some(5), 0.0, 1.0, 1e-3),
+        ));
+        // Failing window: first two attempts rejected, third goes through.
+        let t = SimTime::from_secs(0.5);
+        assert_eq!(
+            f.try_send(0, 4, t, 1 << 10, 0),
+            Err(TransferFault { from: 0, to: 4 })
+        );
+        assert_eq!(f.network_busy(), SimDuration::ZERO, "failed send used wire");
+        assert_eq!(
+            f.try_send(0, 4, t, 1 << 10, 1),
+            Err(TransferFault { from: 0, to: 4 })
+        );
+        let ok = f.try_send(0, 4, t, 1 << 10, 2).unwrap();
+        assert!(ok > t);
+        // Delay window: arrival is pushed past the healthy-route arrival.
+        let mut healthy = fabric(8);
+        let base = healthy.try_send(0, 5, t, 1 << 10, 0).unwrap();
+        let mut delayed = fabric(8);
+        delayed.set_fault_plan(Some(FaultPlan::new().transfer_delay(
+            Some(0),
+            Some(5),
+            0.0,
+            1.0,
+            1e-3,
+        )));
+        let late = delayed.try_send(0, 5, t, 1 << 10, 0).unwrap();
+        assert!((late.as_secs() - base.as_secs() - 1e-3).abs() < 1e-9);
+        // Self-sends bypass faults entirely.
+        let mut f2 = fabric(8);
+        f2.set_fault_plan(Some(
+            FaultPlan::new().transfer_fail(None, None, 0.0, 1.0, 99),
+        ));
+        assert_eq!(f2.try_send(3, 3, t, 1 << 20, 0), Ok(t));
+    }
+
+    #[test]
+    fn try_send_without_plan_matches_send() {
+        let mut a = fabric(8);
+        let mut b = fabric(8);
+        let t1 = a.try_send(0, 4, SimTime::ZERO, 1 << 20, 0).unwrap();
+        let t2 = b.send(0, 4, SimTime::ZERO, 1 << 20);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn canonical_drain_orders_by_seq_not_arrival() {
+        let mut mb: Mailbox<&'static str> = Mailbox::new(4);
+        // seq 7 arrives first, seq 2 arrives later; ties on seq break by
+        // sender rank.
+        mb.deliver(0, 3, 7, SimTime::from_secs(0.1), "late-seq-early-arrival");
+        mb.deliver(0, 1, 2, SimTime::from_secs(0.9), "early-seq-late-arrival");
+        mb.deliver(0, 2, 2, SimTime::from_secs(0.5), "early-seq-mid-arrival");
+        let got = mb.drain_canonical(0);
+        assert_eq!(got[0].payload, "early-seq-late-arrival");
+        assert_eq!(got[1].payload, "early-seq-mid-arrival");
+        assert_eq!(got[2].payload, "late-seq-early-arrival");
         assert_eq!(mb.pending(0), 0);
     }
 

@@ -22,6 +22,6 @@ pub mod topology;
 
 pub use cluster::Cluster;
 pub use collectives::{all_to_all, broadcast};
-pub use fabric::{Delivery, Fabric, Mailbox};
+pub use fabric::{Delivery, Fabric, Mailbox, TransferFault};
 pub use nic::{CpuSpec, Nic};
 pub use topology::Topology;

@@ -1,15 +1,19 @@
 //! The baselines must be *correct* implementations, not strawmen: Phoenix
 //! and Mars must produce exactly the same answers as the GPMR jobs and
-//! the sequential references.
+//! the sequential references. The faulted-conformance half then pins the
+//! recovery path to the same bar: every app must still match its CPU
+//! reference when a GPU dies mid-job.
 
 use std::sync::Arc;
 
-use gpmr::apps::{kmc, lr, sio, text, wo};
+use gpmr::apps::{kmc, lr, mm, sio, text, wo};
 use gpmr::baselines::{
     mars_mm, phoenix_mm, run_mars, run_phoenix, MarsKmc, MarsWo, PhoenixConfig, PhoenixKmc,
     PhoenixLr, PhoenixSio, PhoenixWo,
 };
+use gpmr::core::JobTimings;
 use gpmr::prelude::*;
+use gpmr::sim_gpu::FaultPlan;
 use gpmr::sim_net::CpuSpec;
 use gpmr_sim_gpu::Gpu;
 
@@ -126,4 +130,126 @@ fn all_three_mm_implementations_agree() {
     // harness, `cargo run -p gpmr-bench --bin table3_mars`.)
     assert!(gpmr.total_time.as_secs() < phoenix_t.as_secs());
     assert!(mars_t.as_secs() < phoenix_t.as_secs());
+}
+
+// ---------------------------------------------------------------------
+// Golden conformance under faults: each paper app, with one GPU killed
+// mid-job, must still match its sequential CPU reference — exactly for
+// the integer apps, within float-accumulation tolerance for KMC/LR/MM.
+// ---------------------------------------------------------------------
+
+fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+/// Run `run` fault-free to learn the makespan, then again with rank 1
+/// killed at 35% of it. Returns the faulted outcome.
+fn with_mid_job_kill<T>(
+    gpus: u32,
+    run: impl Fn(&mut Cluster) -> (T, JobTimings),
+) -> (T, JobTimings) {
+    let mut clean = Cluster::accelerator(gpus, GpuSpec::gt200());
+    let (_, base_t) = run(&mut clean);
+    let mut faulted = Cluster::accelerator(gpus, GpuSpec::gt200());
+    faulted.set_fault_plan(Some(
+        FaultPlan::new().kill(1, base_t.total.as_secs() * 0.35),
+    ));
+    let (out, t) = run(&mut faulted);
+    assert!(t.gpus_lost >= 1, "the mid-job kill never landed");
+    (out, t)
+}
+
+#[test]
+fn sio_with_mid_job_kill_matches_reference() {
+    let data = sio::generate_integers(60_000, 21);
+    let expect = sio::cpu_reference(&data);
+    let (merged, t) = with_mid_job_kill(4, |cluster| {
+        let r = run_job(
+            cluster,
+            &SioJob::default(),
+            sio::sio_chunks(&data, 16 * 1024),
+        )
+        .expect("SIO survives the kill");
+        let timings = r.timings.clone();
+        (r.merged_output(), timings)
+    });
+    assert!(t.chunks_requeued > 0);
+    assert_eq!(merged.len(), expect.len());
+    for (k, v) in merged.iter() {
+        assert_eq!(*v, expect[k], "key {k}");
+    }
+}
+
+#[test]
+fn wo_with_mid_job_kill_matches_reference() {
+    let dict = Arc::new(Dictionary::generate(300, 22));
+    let corpus = text::generate_text(&dict, 60_000, 23);
+    let expect = wo::cpu_reference(&dict, &corpus);
+    let (merged, _) = with_mid_job_kill(4, |cluster| {
+        let job = WoJob::new(dict.clone(), 4);
+        let r =
+            run_job(cluster, &job, text::chunk_text(&corpus, 6_000)).expect("WO survives the kill");
+        let timings = r.timings.clone();
+        (r.merged_output(), timings)
+    });
+    assert_eq!(wo::counts_from_output(&dict, &merged), expect);
+}
+
+#[test]
+fn kmc_with_mid_job_kill_matches_reference() {
+    let centers = kmc::initial_centers(12, 24);
+    let points = kmc::generate_points(50_000, 12, 25);
+    let expect = kmc::cpu_reference(&centers, &points);
+    let (merged, _) = with_mid_job_kill(4, |cluster| {
+        let job = KmcJob::new(centers.clone());
+        let r = run_job(cluster, &job, SliceChunk::split(&points, 8_192))
+            .expect("KMC survives the kill");
+        let timings = r.timings.clone();
+        (r.merged_output(), timings)
+    });
+    let sums = kmc::sums_from_output(centers.len(), &merged);
+    assert!(close(&sums, &expect, 1e-6), "KMC sums diverged after kill");
+}
+
+#[test]
+fn lr_with_mid_job_kill_matches_reference() {
+    let samples = lr::generate_samples(80_000, -0.5, 7.0, 26);
+    let expect = lr::cpu_reference(&samples);
+    let (merged, _) = with_mid_job_kill(4, |cluster| {
+        let r = run_job(cluster, &LrJob, SliceChunk::split(&samples, 16_384))
+            .expect("LR survives the kill");
+        let timings = r.timings.clone();
+        (r.merged_output(), timings)
+    });
+    let stats = lr::stats_from_output(&merged);
+    assert!(close(&stats, &expect, 1e-6), "LR stats diverged after kill");
+}
+
+#[test]
+fn mm_with_mid_job_kill_matches_reference() {
+    let a = Matrix::random(192, 27);
+    let b = Matrix::random(192, 28);
+    let reference = a.multiply_reference(&b);
+
+    let mut clean = Cluster::accelerator(4, GpuSpec::gt200());
+    let base = mm::run_mm(&mut clean, &a, &b, 4, 6, 3).expect("fault-free MM");
+
+    let mut faulted = Cluster::accelerator(4, GpuSpec::gt200());
+    faulted.set_fault_plan(Some(
+        FaultPlan::new().kill(1, base.total_time.as_secs() * 0.35),
+    ));
+    let result = mm::run_mm(&mut faulted, &a, &b, 4, 6, 3).expect("MM survives the kill");
+    assert!(
+        result.phase1.gpus_lost + result.phase2.gpus_lost >= 1,
+        "the mid-job kill never landed"
+    );
+    for (i, (x, y)) in result.c.data.iter().zip(&reference.data).enumerate() {
+        assert!(
+            (x - y).abs() <= 1e-4 * (1.0 + x.abs()),
+            "element {i}: {x} vs {y}"
+        );
+    }
 }

@@ -9,13 +9,18 @@ use std::sync::Arc;
 
 use gpmr::apps::text::{chunk_text, generate_text};
 use gpmr::prelude::*;
-use gpmr::sim_gpu::{set_exec_backend, ExecBackend};
+use gpmr::sim_gpu::{set_exec_backend, ExecBackend, FaultPlan};
 
-fn run_wo(workers: usize, backend: ExecBackend) -> (Vec<KvSet<u32, u32>>, gpmr::core::JobTimings) {
+fn run_wo_faulted(
+    workers: usize,
+    backend: ExecBackend,
+    plan: Option<FaultPlan>,
+) -> (Vec<KvSet<u32, u32>>, gpmr::core::JobTimings) {
     set_exec_backend(backend);
     // 2 nodes x 2 GPUs, the smallest shape that exercises both intra-node
     // PCI-e sharing and inter-node network binning.
     let mut cluster = Cluster::new(Topology::new(2, 2, 2), GpuSpec::gt200());
+    cluster.set_fault_plan(plan);
     for rank in 0..4 {
         cluster.gpu(rank).worker_threads = workers;
     }
@@ -26,6 +31,10 @@ fn run_wo(workers: usize, backend: ExecBackend) -> (Vec<KvSet<u32, u32>>, gpmr::
     let result = run_job(&mut cluster, &job, chunks).expect("job runs");
     set_exec_backend(ExecBackend::Pool);
     (result.outputs, result.timings)
+}
+
+fn run_wo(workers: usize, backend: ExecBackend) -> (Vec<KvSet<u32, u32>>, gpmr::core::JobTimings) {
+    run_wo_faulted(workers, backend, None)
 }
 
 #[test]
@@ -44,6 +53,50 @@ fn outputs_and_times_are_independent_of_workers_and_backend() {
             assert_eq!(
                 times, base_times,
                 "simulated times changed with {workers} workers on {backend:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_recovery_is_independent_of_workers_and_backend() {
+    // A plan that exercises every injection path at once: a mid-job GPU
+    // kill, a transient route failure, and a straggler stall. Recovery
+    // (requeue targets, retry counts, migrated work) must replay
+    // identically no matter which host threads execute the kernels.
+    let (fault_free, fault_free_times) = run_wo(1, ExecBackend::Pool);
+    let horizon = fault_free_times.total.as_secs();
+    let plan = || {
+        Some(
+            FaultPlan::new()
+                .kill(2, horizon * 0.4)
+                .transfer_fail(Some(1), Some(0), 0.0, f64::INFINITY, 2)
+                .stall(3, horizon * 0.2, horizon * 0.15),
+        )
+    };
+
+    let (base_out, base_times) = run_wo_faulted(1, ExecBackend::Pool, plan());
+    assert_eq!(
+        base_out, fault_free,
+        "faulted run must still compute the fault-free answer"
+    );
+    assert!(base_times.gpus_lost >= 1, "the kill must have landed");
+    assert!(base_times.transfer_retries > 0, "retries must be visible");
+    assert!(
+        base_times.stalls_injected >= 1,
+        "the stall must have landed"
+    );
+
+    for workers in [2, 8] {
+        for backend in [ExecBackend::Pool, ExecBackend::Spawn] {
+            let (out, times) = run_wo_faulted(workers, backend, plan());
+            assert_eq!(
+                out, base_out,
+                "faulted outputs changed with {workers} workers on {backend:?}"
+            );
+            assert_eq!(
+                times, base_times,
+                "faulted times/recovery changed with {workers} workers on {backend:?}"
             );
         }
     }

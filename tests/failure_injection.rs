@@ -1,10 +1,15 @@
 //! Failure injection: the error paths a user can hit must surface as
-//! typed errors, not silent wrong answers.
+//! typed errors with intact `std::error::Error::source` chains — callers
+//! diagnose programmatically by downcasting the chain, never by grepping
+//! display strings.
+
+use std::error::Error as StdError;
 
 use gpmr::baselines::{run_mars, MarsError};
 use gpmr::core::{EngineError, MapMode, PipelineConfig};
 use gpmr::prelude::*;
-use gpmr::sim_gpu::{Gpu, SimGpuError, SimGpuResult, SimTime};
+use gpmr::sim_gpu::{FaultPlan, Gpu, SimGpuError, SimGpuResult, SimTime};
+use gpmr::sim_net::TransferFault;
 use gpmr_apps::sio::sio_chunks;
 
 #[test]
@@ -22,7 +27,8 @@ fn oversized_chunks_are_rejected_with_capacity_info() {
         }
         other => panic!("expected ChunkTooLarge, got {other}"),
     }
-    assert!(err.to_string().contains("double-buffered"));
+    // ChunkTooLarge is a leaf diagnosis: nothing beneath it in the chain.
+    assert!(err.source().is_none());
 }
 
 #[test]
@@ -100,9 +106,59 @@ fn device_oom_is_a_typed_error() {
     let gpu = Gpu::new(GpuSpec::gt200().with_mem_capacity(1024));
     let err = gpu.alloc::<u64>(1000).unwrap_err();
     assert!(matches!(err, SimGpuError::OutOfMemory { .. }));
-    // The error chain renders human-readable information.
-    let msg = EngineError::from(err).to_string();
-    assert!(msg.contains("out of memory"));
+    // Wrapped in an engine error, the device fault stays reachable (and
+    // downcastable) through the source chain.
+    let wrapped = EngineError::from(err);
+    let source = wrapped.source().expect("Gpu errors must expose a source");
+    let gpu_err = source
+        .downcast_ref::<SimGpuError>()
+        .expect("source must be the device-level SimGpuError");
+    assert!(matches!(gpu_err, SimGpuError::OutOfMemory { .. }));
+}
+
+#[test]
+fn killing_every_gpu_surfaces_a_typed_leaf_error() {
+    let plan = FaultPlan::new().kill(0, 1e-6).kill(1, 1e-6);
+    let mut cluster = Cluster::accelerator(2, GpuSpec::gt200());
+    cluster.set_fault_plan(Some(plan));
+    let data = vec![7u32; 20_000];
+    let err = run_job(
+        &mut cluster,
+        &SioJob::default(),
+        sio_chunks(&data, 8 * 1024),
+    )
+    .expect_err("no GPU survives");
+    assert!(matches!(err, EngineError::GpuLost { .. }));
+    // Total cluster loss has no deeper cause to report.
+    assert!(err.source().is_none());
+}
+
+#[test]
+fn exhausted_transfer_retries_expose_the_fabric_fault_as_source() {
+    // Every 1 -> 0 transfer fails forever: the engine's retry budget runs
+    // out and the fabric-level fault must ride along as the source.
+    let plan = FaultPlan::new().transfer_fail(Some(1), Some(0), 0.0, f64::INFINITY, u32::MAX);
+    let mut cluster = Cluster::accelerator(2, GpuSpec::gt200());
+    cluster.set_fault_plan(Some(plan));
+    let data: Vec<u32> = (0..40_000).map(|i| i % 64).collect();
+    let err = run_job(
+        &mut cluster,
+        &SioJob::default(),
+        sio_chunks(&data, 8 * 1024),
+    )
+    .expect_err("the route never recovers");
+    match &err {
+        EngineError::TransferFailed { attempt, fault } => {
+            assert!(*attempt > 0);
+            assert_eq!((fault.from, fault.to), (1, 0));
+        }
+        other => panic!("expected TransferFailed, got {other}"),
+    }
+    let source = err.source().expect("TransferFailed must expose a source");
+    let fault = source
+        .downcast_ref::<TransferFault>()
+        .expect("source must be the fabric-level TransferFault");
+    assert_eq!((fault.from, fault.to), (1, 0));
 }
 
 #[test]

@@ -1,0 +1,159 @@
+//! Property tests for the dynamic work queues: under *any* interleaving
+//! of local pops, steals, and kill-style drains, no chunk is ever lost or
+//! duplicated, `total_remaining` stays conserved, and `steal_victim`
+//! never picks the thief or a queue too light to be worth robbing.
+
+use gpmr::core::WorkQueues;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn no_interleaving_loses_or_duplicates_chunks(
+        n_chunks in 0usize..64,
+        ranks in 1u32..9,
+        ops in prop::collection::vec((0u8..4, any::<u32>()), 0..200),
+    ) {
+        let mut q = WorkQueues::distribute((0..n_chunks as u32).collect(), ranks);
+        let ranks = q.ranks();
+        let mut popped: Vec<u32> = Vec::new();
+        for (op, sel) in ops {
+            let r = sel % ranks;
+            match op {
+                // A rank takes its own next chunk.
+                0 => {
+                    if let Some(c) = q.pop_local(r) {
+                        popped.push(c);
+                    }
+                }
+                // An idle rank steals: the stolen chunk moves to its queue.
+                1 => {
+                    if let Some(victim) = q.steal_victim(r) {
+                        prop_assert_ne!(victim, r);
+                        prop_assert!(
+                            q.remaining(victim) >= 2,
+                            "victim rank {} too light to steal from",
+                            victim
+                        );
+                        let c = q.steal_from(victim);
+                        prop_assert!(c.is_some(), "chosen victim was empty");
+                        q.push_back(r, c.unwrap());
+                    }
+                }
+                // Kill-style recovery: the rank's whole queue migrates to
+                // its neighbour (what the engine does on GPU loss).
+                2 => {
+                    if ranks > 1 {
+                        let dest = (r + 1) % ranks;
+                        for c in q.drain_rank(r) {
+                            q.push_back(dest, c);
+                        }
+                        prop_assert_eq!(q.remaining(r), 0);
+                    }
+                }
+                // Bookkeeping consistency check.
+                _ => {
+                    let by_rank: usize = (0..ranks).map(|x| q.remaining(x)).sum();
+                    prop_assert_eq!(q.total_remaining(), by_rank);
+                }
+            }
+            prop_assert_eq!(
+                popped.len() + q.total_remaining(),
+                n_chunks,
+                "chunks lost or duplicated mid-interleaving"
+            );
+        }
+        // Drain everything left: each chunk must appear exactly once.
+        let mut seen = popped;
+        for r in 0..ranks {
+            while let Some(c) = q.pop_local(r) {
+                seen.push(c);
+            }
+        }
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n_chunks as u32).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn steal_victim_is_never_the_thief_or_underloaded(
+        loads in prop::collection::vec(0usize..6, 1..9),
+        thief_sel in any::<u32>(),
+    ) {
+        let ranks = loads.len() as u32;
+        let mut q: WorkQueues<u32> = WorkQueues::distribute(Vec::new(), ranks);
+        let mut id = 0u32;
+        for (r, &load) in loads.iter().enumerate() {
+            for _ in 0..load {
+                q.push_back(r as u32, id);
+                id += 1;
+            }
+        }
+        let thief = thief_sel % ranks;
+        match q.steal_victim(thief) {
+            Some(v) => {
+                prop_assert_ne!(v, thief);
+                prop_assert!(q.remaining(v) >= 2, "victim has too little work");
+                // Most-loaded eligible rank wins; ties break to lowest.
+                for r in 0..ranks {
+                    if r == thief {
+                        continue;
+                    }
+                    prop_assert!(
+                        q.remaining(r) < q.remaining(v)
+                            || (q.remaining(r) == q.remaining(v) && r >= v),
+                        "rank {} (load {}) beats chosen victim {} (load {})",
+                        r,
+                        q.remaining(r),
+                        v,
+                        q.remaining(v)
+                    );
+                }
+            }
+            None => {
+                for r in 0..ranks {
+                    if r != thief {
+                        prop_assert!(
+                            q.remaining(r) < 2,
+                            "eligible victim {} was missed",
+                            r
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pops_and_steals_preserve_fifo_order_per_rank(
+        n_chunks in 1usize..40,
+        ranks in 1u32..6,
+        pops in prop::collection::vec(any::<u32>(), 0..60),
+    ) {
+        // Chunks popped locally on one rank must come out in the order the
+        // round-robin distribution queued them, even with steals removing
+        // tail chunks in between.
+        let mut q = WorkQueues::distribute((0..n_chunks as u32).collect(), ranks);
+        let ranks = q.ranks();
+        let mut last_popped: Vec<Option<u32>> = vec![None; ranks as usize];
+        for sel in pops {
+            let r = sel % ranks;
+            if sel % 3 == 0 {
+                if let Some(v) = q.steal_victim(r) {
+                    q.steal_from(v);
+                }
+            } else if let Some(c) = q.pop_local(r) {
+                if let Some(prev) = last_popped[r as usize] {
+                    prop_assert!(
+                        c > prev,
+                        "rank {} popped {} after {} (FIFO violated)",
+                        r,
+                        c,
+                        prev
+                    );
+                }
+                last_popped[r as usize] = Some(c);
+            }
+        }
+    }
+}
