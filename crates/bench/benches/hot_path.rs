@@ -1,13 +1,16 @@
 //! Hot-path microbenches for the execution backend and shuffle/sort
 //! allocation work introduced by the persistent worker pool: kernel
 //! launch overhead (pool vs spawn-per-launch), radix sort throughput,
-//! and the engine's bucket-split/combine shuffle path.
+//! the engine's bucket-split/combine shuffle path, and the cost of the
+//! telemetry subsystem (disabled vs enabled) on a full engine run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gpmr_core::helpers::{combine_pairs, split_buckets};
-use gpmr_core::KvSet;
+use gpmr_core::{run_job_instrumented, EngineTuning, KvSet};
 use gpmr_primitives::sort_pairs;
 use gpmr_sim_gpu::{set_exec_backend, ExecBackend, Gpu, GpuSpec, LaunchConfig, SimTime};
+use gpmr_sim_net::Cluster;
+use gpmr_telemetry::Telemetry;
 
 fn pseudo_random(n: usize, seed: u64) -> Vec<u32> {
     let mut x = seed | 1;
@@ -87,10 +90,44 @@ fn bench_shuffle_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Full engine run of a small SIO job with telemetry disabled vs
+/// enabled. "disabled" is the default `run_job` path and must stay within
+/// a few percent of the pre-telemetry engine; "enabled" shows the full
+/// recording cost (spans + counters + samples).
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let n = 200_000usize;
+    let data = gpmr_apps::sio::generate_integers(n, 7);
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.throughput(Throughput::Elements(n as u64));
+    for (name, enabled) in [("disabled", false), ("enabled", true)] {
+        group.bench_function(name, |b| {
+            let mut cluster = Cluster::accelerator(4, GpuSpec::gt200());
+            b.iter(|| {
+                let tel = if enabled {
+                    Telemetry::enabled()
+                } else {
+                    Telemetry::disabled()
+                };
+                let chunks = gpmr_apps::sio::sio_chunks(&data, 64 * 1024);
+                run_job_instrumented(
+                    &mut cluster,
+                    &gpmr_apps::sio::SioJob::default(),
+                    chunks,
+                    &EngineTuning::default(),
+                    &tel,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     hot_path,
     bench_launch_overhead,
     bench_sort_throughput,
-    bench_shuffle_throughput
+    bench_shuffle_throughput,
+    bench_telemetry_overhead
 );
 criterion_main!(hot_path);

@@ -6,6 +6,12 @@
 //!
 //! Usage: `cargo run --release -p gpmr-bench --bin bench_pr1 [--scale N]`
 //! Writes `BENCH_PR1.json` in the current directory.
+//!
+//! Units are tagged in field names: `_ns` fields are host wall-clock
+//! nanoseconds (`Instant`-measured), `_sim_s` fields are simulated
+//! seconds (`SimDuration`). The untagged `wall_ms_*`/`simulated_s`
+//! fields are schema-compatibility aliases for the original PR-1 JSON
+//! and carry the same values in milliseconds/seconds.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -13,9 +19,10 @@ use std::time::Instant;
 use gpmr_apps::text::{chunk_text, generate_text, Dictionary};
 use gpmr_apps::wo::WoJob;
 use gpmr_bench::{parse_scale, run_wo, shared_dictionary, RunOutcome};
-use gpmr_core::{run_job, KvSet};
+use gpmr_core::{run_job, run_job_instrumented, EngineTuning, KvSet};
 use gpmr_sim_gpu::{set_exec_backend, ExecBackend, Gpu, GpuSpec, LaunchConfig, SimTime};
 use gpmr_sim_net::{Cluster, Topology};
+use gpmr_telemetry::Telemetry;
 
 /// One cheap 64-block kernel; wall time is dominated by block dispatch.
 fn tiny_launch(gpu: &mut Gpu) -> usize {
@@ -126,11 +133,17 @@ fn main() {
              sim {} , identical sim times: {identical}",
             pool_out.time
         );
+        // Unit-tagged fields first; `wall_ms_*`/`simulated_s` are kept as
+        // schema-compatibility aliases for the original PR-1 JSON.
         fig3.push_str(&format!(
-            "    {{\"gpus\": {gpus}, \"wall_ms_pool\": {pool_ms:.1}, \
-             \"wall_ms_spawn\": {spawn_ms:.1}, \"simulated_s\": {:.6}, \
+            "    {{\"gpus\": {gpus}, \"wall_ns_pool\": {:.0}, \
+             \"wall_ns_spawn\": {:.0}, \"makespan_sim_s\": {sim_s:.6}, \
+             \"wall_ms_pool\": {pool_ms:.1}, \
+             \"wall_ms_spawn\": {spawn_ms:.1}, \"simulated_s\": {sim_s:.6}, \
              \"identical_sim_times\": {identical}}},\n",
-            pool_out.time.as_secs()
+            pool_ms * 1e6,
+            spawn_ms * 1e6,
+            sim_s = pool_out.time.as_secs(),
         ));
     }
     fig3.pop();
@@ -144,6 +157,37 @@ fn main() {
         "backends diverged — the pool must not change results"
     );
 
+    // Metric snapshot of one small instrumented run, embedded alongside
+    // the timings (simulated-domain counters; no wall-clock units).
+    println!("telemetry snapshot (small 4-rank WO job)...");
+    let tel = Telemetry::enabled();
+    let mut cluster = Cluster::new(Topology::new(2, 2, 2), GpuSpec::gt200());
+    let dict = Arc::new(Dictionary::generate(300, 11));
+    let text = generate_text(&dict, 120_000, 12);
+    let chunks = chunk_text(&text, 16 * 1024);
+    run_job_instrumented(
+        &mut cluster,
+        &WoJob::new(dict, 4),
+        chunks,
+        &EngineTuning::default(),
+        &tel,
+    )
+    .expect("instrumented WO job");
+    let snap = tel.snapshot();
+    println!(
+        "  {} spans, {} counter samples, {} chunks dispatched",
+        snap.spans.len(),
+        snap.samples.len(),
+        snap.metrics.counter("engine.chunks_dispatched"),
+    );
+    let telemetry_json: String = snap
+        .metrics
+        .to_json()
+        .lines()
+        .map(|l| format!("  {l}\n"))
+        .collect();
+    let telemetry_json = telemetry_json.trim().to_string();
+
     let json = format!(
         "{{\n  \"pr\": 1,\n  \"scale\": {scale},\n  \"launch_overhead\": {{\n    \
          \"spawn_ns_per_launch\": {spawn_ns:.0},\n    \"pool_ns_per_launch\": {pool_ns:.0},\n    \
@@ -151,6 +195,7 @@ fn main() {
          \"sort_throughput_melem_per_s\": {sort_melem_s:.1},\n  \
          \"shuffle_split_melem_per_s\": {shuffle_melem_s:.1},\n  \
          \"fig3_wo_512mb\": [\n{fig3}\n  ],\n  \
+         \"telemetry_small_wo_4rank\": {telemetry_json},\n  \
          \"outputs_identical_across_backends\": {outputs_identical}\n}}\n"
     );
     std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");

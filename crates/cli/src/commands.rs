@@ -9,9 +9,10 @@ use gpmr_apps::mm::{run_mm_auto, Matrix};
 use gpmr_apps::sio::{self, SioJob};
 use gpmr_apps::text::{chunk_text, generate_text, Dictionary};
 use gpmr_apps::wo::WoJob;
-use gpmr_core::{run_job_traced, JobResult, JobTrace};
+use gpmr_core::{run_job_instrumented, EngineTuning, GpmrJob, JobResult, JobTrace};
 use gpmr_sim_gpu::{FaultPlan, GpuSpec, PcieLink};
 use gpmr_sim_net::{Cluster, CpuSpec, Nic, Topology};
+use gpmr_telemetry::{export, Telemetry, TelemetrySnapshot};
 
 use crate::args::{ArgError, Args};
 
@@ -22,8 +23,12 @@ gpmr — Multi-GPU MapReduce on a simulated GPU cluster
 USAGE:
     gpmr run    --benchmark <mm|sio|wo|kmc|lr> [--gpus N] [--size X]
                 [--scale K] [--seed S] [--trace]
+                [--metrics-out F] [--trace-out F] [--events-out F]
                 [--fault-plan SPEC | --fault-seed S]
     gpmr kmeans [--points N] [--k K] [--gpus N] [--iterations I] [--seed S]
+    gpmr trace  export --in events.jsonl --out trace.json
+    gpmr trace  check  --in trace.json
+    gpmr trace  summary --in events.jsonl
     gpmr info   [--gpus N]
     gpmr help
 
@@ -34,6 +39,12 @@ RUN OPTIONS:
     --scale       workload/hardware scale divisor         [default: 1]
     --seed        workload generator seed                 [default: 42]
     --trace       print an ASCII Gantt chart of the schedule
+    --metrics-out write a metrics snapshot to F (JSON when F ends in
+                  .json, text otherwise)
+    --trace-out   write a Chrome/Perfetto trace-event JSON to F
+                  (open in https://ui.perfetto.dev)
+    --events-out  write the raw telemetry stream (spans, counter samples,
+                  metrics) to F as JSONL; feed to `gpmr trace export`
     --fault-plan  inject faults from an explicit plan. `;`-separated:
                   kill:R@T (lose rank R's GPU at T seconds),
                   stall:R@T+D (freeze rank R at T for D seconds),
@@ -43,6 +54,11 @@ RUN OPTIONS:
                   Example: --fault-plan 'kill:1@2e-3; xfail:0->2@0..1e-2*2'
     --fault-seed  generate a random fault plan from seed S (deterministic;
                   always leaves at least one GPU alive)
+
+TRACE SUBCOMMAND:
+    export        convert a --events-out JSONL stream to Perfetto JSON
+    check         validate a Perfetto JSON file (structure, monotonic ts)
+    summary       print per-track busy-time/utilization from a JSONL stream
 ";
 
 /// Errors surfaced to the user.
@@ -83,6 +99,9 @@ pub const VALUED: &[&str] = &[
     "iterations",
     "fault-plan",
     "fault-seed",
+    "metrics-out",
+    "trace-out",
+    "events-out",
 ];
 /// Boolean flags.
 pub const BOOLEAN: &[&str] = &["trace"];
@@ -93,6 +112,12 @@ where
     I: IntoIterator<Item = S>,
     S: Into<String>,
 {
+    let tokens: Vec<String> = tokens.into_iter().map(Into::into).collect();
+    // `trace` takes a mode positional (`export`/`check`/`summary`), which
+    // the generic parser would reject; route it before Args::parse.
+    if tokens.first().map(String::as_str) == Some("trace") {
+        return cmd_trace(&tokens[1..]);
+    }
     let args = match Args::parse(tokens, VALUED, BOOLEAN) {
         Ok(a) => a,
         Err(ArgError::MissingSubcommand) => return Ok(HELP.to_string()),
@@ -149,10 +174,152 @@ fn report(
     )
 }
 
-fn maybe_gantt(out: &mut String, trace: Option<JobTrace>, gpus: u32) {
-    if let Some(tr) = trace {
+/// Output files requested with `--metrics-out`/`--trace-out`/`--events-out`.
+struct OutFiles {
+    metrics: Option<String>,
+    trace: Option<String>,
+    events: Option<String>,
+}
+
+impl OutFiles {
+    fn from_args(args: &Args) -> OutFiles {
+        OutFiles {
+            metrics: args.get("metrics-out").map(str::to_string),
+            trace: args.get("trace-out").map(str::to_string),
+            events: args.get("events-out").map(str::to_string),
+        }
+    }
+
+    fn any(&self) -> bool {
+        self.metrics.is_some() || self.trace.is_some() || self.events.is_some()
+    }
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents)
+        .map_err(|e| CliError::Invalid(format!("cannot write {path}: {e}")))
+}
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::Invalid(format!("cannot read {path}: {e}")))
+}
+
+/// A finished job plus the telemetry handle that recorded it.
+type RunOutcome<J> = (
+    JobResult<<J as GpmrJob>::Key, <J as GpmrJob>::Value>,
+    Telemetry,
+);
+
+/// Run one job with telemetry on when the Gantt chart or any output file
+/// needs it, off otherwise (zero recording overhead).
+fn run_with_tel<J: GpmrJob>(
+    cluster: &mut Cluster,
+    job: &J,
+    chunks: Vec<J::Chunk>,
+    need_tel: bool,
+) -> Result<RunOutcome<J>, CliError> {
+    let tel = if need_tel {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let result = run_job_instrumented(cluster, job, chunks, &EngineTuning::default(), &tel)
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    Ok((result, tel))
+}
+
+/// Append the Gantt chart and write any requested output files from the
+/// telemetry recording.
+fn finish_run(
+    out: &mut String,
+    tel: &Telemetry,
+    want_trace: bool,
+    outs: &OutFiles,
+    gpus: u32,
+) -> Result<(), CliError> {
+    if !tel.is_enabled() {
+        return Ok(());
+    }
+    let snap = tel.snapshot();
+    write_outputs(out, &snap, outs)?;
+    if want_trace {
+        let tr = JobTrace::from_telemetry(&snap);
         out.push('\n');
         out.push_str(&tr.gantt(gpus, 100));
+    }
+    Ok(())
+}
+
+fn write_outputs(
+    out: &mut String,
+    snap: &TelemetrySnapshot,
+    outs: &OutFiles,
+) -> Result<(), CliError> {
+    if let Some(path) = &outs.metrics {
+        let text = if path.ends_with(".json") {
+            snap.metrics.to_json()
+        } else {
+            snap.metrics.render_text()
+        };
+        write_file(path, &text)?;
+        out.push_str(&format!("metrics        : written to {path}\n"));
+    }
+    if let Some(path) = &outs.trace {
+        write_file(path, &export::to_perfetto_json(snap))?;
+        out.push_str(&format!(
+            "trace          : written to {path} (open in https://ui.perfetto.dev)\n"
+        ));
+    }
+    if let Some(path) = &outs.events {
+        write_file(path, &export::to_jsonl(snap))?;
+        out.push_str(&format!("events         : written to {path}\n"));
+    }
+    Ok(())
+}
+
+fn cmd_trace(tokens: &[String]) -> Result<String, CliError> {
+    const TRACE_VALUED: &[&str] = &["in", "out"];
+    let args = Args::parse(tokens.iter().cloned(), TRACE_VALUED, &[]).map_err(|e| match e {
+        ArgError::MissingSubcommand => {
+            CliError::Invalid("trace needs a mode: export, check, or summary".into())
+        }
+        other => CliError::Args(other),
+    })?;
+    let input = args
+        .get("in")
+        .ok_or_else(|| CliError::Invalid("trace needs --in <file>".into()))?;
+    match args.subcommand.as_str() {
+        "export" => {
+            let out_path = args
+                .get("out")
+                .ok_or_else(|| CliError::Invalid("trace export needs --out <file>".into()))?;
+            let snap =
+                export::snapshot_from_jsonl(&read_file(input)?).map_err(CliError::Invalid)?;
+            write_file(out_path, &export::to_perfetto_json(&snap))?;
+            Ok(format!(
+                "exported {} span(s), {} sample(s), {} track(s) -> {out_path} \
+                 (open in https://ui.perfetto.dev)\n",
+                snap.spans.len(),
+                snap.samples.len(),
+                snap.tracks.len(),
+            ))
+        }
+        "check" => {
+            let stats = export::validate_perfetto(&read_file(input)?).map_err(CliError::Invalid)?;
+            Ok(format!(
+                "{input}: OK — {} complete event(s), {} counter event(s), \
+                 {} named track(s), ends at {:.1} us\n",
+                stats.complete_events, stats.counter_events, stats.named_tracks, stats.end_ts_us,
+            ))
+        }
+        "summary" => {
+            let snap =
+                export::snapshot_from_jsonl(&read_file(input)?).map_err(CliError::Invalid)?;
+            Ok(export::summary_report(&snap, &["Chunk"]).render_text())
+        }
+        other => Err(CliError::Invalid(format!(
+            "unknown trace mode {other:?}; expected export, check, or summary"
+        ))),
     }
 }
 
@@ -165,6 +332,8 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     let scale: u64 = args.get_or("scale", 1)?;
     let seed: u64 = args.get_or("seed", 42)?;
     let want_trace = args.flag("trace");
+    let outs = OutFiles::from_args(args);
+    let need_tel = want_trace || outs.any();
     if gpus == 0 || gpus > 1024 {
         return Err(CliError::Invalid("--gpus must be in 1..=1024".into()));
     }
@@ -194,10 +363,9 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
             let n: usize = args.get_or("size", 1_000_000)?;
             let data = sio::generate_integers(n, seed);
             let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(4, n));
-            let (result, trace) = run_job_traced(&mut cluster, &SioJob::default(), chunks)
-                .map_err(|e| CliError::Invalid(e.to_string()))?;
+            let (result, tel) = run_with_tel(&mut cluster, &SioJob::default(), chunks, need_tel)?;
             let mut out = report("Sparse Integer Occurrence", gpus, n as u64, &result);
-            maybe_gantt(&mut out, want_trace.then_some(trace), gpus);
+            finish_run(&mut out, &tel, want_trace, &outs, gpus)?;
             Ok(out)
         }
         "wo" => {
@@ -209,10 +377,9 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
             let text = generate_text(&dict, n, seed + 1);
             let chunks = chunk_text(&text, chunk_items(1, n));
             let job = WoJob::new(dict, gpus);
-            let (result, trace) = run_job_traced(&mut cluster, &job, chunks)
-                .map_err(|e| CliError::Invalid(e.to_string()))?;
+            let (result, tel) = run_with_tel(&mut cluster, &job, chunks, need_tel)?;
             let mut out = report("Word Occurrence", gpus, n as u64, &result);
-            maybe_gantt(&mut out, want_trace.then_some(trace), gpus);
+            finish_run(&mut out, &tel, want_trace, &outs, gpus)?;
             Ok(out)
         }
         "kmc" => {
@@ -220,33 +387,39 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
             let centers = kmc::initial_centers(32, seed);
             let data = kmc::generate_points(n, 32, seed + 1);
             let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(16, n));
-            let (result, trace) = run_job_traced(&mut cluster, &KmcJob::new(centers), chunks)
-                .map_err(|e| CliError::Invalid(e.to_string()))?;
+            let (result, tel) =
+                run_with_tel(&mut cluster, &KmcJob::new(centers), chunks, need_tel)?;
             let mut out = report(
                 "K-Means Clustering (one iteration)",
                 gpus,
                 n as u64,
                 &result,
             );
-            maybe_gantt(&mut out, want_trace.then_some(trace), gpus);
+            finish_run(&mut out, &tel, want_trace, &outs, gpus)?;
             Ok(out)
         }
         "lr" => {
             let n: usize = args.get_or("size", 1_000_000)?;
             let data = lr::generate_samples(n, 2.0, -1.0, seed);
             let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(8, n));
-            let (result, trace) = run_job_traced(&mut cluster, &LrJob, chunks)
-                .map_err(|e| CliError::Invalid(e.to_string()))?;
+            let (result, tel) = run_with_tel(&mut cluster, &LrJob, chunks, need_tel)?;
             let mut out = report("Linear Regression", gpus, n as u64, &result);
             let model = lr::model_from_stats(&lr::stats_from_output(&result.into_merged_output()));
             out.push_str(&format!(
                 "model          : y = {:.4}x + {:.4} (r = {:.5})\n",
                 model.slope, model.intercept, model.correlation
             ));
-            maybe_gantt(&mut out, want_trace.then_some(trace), gpus);
+            finish_run(&mut out, &tel, want_trace, &outs, gpus)?;
             Ok(out)
         }
         "mm" => {
+            if outs.any() {
+                return Err(CliError::Invalid(
+                    "--metrics-out/--trace-out/--events-out are not supported for mm \
+                     (it runs outside the instrumented MapReduce engine)"
+                        .into(),
+                ));
+            }
             let n: usize = args.get_or("size", 512)?;
             if !n.is_multiple_of(16) {
                 return Err(CliError::Invalid(
@@ -543,6 +716,93 @@ mod tests {
         let a = run(&args).unwrap();
         let b = run(&args).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_writes_metrics_trace_and_events_files() {
+        let dir = std::env::temp_dir().join("gpmr_cli_tel_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("metrics.json");
+        let trace = dir.join("trace.json");
+        let events = dir.join("events.jsonl");
+        let out = run(&[
+            "run",
+            "--benchmark",
+            "sio",
+            "--gpus",
+            "2",
+            "--size",
+            "20000",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--events-out",
+            events.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("metrics        : written to"), "{out}");
+        assert!(out.contains("ui.perfetto.dev"), "{out}");
+
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert!(m.contains("engine.chunks_dispatched"), "{m}");
+        let t = std::fs::read_to_string(&trace).unwrap();
+        let stats = gpmr_telemetry::export::validate_perfetto(&t).unwrap();
+        assert!(stats.complete_events > 0);
+        assert!(stats.named_tracks >= 2);
+
+        // The JSONL stream round-trips through `trace export` + `check`.
+        let trace2 = dir.join("trace2.json");
+        let exported = run(&[
+            "trace",
+            "export",
+            "--in",
+            events.to_str().unwrap(),
+            "--out",
+            trace2.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(exported.contains("exported"), "{exported}");
+        let checked = run(&["trace", "check", "--in", trace2.to_str().unwrap()]).unwrap();
+        assert!(checked.contains("OK"), "{checked}");
+        let summary = run(&["trace", "summary", "--in", events.to_str().unwrap()]).unwrap();
+        assert!(summary.contains("rank 0"), "{summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_subcommand_validates_usage() {
+        assert!(run(&["trace"])
+            .unwrap_err()
+            .to_string()
+            .contains("export, check, or summary"));
+        assert!(run(&["trace", "frob", "--in", "x"])
+            .unwrap_err()
+            .to_string()
+            .contains("unknown trace mode"));
+        assert!(run(&["trace", "check"])
+            .unwrap_err()
+            .to_string()
+            .contains("--in"));
+        assert!(run(&["trace", "check", "--in", "/nonexistent/gpmr.json"])
+            .unwrap_err()
+            .to_string()
+            .contains("cannot read"));
+    }
+
+    #[test]
+    fn mm_rejects_telemetry_out_flags() {
+        let err = run(&[
+            "run",
+            "--benchmark",
+            "mm",
+            "--size",
+            "64",
+            "--trace-out",
+            "/tmp/unused.json",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("not supported for mm"), "{err}");
     }
 
     #[test]

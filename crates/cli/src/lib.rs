@@ -2,13 +2,18 @@
 //!
 //! ```text
 //! gpmr run   --benchmark sio --gpus 8 --size 1000000 [--scale 64] [--trace]
+//!            [--metrics-out m.json] [--trace-out t.json] [--events-out e.jsonl]
+//! gpmr trace export --in e.jsonl --out t.json
 //! gpmr info  [--gpus 8]
 //! gpmr help
 //! ```
 //!
 //! `run` executes one benchmark on a simulated cluster and prints the
 //! simulated runtime, throughput, and stage breakdown; `--trace` adds an
-//! ASCII Gantt chart of the schedule. `info` prints the modelled hardware.
+//! ASCII Gantt chart of the schedule, and the `--*-out` flags export the
+//! telemetry recording (metrics snapshot, Chrome/Perfetto trace JSON, raw
+//! JSONL stream). `trace` converts, validates, and summarises those
+//! exports. `info` prints the modelled hardware.
 
 #![warn(missing_docs)]
 

@@ -18,6 +18,7 @@
 use gpmr_primitives::{bitonic_sort_pairs_by, extract_segments, sort_pairs, RadixKey, Segments};
 use gpmr_sim_gpu::{FaultPlan, SimDuration, SimTime};
 use gpmr_sim_net::{Cluster, Fabric, Mailbox};
+use gpmr_telemetry::{Counter, Registry, Telemetry};
 
 use crate::error::{EngineError, EngineResult};
 use crate::helpers::{charge_partition, combine_pairs, split_buckets};
@@ -168,19 +169,122 @@ impl<K: crate::types::Key, V: crate::types::Value, C> Default for RankState<K, V
     }
 }
 
-/// Fault-recovery counters surfaced through [`JobTimings`].
-#[derive(Clone, Copy, Debug, Default)]
-struct FaultCounters {
-    gpus_lost: u32,
-    chunks_requeued: u32,
-    transfer_retries: u32,
-    stalls_injected: u32,
+/// The engine's telemetry context: the caller's [`Telemetry`] handle (for
+/// spans and counter samples) plus cached `engine.*` counter handles.
+///
+/// Counters are always real — when the caller's handle is disabled they go
+/// to a private registry — so [`JobTimings`] is a thin consumer of
+/// telemetry counters in every mode, and a shared enabled registry reused
+/// across jobs still yields per-job numbers via the `base` deltas.
+struct EngineTel {
+    tel: Telemetry,
+    dispatched: Counter,
+    stolen: Counter,
+    requeued: Counter,
+    gpus_lost: Counter,
+    retries: Counter,
+    stalls: Counter,
+    pairs_emitted: Counter,
+    pairs_shuffled: Counter,
+    base: [u64; 8],
+}
+
+impl EngineTel {
+    fn new(tel: &Telemetry) -> Self {
+        let reg = tel.registry().cloned().unwrap_or_else(Registry::new);
+        let dispatched = reg.counter("engine.chunks_dispatched");
+        let stolen = reg.counter("engine.chunks_stolen");
+        let requeued = reg.counter("engine.chunks_requeued");
+        let gpus_lost = reg.counter("engine.gpus_lost");
+        let retries = reg.counter("engine.transfer_retries");
+        let stalls = reg.counter("engine.stalls_injected");
+        let pairs_emitted = reg.counter("engine.pairs_emitted");
+        let pairs_shuffled = reg.counter("engine.pairs_shuffled");
+        let base = [
+            dispatched.get(),
+            stolen.get(),
+            requeued.get(),
+            gpus_lost.get(),
+            retries.get(),
+            stalls.get(),
+            pairs_emitted.get(),
+            pairs_shuffled.get(),
+        ];
+        EngineTel {
+            tel: tel.clone(),
+            dispatched,
+            stolen,
+            requeued,
+            gpus_lost,
+            retries,
+            stalls,
+            pairs_emitted,
+            pairs_shuffled,
+            base,
+        }
+    }
+
+    /// Record a pipeline stage event as a span on the rank's track. The
+    /// `detail` closure only runs when telemetry is enabled.
+    fn event(
+        &self,
+        rank: u32,
+        kind: TraceKind,
+        start: SimTime,
+        end: SimTime,
+        detail: impl FnOnce() -> String,
+    ) {
+        self.child_event(rank, kind, start, end, 0, detail);
+    }
+
+    /// [`EngineTel::event`] under a parent chunk span (0 = no parent).
+    fn child_event(
+        &self,
+        rank: u32,
+        kind: TraceKind,
+        start: SimTime,
+        end: SimTime,
+        parent: u64,
+        detail: impl FnOnce() -> String,
+    ) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        self.tel
+            .span(rank, kind.name(), start.as_secs(), end.as_secs())
+            .parent(parent)
+            .attr_with("detail", detail)
+            .record();
+    }
+
+    /// Record a chunk's container span under a pre-reserved id.
+    fn chunk_span(&self, rank: u32, id: u64, chunk_id: u64, start: SimTime, end: SimTime) {
+        if id == 0 {
+            return;
+        }
+        self.tel
+            .span(rank, "Chunk", start.as_secs(), end.as_secs())
+            .id(id)
+            .name(format!("chunk {chunk_id}"))
+            .attr("chunk", chunk_id.to_string())
+            .record();
+    }
+
+    /// Count a chunk dispatch and sample the rank's queue depth.
+    fn dispatch(&self, rank: u32, at: SimTime, depth: usize) {
+        self.dispatched.inc();
+        self.tel
+            .sample(rank, "queue_depth", at.as_secs(), depth as f64);
+    }
+
+    fn delta(c: &Counter, base: u64) -> u64 {
+        c.get().saturating_sub(base)
+    }
 }
 
 /// Time a transfer through the fabric, retrying plan-injected failures
 /// with capped exponential backoff. Returns the arrival instant at `to`,
 /// or [`EngineError::TransferFailed`] once the retry budget is exhausted.
-#[allow(clippy::too_many_arguments)]
 fn transfer_with_retry(
     fabric: &mut Fabric,
     from: u32,
@@ -188,8 +292,7 @@ fn transfer_with_retry(
     mut ready: SimTime,
     bytes: u64,
     tuning: &EngineTuning,
-    trace: &mut Option<JobTrace>,
-    retries: &mut u32,
+    tel: &EngineTel,
 ) -> EngineResult<SimTime> {
     let mut attempt = 0u32;
     loop {
@@ -197,7 +300,7 @@ fn transfer_with_retry(
             Ok(arrival) => return Ok(arrival),
             Err(fault) => {
                 attempt += 1;
-                *retries += 1;
+                tel.retries.inc();
                 if attempt > tuning.max_transfer_retries {
                     return Err(EngineError::TransferFailed { attempt, fault });
                 }
@@ -205,15 +308,9 @@ fn transfer_with_retry(
                     (tuning.retry_backoff_base_s * f64::from(1u32 << (attempt - 1).min(31)))
                         .min(tuning.retry_backoff_cap_s),
                 );
-                if let Some(tr) = trace.as_mut() {
-                    tr.record(
-                        from,
-                        TraceKind::Retry,
-                        ready,
-                        ready + backoff,
-                        format!("transfer to rank {to} failed (attempt {attempt}); backing off"),
-                    );
-                }
+                tel.event(from, TraceKind::Retry, ready, ready + backoff, || {
+                    format!("transfer to rank {to} failed (attempt {attempt}); backing off")
+                });
                 ready += backoff;
             }
         }
@@ -235,11 +332,10 @@ fn kill_rank<K: crate::types::Key, V: crate::types::Value, C: Chunk>(
     st: &mut [RankState<K, V, C>],
     cluster: &mut Cluster,
     tuning: &EngineTuning,
-    trace: &mut Option<JobTrace>,
-    counters: &mut FaultCounters,
+    tel: &EngineTel,
 ) -> EngineResult<()> {
     let ri = r as usize;
-    counters.gpus_lost += 1;
+    tel.gpus_lost.inc();
     st[ri].alive = false;
     st[ri].active = false;
     st[ri].accum = None;
@@ -248,15 +344,9 @@ fn kill_rank<K: crate::types::Key, V: crate::types::Value, C: Chunk>(
     orphans.extend(queues.drain_rank(r));
     // Canonical migration order, independent of how the orphans mixed.
     orphans.sort_by_key(|&(id, _)| id);
-    if let Some(tr) = trace.as_mut() {
-        tr.record(
-            r,
-            TraceKind::GpuLost,
-            now,
-            now,
-            format!("GPU lost; {} chunks orphaned", orphans.len()),
-        );
-    }
+    tel.event(r, TraceKind::GpuLost, now, now, || {
+        format!("GPU lost; {} chunks orphaned", orphans.len())
+    });
     let live: Vec<u32> = (0..queues.ranks())
         .filter(|&x| st[x as usize].alive)
         .collect();
@@ -271,30 +361,15 @@ fn kill_rank<K: crate::types::Key, V: crate::types::Value, C: Chunk>(
     for (i, (id, chunk)) in orphans.into_iter().enumerate() {
         let dest = live[(first + i) % live.len()];
         let bytes = chunk.serialize().len() as u64;
-        let arrival = transfer_with_retry(
-            cluster.fabric(),
-            r,
-            dest,
-            now,
-            bytes,
-            tuning,
-            trace,
-            &mut counters.transfer_retries,
-        )?;
-        if let Some(tr) = trace.as_mut() {
-            tr.record(
-                r,
-                TraceKind::Requeue,
-                now,
-                arrival,
-                format!("chunk {id} -> rank {dest}"),
-            );
-        }
+        let arrival = transfer_with_retry(cluster.fabric(), r, dest, now, bytes, tuning, tel)?;
+        tel.event(r, TraceKind::Requeue, now, arrival, || {
+            format!("chunk {id} -> rank {dest}")
+        });
         queues.push_back(dest, (id, chunk));
         let d = dest as usize;
         st[d].cursor = st[d].cursor.max(arrival);
         st[d].active = true;
-        counters.chunks_requeued += 1;
+        tel.requeued.inc();
     }
     Ok(())
 }
@@ -314,7 +389,13 @@ pub fn run_job<J: GpmrJob>(
     job: &J,
     chunks: Vec<J::Chunk>,
 ) -> EngineResult<JobResult<J::Key, J::Value>> {
-    run_job_impl(cluster, job, chunks, &EngineTuning::default(), &mut None)
+    run_job_impl(
+        cluster,
+        job,
+        chunks,
+        &EngineTuning::default(),
+        &Telemetry::disabled(),
+    )
 }
 
 /// [`run_job`] with explicit [`EngineTuning`] (scheduler policy and
@@ -325,20 +406,37 @@ pub fn run_job_tuned<J: GpmrJob>(
     chunks: Vec<J::Chunk>,
     tuning: &EngineTuning,
 ) -> EngineResult<JobResult<J::Key, J::Value>> {
-    run_job_impl(cluster, job, chunks, tuning, &mut None)
+    run_job_impl(cluster, job, chunks, tuning, &Telemetry::disabled())
+}
+
+/// [`run_job`] recording into a caller-provided [`Telemetry`] handle:
+/// chunk lifecycle spans, stage spans, queue-depth samples, and `engine.*`
+/// counters, with the cluster's devices and fabric attached for `gpu.*`
+/// and `fabric.*` metrics. A disabled handle degrades to [`run_job_tuned`]
+/// at near-zero cost. Snapshot the handle afterwards for export (or derive
+/// a classic [`JobTrace`] with [`JobTrace::from_telemetry`]).
+pub fn run_job_instrumented<J: GpmrJob>(
+    cluster: &mut Cluster,
+    job: &J,
+    chunks: Vec<J::Chunk>,
+    tuning: &EngineTuning,
+    tel: &Telemetry,
+) -> EngineResult<JobResult<J::Key, J::Value>> {
+    run_job_impl(cluster, job, chunks, tuning, tel)
 }
 
 /// [`run_job`], additionally recording a full execution trace (every
 /// upload, kernel, send, steal, sort, and reduce with its simulated time
-/// window). Render it with [`JobTrace::gantt`].
+/// window). Render it with [`JobTrace::gantt`]. The trace is derived from
+/// a telemetry recording ([`run_job_instrumented`] is the richer API).
 pub fn run_job_traced<J: GpmrJob>(
     cluster: &mut Cluster,
     job: &J,
     chunks: Vec<J::Chunk>,
 ) -> TracedRun<J::Key, J::Value> {
-    let mut trace = Some(JobTrace::new());
-    let result = run_job_impl(cluster, job, chunks, &EngineTuning::default(), &mut trace)?;
-    Ok((result, trace.expect("trace populated")))
+    let tel = Telemetry::enabled();
+    let result = run_job_impl(cluster, job, chunks, &EngineTuning::default(), &tel)?;
+    Ok((result, JobTrace::from_telemetry(&tel.snapshot())))
 }
 
 fn run_job_impl<J: GpmrJob>(
@@ -346,13 +444,17 @@ fn run_job_impl<J: GpmrJob>(
     job: &J,
     chunks: Vec<J::Chunk>,
     tuning: &EngineTuning,
-    trace: &mut Option<JobTrace>,
+    telemetry: &Telemetry,
 ) -> EngineResult<JobResult<J::Key, J::Value>> {
     let cfg = job.pipeline();
     cfg.validate().map_err(EngineError::InvalidPipeline)?;
     let ranks = cluster.size();
     let gpu_direct = cluster.gpu_direct();
     cluster.reset_clocks();
+    if telemetry.is_enabled() {
+        cluster.attach_telemetry(telemetry);
+    }
+    let tel = EngineTel::new(telemetry);
 
     // Double-buffered chunks must fit on the device.
     let capacity = cluster.gpu(0).mem.capacity();
@@ -375,7 +477,6 @@ fn run_job_impl<J: GpmrJob>(
     let stalls: Vec<Vec<(SimTime, SimDuration)>> = (0..ranks)
         .map(|r| plan.as_ref().map_or_else(Vec::new, |p| p.stalls_for(r)))
         .collect();
-    let mut counters = FaultCounters::default();
 
     // Chunks carry their original index as a canonical id: requeues and
     // steals change *which rank* processes a chunk, never its identity, so
@@ -395,15 +496,12 @@ fn run_job_impl<J: GpmrJob>(
             ..RankState::default()
         })
         .collect();
-    if let Some(tr) = trace.as_mut() {
-        for r in 0..ranks {
-            tr.record(r, TraceKind::Setup, SimTime::ZERO, setup, "job setup");
-        }
+    for r in 0..ranks {
+        tel.event(r, TraceKind::Setup, SimTime::ZERO, setup, || {
+            "job setup".into()
+        });
     }
     let mut mailbox: Mailbox<KvSet<J::Key, J::Value>> = Mailbox::new(ranks);
-    let mut pairs_emitted: u64 = 0;
-    let mut pairs_shuffled: u64 = 0;
-    let mut stolen: u32 = 0;
 
     // --- Map stage -------------------------------------------------------
     if cfg.map_mode == MapMode::Accumulate {
@@ -411,9 +509,9 @@ fn run_job_impl<J: GpmrJob>(
             let start = st[r as usize].cursor;
             let gpu = cluster.gpu(r);
             let (state, t) = job.accumulate_init(gpu, start)?;
-            if let Some(tr) = trace.as_mut() {
-                tr.record(r, TraceKind::AccumulateInit, start, t, "accumulate init");
-            }
+            tel.event(r, TraceKind::AccumulateInit, start, t, || {
+                "accumulate init".into()
+            });
             let s = &mut st[r as usize];
             s.accum = Some(state);
             s.cursor = s.cursor.max(t);
@@ -441,16 +539,10 @@ fn run_job_impl<J: GpmrJob>(
             st[ri].stall_idx += 1;
             let begin = st[ri].cursor;
             st[ri].cursor += dur;
-            counters.stalls_injected += 1;
-            if let Some(tr) = trace.as_mut() {
-                tr.record(
-                    r,
-                    TraceKind::Stall,
-                    begin,
-                    st[ri].cursor,
-                    format!("injected stall ({dur})"),
-                );
-            }
+            tel.stalls.inc();
+            tel.event(r, TraceKind::Stall, begin, st[ri].cursor, || {
+                format!("injected stall ({dur})")
+            });
         }
 
         // Fail-stop check at dispatch: a GPU whose kill instant has passed
@@ -464,8 +556,7 @@ fn run_job_impl<J: GpmrJob>(
                 &mut st,
                 cluster,
                 tuning,
-                trace,
-                &mut counters,
+                &tel,
             )?;
             continue;
         }
@@ -480,7 +571,7 @@ fn run_job_impl<J: GpmrJob>(
             None => match queues.steal_victim(r) {
                 Some(victim) => {
                     let c = queues.steal_from(victim).expect("victim had chunks");
-                    stolen += 1;
+                    tel.stolen.inc();
                     // Migration: serialized chunk crosses the fabric from the
                     // victim's host memory to the thief's.
                     let bytes = c.1.serialize().len() as u64;
@@ -492,18 +583,11 @@ fn run_job_impl<J: GpmrJob>(
                         before,
                         bytes,
                         tuning,
-                        trace,
-                        &mut counters.transfer_retries,
+                        &tel,
                     )?;
-                    if let Some(tr) = trace.as_mut() {
-                        tr.record(
-                            r,
-                            TraceKind::Steal,
-                            before,
-                            arrival,
-                            format!("stole chunk from rank {victim}"),
-                        );
-                    }
+                    tel.event(r, TraceKind::Steal, before, arrival, || {
+                        format!("stole chunk from rank {victim}")
+                    });
                     st[ri].cursor = arrival;
                     c
                 }
@@ -517,18 +601,17 @@ fn run_job_impl<J: GpmrJob>(
         st[ri].cursor += SimDuration::from_secs(tuning.sched_overhead_s);
         let cursor = st[ri].cursor;
         let prev_kernel_end = st[ri].prev_kernel_end;
+        tel.dispatch(r, cursor, queues.remaining(r));
+        // Container span grouping this chunk's stage spans; its id is
+        // reserved now so children can link to it, and the span itself is
+        // written once the chunk's window is known.
+        let chunk_span = tel.tel.reserve_span_id();
 
         let gpu = cluster.gpu(r);
         let up = gpu.h2d(cursor, chunk.size_bytes());
-        if let Some(tr) = trace.as_mut() {
-            tr.record(
-                r,
-                TraceKind::Upload,
-                up.start,
-                up.end,
-                format!("{} bytes", chunk.size_bytes()),
-            );
-        }
+        tel.child_event(r, TraceKind::Upload, up.start, up.end, chunk_span, || {
+            format!("{} bytes", chunk.size_bytes())
+        });
 
         match cfg.map_mode {
             MapMode::Accumulate => {
@@ -547,14 +630,14 @@ fn run_job_impl<J: GpmrJob>(
                         &mut st,
                         cluster,
                         tuning,
-                        trace,
-                        &mut counters,
+                        &tel,
                     )?;
                     continue;
                 }
-                if let Some(tr) = trace.as_mut() {
-                    tr.record(r, TraceKind::Map, up.end, t, "map+accumulate");
-                }
+                tel.child_event(r, TraceKind::Map, up.end, t, chunk_span, || {
+                    "map+accumulate".into()
+                });
+                tel.chunk_span(r, chunk_span, chunk_id, up.start, t);
                 let s = &mut st[ri];
                 s.accum = Some(state);
                 s.last_map_end = s.last_map_end.max(t);
@@ -588,33 +671,28 @@ fn run_job_impl<J: GpmrJob>(
                         &mut st,
                         cluster,
                         tuning,
-                        trace,
-                        &mut counters,
+                        &tel,
                     )?;
                     continue;
                 }
-                if let Some(tr) = trace.as_mut() {
-                    tr.record(
+                tel.child_event(r, TraceKind::Map, up.end, map_end, chunk_span, || {
+                    format!("{map_pairs} pairs")
+                });
+                if let Some((pr_start, pr_end, pr_pairs)) = partial {
+                    tel.child_event(
                         r,
-                        TraceKind::Map,
-                        up.end,
-                        map_end,
-                        format!("{map_pairs} pairs"),
+                        TraceKind::PartialReduce,
+                        pr_start,
+                        pr_end,
+                        chunk_span,
+                        || format!("-> {pr_pairs} pairs"),
                     );
-                    if let Some((pr_start, pr_end, pr_pairs)) = partial {
-                        tr.record(
-                            r,
-                            TraceKind::PartialReduce,
-                            pr_start,
-                            pr_end,
-                            format!("-> {pr_pairs} pairs"),
-                        );
-                    }
                 }
-                pairs_emitted += map_pairs as u64;
+                tel.pairs_emitted.add(map_pairs as u64);
                 if cfg.combine {
                     // Pairs are stored in CPU memory until all maps finish.
                     let down = gpu.d2h(t, pairs.size_bytes());
+                    tel.chunk_span(r, chunk_span, chunk_id, up.start, down.end);
                     let s = &mut st[ri];
                     s.store.append(pairs);
                     s.last_d2h = s.last_d2h.max(down.end);
@@ -633,23 +711,23 @@ fn run_job_impl<J: GpmrJob>(
                         t_part
                     } else {
                         let down = gpu.d2h(t_part, pairs.size_bytes());
-                        if let Some(tr) = trace.as_mut() {
-                            tr.record(
-                                r,
-                                TraceKind::Download,
-                                down.start,
-                                down.end,
-                                format!("{} bytes", pairs.size_bytes()),
-                            );
-                        }
+                        tel.child_event(
+                            r,
+                            TraceKind::Download,
+                            down.start,
+                            down.end,
+                            chunk_span,
+                            || format!("{} bytes", pairs.size_bytes()),
+                        );
                         down.end
                     };
-                    if let Some(tr) = trace.as_mut() {
-                        tr.record(r, TraceKind::Partition, t, t_part, "");
-                    }
-                    pairs_shuffled += pairs.len() as u64;
+                    tel.child_event(r, TraceKind::Partition, t, t_part, chunk_span, || {
+                        String::new()
+                    });
+                    tel.pairs_shuffled.add(pairs.len() as u64);
                     let buckets = route_pairs(job, cfg.partition, pairs, ranks);
                     let mut bin_done = st[ri].bin_done;
+                    let mut chunk_end = send_ready;
                     for (dest, bucket) in buckets.into_iter().enumerate() {
                         if bucket.is_empty() {
                             continue;
@@ -662,21 +740,21 @@ fn run_job_impl<J: GpmrJob>(
                             send_ready,
                             bytes,
                             tuning,
-                            trace,
-                            &mut counters.transfer_retries,
+                            &tel,
                         )?;
                         mailbox.deliver(dest as u32, r, chunk_id, arrival, bucket);
-                        if let Some(tr) = trace.as_mut() {
-                            tr.record(
-                                r,
-                                TraceKind::Send,
-                                send_ready,
-                                arrival,
-                                format!("{bytes} bytes to rank {dest}"),
-                            );
-                        }
+                        tel.child_event(
+                            r,
+                            TraceKind::Send,
+                            send_ready,
+                            arrival,
+                            chunk_span,
+                            || format!("{bytes} bytes to rank {dest}"),
+                        );
                         bin_done = bin_done.max(arrival);
+                        chunk_end = chunk_end.max(arrival);
                     }
+                    tel.chunk_span(r, chunk_span, chunk_id, up.start, chunk_end);
                     let s = &mut st[ri];
                     s.bin_done = bin_done;
                     s.last_map_end = s.last_map_end.max(t);
@@ -699,7 +777,7 @@ fn run_job_impl<J: GpmrJob>(
                     continue;
                 }
                 let state = st[ri].accum.take().unwrap_or_default();
-                pairs_shuffled += state.len() as u64;
+                tel.pairs_shuffled.add(state.len() as u64);
                 let gpu = cluster.gpu(r);
                 let t_part =
                     charge_partition::<J::Key, J::Value>(gpu, st[ri].last_map_end, state.len());
@@ -722,19 +800,12 @@ fn run_job_impl<J: GpmrJob>(
                         send_ready,
                         bytes,
                         tuning,
-                        trace,
-                        &mut counters.transfer_retries,
+                        &tel,
                     )?;
                     mailbox.deliver(dest as u32, r, n_chunks + u64::from(r), arrival, bucket);
-                    if let Some(tr) = trace.as_mut() {
-                        tr.record(
-                            r,
-                            TraceKind::Send,
-                            send_ready,
-                            arrival,
-                            format!("{bytes} bytes to rank {dest}"),
-                        );
-                    }
+                    tel.event(r, TraceKind::Send, send_ready, arrival, || {
+                        format!("{bytes} bytes to rank {dest}")
+                    });
                     bin_done = bin_done.max(arrival);
                 }
                 st[ri].bin_done = bin_done;
@@ -760,21 +831,15 @@ fn run_job_impl<J: GpmrJob>(
                 let up = gpu.h2d(t0, store.size_bytes());
                 let (combined, t1) =
                     combine_pairs(gpu, up.end, store, |a, b| job.combine_op(a, b))?;
-                if let Some(tr) = trace.as_mut() {
+                tel.event(r, TraceKind::Combine, up.start, t1, || {
                     let note = if exec == r {
                         String::new()
                     } else {
                         format!(" (on rank {exec})")
                     };
-                    tr.record(
-                        r,
-                        TraceKind::Combine,
-                        up.start,
-                        t1,
-                        format!("-> {} pairs{note}", combined.len()),
-                    );
-                }
-                pairs_shuffled += combined.len() as u64;
+                    format!("-> {} pairs{note}", combined.len())
+                });
+                tel.pairs_shuffled.add(combined.len() as u64);
                 let t_part = charge_partition::<J::Key, J::Value>(gpu, t1, combined.len());
                 let send_ready = if gpu_direct {
                     t_part
@@ -795,19 +860,12 @@ fn run_job_impl<J: GpmrJob>(
                         send_ready,
                         bytes,
                         tuning,
-                        trace,
-                        &mut counters.transfer_retries,
+                        &tel,
                     )?;
                     mailbox.deliver(dest as u32, r, n_chunks + u64::from(r), arrival, bucket);
-                    if let Some(tr) = trace.as_mut() {
-                        tr.record(
-                            r,
-                            TraceKind::Send,
-                            send_ready,
-                            arrival,
-                            format!("{bytes} bytes to rank {dest}"),
-                        );
-                    }
+                    tel.event(r, TraceKind::Send, send_ready, arrival, || {
+                        format!("{bytes} bytes to rank {dest}")
+                    });
                     bin_done = bin_done.max(arrival);
                 }
                 st[ri].bin_done = bin_done;
@@ -845,17 +903,15 @@ fn run_job_impl<J: GpmrJob>(
         let ri = r as usize;
         if st[ri].alive && kill_at[ri].is_some_and(|k| k <= st[ri].sort_ready) {
             st[ri].alive = false;
-            counters.gpus_lost += 1;
+            tel.gpus_lost.inc();
             last_sort_loss = Some(r);
-            if let Some(tr) = trace.as_mut() {
-                tr.record(
-                    r,
-                    TraceKind::GpuLost,
-                    st[ri].sort_ready,
-                    st[ri].sort_ready,
-                    "GPU lost before sort",
-                );
-            }
+            tel.event(
+                r,
+                TraceKind::GpuLost,
+                st[ri].sort_ready,
+                st[ri].sort_ready,
+                || "GPU lost before sort".to_string(),
+            );
         }
     }
     if st.iter().all(|s| !s.alive) {
@@ -923,19 +979,13 @@ fn run_job_impl<J: GpmrJob>(
             }
         };
         let (segs, t2) = extract_segments(gpu, t1, &skeys)?;
-        if let Some(tr) = trace.as_mut() {
-            tr.record(
-                r,
-                TraceKind::Sort,
-                sort_ready,
-                t2,
-                format!(
-                    "{} pairs, {} unique keys{exec_note}",
-                    skeys.len(),
-                    segs.len()
-                ),
-            );
-        }
+        tel.event(r, TraceKind::Sort, sort_ready, t2, || {
+            format!(
+                "{} pairs, {} unique keys{exec_note}",
+                skeys.len(),
+                segs.len()
+            )
+        });
         st[ri].sort_done = t2;
 
         // Reduce: chunked by the job's callback. Typical reducers emit one
@@ -970,15 +1020,9 @@ fn run_job_impl<J: GpmrJob>(
             i += take;
         }
         let down = gpu.d2h(t, out.size_bytes());
-        if let Some(tr) = trace.as_mut() {
-            tr.record(
-                r,
-                TraceKind::Reduce,
-                t2,
-                down.end,
-                format!("{} output pairs{exec_note}", out.len()),
-            );
-        }
+        tel.event(r, TraceKind::Reduce, t2, down.end, || {
+            format!("{} output pairs{exec_note}", out.len())
+        });
         st[ri].reduce_done = down.end;
         outputs.push(out);
     }
@@ -1006,13 +1050,13 @@ fn run_job_impl<J: GpmrJob>(
             total: makespan.since(SimTime::ZERO),
             per_rank,
             chunks_per_rank: st.iter().map(|s| s.chunks_done).collect(),
-            chunks_stolen: stolen,
-            pairs_emitted,
-            pairs_shuffled,
-            gpus_lost: counters.gpus_lost,
-            chunks_requeued: counters.chunks_requeued,
-            transfer_retries: counters.transfer_retries,
-            stalls_injected: counters.stalls_injected,
+            chunks_stolen: EngineTel::delta(&tel.stolen, tel.base[1]) as u32,
+            pairs_emitted: EngineTel::delta(&tel.pairs_emitted, tel.base[6]),
+            pairs_shuffled: EngineTel::delta(&tel.pairs_shuffled, tel.base[7]),
+            gpus_lost: EngineTel::delta(&tel.gpus_lost, tel.base[3]) as u32,
+            chunks_requeued: EngineTel::delta(&tel.requeued, tel.base[2]) as u32,
+            transfer_retries: EngineTel::delta(&tel.retries, tel.base[4]) as u32,
+            stalls_injected: EngineTel::delta(&tel.stalls, tel.base[5]) as u32,
         },
     })
 }

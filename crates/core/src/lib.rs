@@ -94,7 +94,9 @@ pub mod trace;
 pub mod types;
 
 pub use chunk::{Chunk, SliceChunk};
-pub use engine::{run_job, run_job_traced, run_job_tuned, EngineTuning, JobResult};
+pub use engine::{
+    run_job, run_job_instrumented, run_job_traced, run_job_tuned, EngineTuning, JobResult,
+};
 pub use error::{EngineError, EngineResult};
 pub use job::{block_partition, GpmrJob, MapMode, PartitionMode, PipelineConfig, SortMode};
 pub use pod::Pod;

@@ -164,4 +164,49 @@ mod tests {
         assert!((efficiency(secs(8.0), secs(4.0), 4) - 0.5).abs() < 1e-12);
         assert_eq!(speedup(secs(1.0), SimDuration::ZERO), 0.0);
     }
+
+    #[test]
+    fn speedup_and_efficiency_degenerate_inputs() {
+        // Zero or negative denominators never divide.
+        assert_eq!(speedup(SimDuration::ZERO, SimDuration::ZERO), 0.0);
+        assert_eq!(speedup(secs(5.0), secs(-1.0)), 0.0);
+        assert_eq!(efficiency(secs(5.0), SimDuration::ZERO, 8), 0.0);
+        // Zero baseline is a valid (if useless) measurement: speedup 0.
+        assert_eq!(speedup(SimDuration::ZERO, secs(2.0)), 0.0);
+        // gpus == 0 is clamped rather than dividing by zero.
+        assert!((efficiency(secs(4.0), secs(4.0), 0) - 1.0).abs() < 1e-12);
+        // Sub-linear and super-linear speedups pass through unclamped.
+        assert!((efficiency(secs(16.0), secs(1.0), 8) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentages_sum_to_100_for_uneven_splits() {
+        // Awkward floating-point splits must still total ~100.
+        for parts in [
+            [1e-9, 2e-9, 3e-9, 4e-9, 5e-9],
+            [1.0 / 3.0, 1.0 / 7.0, 1.0 / 11.0, 1.0 / 13.0, 1.0 / 17.0],
+            [1e6, 1.0, 1e-6, 3.0, 7.0],
+        ] {
+            let st = StageTimes {
+                map: secs(parts[0]),
+                bin: secs(parts[1]),
+                sort: secs(parts[2]),
+                reduce: secs(parts[3]),
+                scheduler: secs(parts[4]),
+            };
+            let sum: f64 = st.percentages().iter().sum();
+            assert!((sum - 100.0).abs() < 1e-6, "sum {sum} for {parts:?}");
+        }
+    }
+
+    #[test]
+    fn single_nonzero_stage_takes_all_percentage() {
+        let st = StageTimes {
+            sort: secs(2.5e-7),
+            ..StageTimes::default()
+        };
+        let p = st.percentages();
+        assert!((p[2] - 100.0).abs() < 1e-9);
+        assert_eq!(p[0] + p[1] + p[3] + p[4], 0.0);
+    }
 }

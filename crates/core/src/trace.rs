@@ -49,6 +49,28 @@ pub enum TraceKind {
 }
 
 impl TraceKind {
+    /// Every kind, in pipeline order. Extending the enum without updating
+    /// this list is a compile error (see `exhaustive_all` test), which is
+    /// what keeps the Gantt legend and exporters complete.
+    pub const ALL: [TraceKind; 16] = [
+        TraceKind::Setup,
+        TraceKind::Upload,
+        TraceKind::Map,
+        TraceKind::PartialReduce,
+        TraceKind::AccumulateInit,
+        TraceKind::Partition,
+        TraceKind::Download,
+        TraceKind::Send,
+        TraceKind::Combine,
+        TraceKind::Steal,
+        TraceKind::Sort,
+        TraceKind::Reduce,
+        TraceKind::GpuLost,
+        TraceKind::Requeue,
+        TraceKind::Retry,
+        TraceKind::Stall,
+    ];
+
     /// One-letter tag used by the Gantt renderer.
     pub fn tag(self) -> char {
         match self {
@@ -69,6 +91,67 @@ impl TraceKind {
             TraceKind::Retry => 'r',
             TraceKind::Stall => 'z',
         }
+    }
+
+    /// Stable identifier (the variant name); also the telemetry span kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Setup => "Setup",
+            TraceKind::Upload => "Upload",
+            TraceKind::Map => "Map",
+            TraceKind::PartialReduce => "PartialReduce",
+            TraceKind::AccumulateInit => "AccumulateInit",
+            TraceKind::Partition => "Partition",
+            TraceKind::Download => "Download",
+            TraceKind::Send => "Send",
+            TraceKind::Combine => "Combine",
+            TraceKind::Steal => "Steal",
+            TraceKind::Sort => "Sort",
+            TraceKind::Reduce => "Reduce",
+            TraceKind::GpuLost => "GpuLost",
+            TraceKind::Requeue => "Requeue",
+            TraceKind::Retry => "Retry",
+            TraceKind::Stall => "Stall",
+        }
+    }
+
+    /// Short human label used in the generated Gantt legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::Setup => "setup",
+            TraceKind::Upload => "upload",
+            TraceKind::Map => "map",
+            TraceKind::PartialReduce => "partial-reduce",
+            TraceKind::AccumulateInit => "accum-init",
+            TraceKind::Partition => "partition",
+            TraceKind::Download => "download",
+            TraceKind::Send => "send",
+            TraceKind::Combine => "combine",
+            TraceKind::Steal => "steal",
+            TraceKind::Sort => "sort",
+            TraceKind::Reduce => "reduce",
+            TraceKind::GpuLost => "gpu-lost",
+            TraceKind::Requeue => "requeue",
+            TraceKind::Retry => "retry",
+            TraceKind::Stall => "stall",
+        }
+    }
+
+    /// Inverse of [`TraceKind::name`]; `None` for non-stage span kinds
+    /// (container spans like `"Chunk"`, fabric spans like `"NetSend"`).
+    pub fn from_name(name: &str) -> Option<TraceKind> {
+        TraceKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// The full `tag label` legend, generated from [`TraceKind::ALL`] so
+    /// every kind — including the fault tags `X`/`q`/`r`/`z` — is always
+    /// listed.
+    pub fn legend() -> String {
+        TraceKind::ALL
+            .iter()
+            .map(|k| format!("{} {}", k.tag(), k.label()))
+            .collect::<Vec<_>>()
+            .join(", ")
     }
 }
 
@@ -111,6 +194,28 @@ impl JobTrace {
     /// An empty trace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Derive a classic trace from a telemetry snapshot. Spans whose kind
+    /// names a [`TraceKind`] become events (rank = telemetry track, detail
+    /// = the span's `detail` attribute), in record order; container spans
+    /// (`"Chunk"`) and fabric spans (`"NetSend"`) are skipped. Because
+    /// spans store simulated seconds as `f64`, the result is bit-identical
+    /// to the trace the engine recorded directly before telemetry existed.
+    pub fn from_telemetry(snap: &gpmr_telemetry::TelemetrySnapshot) -> Self {
+        let mut trace = JobTrace::new();
+        for span in &snap.spans {
+            if let Some(kind) = TraceKind::from_name(&span.kind) {
+                trace.record(
+                    span.track,
+                    kind,
+                    SimTime::from_secs(span.start_s),
+                    SimTime::from_secs(span.end_s),
+                    span.attr("detail").unwrap_or(""),
+                );
+            }
+        }
+        trace
     }
 
     pub(crate) fn record(
@@ -162,13 +267,29 @@ impl JobTrace {
             (((t.as_secs() / end) * width as f64) as usize).min(width.saturating_sub(1))
         };
         let mut out = String::new();
-        out.push_str(&format!(
-            "time 0 .. {:.3} ms ({} columns; legend: # setup, u upload, M map, p partial-\n\
-             reduce, a accum-init, t partition, d download, s send, C combine, ! steal,\n\
-             S sort, R reduce, X gpu-lost, q requeue, r retry, z stall)\n",
+        // Legend is generated from TraceKind::ALL so new kinds (and the
+        // fault tags X/q/r/z) can never be missing; wrap to ~78 columns.
+        let header = format!(
+            "time 0 .. {:.3} ms ({} columns; legend: {})",
             end * 1e3,
-            width
-        ));
+            width,
+            TraceKind::legend()
+        );
+        let mut line_len = 0;
+        for (i, word) in header.split(' ').enumerate() {
+            if i > 0 {
+                if line_len + 1 + word.len() > 78 {
+                    out.push('\n');
+                    line_len = 0;
+                } else {
+                    out.push(' ');
+                    line_len += 1;
+                }
+            }
+            out.push_str(word);
+            line_len += word.len();
+        }
+        out.push('\n');
         for r in 0..ranks {
             let mut row = vec![' '; width];
             for e in self.events_for(r) {
@@ -270,26 +391,81 @@ mod tests {
 
     #[test]
     fn tags_are_distinct() {
-        use TraceKind::*;
-        let kinds = [
-            Setup,
-            Upload,
-            Map,
-            PartialReduce,
-            AccumulateInit,
-            Partition,
-            Download,
-            Send,
-            Combine,
-            Steal,
-            Sort,
-            Reduce,
-            GpuLost,
-            Requeue,
-            Retry,
-            Stall,
-        ];
-        let tags: std::collections::HashSet<char> = kinds.iter().map(|k| k.tag()).collect();
-        assert_eq!(tags.len(), kinds.len());
+        let tags: std::collections::HashSet<char> =
+            TraceKind::ALL.iter().map(|k| k.tag()).collect();
+        assert_eq!(tags.len(), TraceKind::ALL.len());
+    }
+
+    /// A new `TraceKind` variant cannot ship without a tag, name, label,
+    /// and `ALL` entry: `tag`/`name`/`label` are exhaustive matches (a new
+    /// variant is a compile error until handled), and the match below is a
+    /// compile error until the variant appears here — while the assertion
+    /// fails until it is added to `ALL`.
+    #[test]
+    fn all_covers_every_variant() {
+        fn expected_index(k: TraceKind) -> usize {
+            use TraceKind::*;
+            match k {
+                Setup => 0,
+                Upload => 1,
+                Map => 2,
+                PartialReduce => 3,
+                AccumulateInit => 4,
+                Partition => 5,
+                Download => 6,
+                Send => 7,
+                Combine => 8,
+                Steal => 9,
+                Sort => 10,
+                Reduce => 11,
+                GpuLost => 12,
+                Requeue => 13,
+                Retry => 14,
+                Stall => 15,
+            }
+        }
+        for (i, k) in TraceKind::ALL.iter().enumerate() {
+            assert_eq!(expected_index(*k), i, "{k} out of place in ALL");
+            assert_eq!(TraceKind::from_name(k.name()), Some(*k));
+        }
+    }
+
+    #[test]
+    fn legend_lists_every_tag_including_fault_tags() {
+        let legend = TraceKind::legend();
+        for k in TraceKind::ALL {
+            assert!(
+                legend.contains(&format!("{} {}", k.tag(), k.label())),
+                "legend missing {k}: {legend}"
+            );
+        }
+        // The fault-injection tags from the fault-tolerance scheduler must
+        // be documented in every rendered Gantt header.
+        for tag in ["X gpu-lost", "q requeue", "r retry", "z stall"] {
+            assert!(legend.contains(tag), "legend missing {tag}");
+        }
+        let mut tr = JobTrace::new();
+        tr.record(0, TraceKind::GpuLost, t(0.0), t(0.1), "");
+        assert!(tr.gantt(1, 40).contains("X gpu-lost"));
+    }
+
+    #[test]
+    fn from_telemetry_round_trips_events() {
+        use gpmr_telemetry::Telemetry;
+        let tel = Telemetry::enabled();
+        tel.span(0, "Upload", 0.0, 0.1)
+            .attr("detail", "chunk 0")
+            .record();
+        tel.span(0, "Chunk", 0.0, 0.4).name("chunk 0").record(); // skipped
+        tel.span(1, "Map", 0.2, 0.3)
+            .attr("detail", "8 pairs")
+            .record();
+        tel.span(2, "NetSend", 0.0, 0.1).record(); // skipped
+        let trace = JobTrace::from_telemetry(&tel.snapshot());
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.events[0].kind, TraceKind::Upload);
+        assert_eq!(trace.events[0].detail, "chunk 0");
+        assert_eq!(trace.events[1].rank, 1);
+        assert_eq!(trace.events[1].end, t(0.3));
     }
 }

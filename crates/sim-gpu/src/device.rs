@@ -15,6 +15,45 @@ use crate::memory::{DeviceBuffer, DeviceMemory};
 use crate::occupancy::occupancy;
 use crate::spec::GpuSpec;
 use crate::time::{Reservation, SimDuration, SimTime, Timeline};
+use gpmr_telemetry::{Counter, Gauge, Histogram, Telemetry};
+
+/// Cached telemetry handles for one device (boxed so an uninstrumented
+/// `Gpu` pays only a pointer-sized `None`).
+#[derive(Debug)]
+struct GpuTelemetry {
+    tel: Telemetry,
+    track: u32,
+    kernels: Counter,
+    h2d_bytes: Counter,
+    d2h_bytes: Counter,
+    occupancy: Histogram,
+    mem_peak: Gauge,
+}
+
+impl GpuTelemetry {
+    fn new(tel: &Telemetry, rank: u32) -> Self {
+        GpuTelemetry {
+            tel: tel.clone(),
+            track: rank,
+            kernels: tel.counter(&format!("gpu.rank{rank}.kernels")),
+            h2d_bytes: tel.counter(&format!("gpu.rank{rank}.h2d_bytes")),
+            d2h_bytes: tel.counter(&format!("gpu.rank{rank}.d2h_bytes")),
+            occupancy: tel.histogram(
+                &format!("gpu.rank{rank}.occupancy"),
+                &[0.25, 0.5, 0.75, 0.9, 1.0],
+            ),
+            mem_peak: tel.gauge(&format!("gpu.rank{rank}.mem_peak_bytes")),
+        }
+    }
+
+    fn kernel(&self, start: SimTime, occ: f64, mem_peak: u64) {
+        self.kernels.inc();
+        self.occupancy.observe(occ);
+        self.mem_peak.set_max(mem_peak as f64);
+        self.tel
+            .sample(self.track, "gpu.occupancy", start.as_secs(), occ);
+    }
+}
 
 /// Cumulative activity counters for one device.
 #[derive(Clone, Copy, Debug, Default)]
@@ -36,6 +75,7 @@ pub struct Gpu {
     compute: Timeline,
     link: SharedLink,
     stats: GpuStats,
+    telem: Option<Box<GpuTelemetry>>,
     /// Host worker threads used to execute kernel blocks. Defaults to
     /// [`crate::pool::worker_threads`] (`GPMR_WORKER_THREADS`, else the
     /// machine's available parallelism). Outputs and simulated times do
@@ -58,8 +98,19 @@ impl Gpu {
             compute: Timeline::new(),
             link,
             stats: GpuStats::default(),
+            telem: None,
             worker_threads: crate::pool::worker_threads(),
         }
+    }
+
+    /// Attach telemetry: kernel launches, occupancy, transferred bytes, and
+    /// the memory high-water mark are reported as `gpu.rank{rank}.*`
+    /// metrics and occupancy samples on track `rank`. Attaching a disabled
+    /// handle detaches (restoring the zero-overhead path).
+    pub fn attach_telemetry(&mut self, tel: &Telemetry, rank: u32) {
+        self.telem = tel
+            .is_enabled()
+            .then(|| Box::new(GpuTelemetry::new(tel, rank)));
     }
 
     /// Launch an infallible kernel: run `f` once per block (in parallel on
@@ -96,6 +147,9 @@ impl Gpu {
         let dur = kernel_time(&self.spec, occ.fraction, &cost);
         let res = self.compute.reserve(at, dur);
         self.stats.kernels += 1;
+        if let Some(t) = &self.telem {
+            t.kernel(res.start, occ.fraction, self.mem.peak());
+        }
         Ok((
             Launch {
                 outputs,
@@ -112,18 +166,28 @@ impl Gpu {
     pub fn charge_compute(&mut self, at: SimTime, cost: &KernelCost, occ: f64) -> Reservation {
         let dur = kernel_time(&self.spec, occ, cost);
         self.stats.kernels += 1;
-        self.compute.reserve(at, dur)
+        let res = self.compute.reserve(at, dur);
+        if let Some(t) = &self.telem {
+            t.kernel(res.start, occ, self.mem.peak());
+        }
+        res
     }
 
     /// Reserve a host-to-device transfer of `bytes` on the PCI-e link.
     pub fn h2d(&mut self, at: SimTime, bytes: u64) -> Reservation {
         self.stats.h2d_bytes += bytes;
+        if let Some(t) = &self.telem {
+            t.h2d_bytes.add(bytes);
+        }
         self.link.transfer(Direction::HostToDevice, at, bytes)
     }
 
     /// Reserve a device-to-host transfer of `bytes` on the PCI-e link.
     pub fn d2h(&mut self, at: SimTime, bytes: u64) -> Reservation {
         self.stats.d2h_bytes += bytes;
+        if let Some(t) = &self.telem {
+            t.d2h_bytes.add(bytes);
+        }
         self.link.transfer(Direction::DeviceToHost, at, bytes)
     }
 
@@ -268,6 +332,31 @@ mod tests {
         let ra = a.h2d(SimTime::ZERO, 1 << 26);
         let rb = b.h2d(SimTime::ZERO, 1 << 26);
         assert_eq!(rb.start, ra.end);
+    }
+
+    #[test]
+    fn attached_telemetry_reports_kernels_and_bytes() {
+        let tel = Telemetry::enabled();
+        let mut g = gpu();
+        g.attach_telemetry(&tel, 3);
+        let cfg = LaunchConfig::grid(30, 256);
+        g.launch(SimTime::ZERO, &cfg, |ctx| ctx.charge_flops(1000))
+            .unwrap();
+        let _buf = g.alloc::<u8>(2048).unwrap();
+        g.h2d(SimTime::ZERO, 4096);
+        g.d2h(SimTime::ZERO, 128);
+        let snap = tel.snapshot();
+        assert_eq!(snap.metrics.counter("gpu.rank3.kernels"), 1);
+        assert_eq!(snap.metrics.counter("gpu.rank3.h2d_bytes"), 4096);
+        assert_eq!(snap.metrics.counter("gpu.rank3.d2h_bytes"), 128);
+        assert!(snap.metrics.gauge("gpu.rank3.mem_peak_bytes") >= 0.0);
+        assert_eq!(snap.samples.len(), 1);
+        assert_eq!(snap.samples[0].series, "gpu.occupancy");
+        assert_eq!(snap.samples[0].track, 3);
+        // A disabled handle detaches.
+        g.attach_telemetry(&Telemetry::disabled(), 3);
+        g.h2d(SimTime::ZERO, 4096);
+        assert_eq!(tel.snapshot().metrics.counter("gpu.rank3.h2d_bytes"), 4096);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use crate::fabric::Fabric;
 use crate::topology::Topology;
 use gpmr_sim_gpu::{FaultPlan, Gpu, GpuSpec, PcieLink, SharedLink};
+use gpmr_telemetry::Telemetry;
 
 /// A simulated cluster of GPUs.
 pub struct Cluster {
@@ -130,6 +131,22 @@ impl Cluster {
         (&mut self.gpus[rank as usize], &mut self.fabric)
     }
 
+    /// Attach `tel` to every device and the fabric. Track layout: GPU rank
+    /// `r` draws on track `r` ("rank {r}"), and node `n`'s NIC draws on
+    /// track `ranks + n` ("node {n} NIC"). Attaching a disabled handle
+    /// detaches everything.
+    pub fn attach_telemetry(&mut self, tel: &Telemetry) {
+        let ranks = self.size();
+        for r in 0..ranks {
+            tel.set_track_name(r, &format!("rank {r}"));
+            self.gpus[r as usize].attach_telemetry(tel, r);
+        }
+        for n in 0..self.topology.nodes {
+            tel.set_track_name(ranks + n, &format!("node {n} NIC"));
+        }
+        self.fabric.attach_telemetry(tel, ranks);
+    }
+
     /// Reset every timeline in the cluster (between jobs).
     pub fn reset_clocks(&mut self) {
         for g in &mut self.gpus {
@@ -188,6 +205,23 @@ mod tests {
         c.fabric().send(0, 4 - 1, SimTime::ZERO, 1 << 20);
         c.reset_clocks();
         assert_eq!(c.gpu(0).compute_free_at(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn attach_telemetry_names_rank_and_nic_tracks() {
+        let tel = Telemetry::enabled();
+        let mut c = Cluster::accelerator(8, GpuSpec::gt200());
+        c.attach_telemetry(&tel);
+        c.gpu(2).h2d(SimTime::ZERO, 1 << 10);
+        c.fabric().send(0, 4, SimTime::ZERO, 1 << 10);
+        let snap = tel.snapshot();
+        assert_eq!(snap.tracks[&0], "rank 0");
+        assert_eq!(snap.tracks[&7], "rank 7");
+        assert_eq!(snap.tracks[&8], "node 0 NIC");
+        assert_eq!(snap.tracks[&9], "node 1 NIC");
+        assert_eq!(snap.metrics.counter("gpu.rank2.h2d_bytes"), 1 << 10);
+        assert_eq!(snap.metrics.counter("fabric.sends"), 1);
+        assert_eq!(snap.spans_of("NetSend").count(), 1);
     }
 
     #[test]

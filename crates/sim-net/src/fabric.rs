@@ -13,6 +13,39 @@ use std::fmt;
 use crate::nic::{CpuSpec, Nic};
 use crate::topology::Topology;
 use gpmr_sim_gpu::{FaultPlan, SimDuration, SimTime, Timeline, TransferOutcome};
+use gpmr_telemetry::{Counter, Histogram, Telemetry};
+
+/// Cached telemetry handles for the fabric (boxed so an uninstrumented
+/// `Fabric` pays only a pointer-sized `None`).
+#[derive(Debug)]
+struct FabricTelemetry {
+    tel: Telemetry,
+    /// First track index reserved for NIC lanes; node `n` draws on track
+    /// `track_base + n`.
+    track_base: u32,
+    sends: Counter,
+    local_sends: Counter,
+    bytes: Counter,
+    faults: Counter,
+    bytes_on_wire: Histogram,
+}
+
+impl FabricTelemetry {
+    fn new(tel: &Telemetry, track_base: u32) -> Self {
+        FabricTelemetry {
+            tel: tel.clone(),
+            track_base,
+            sends: tel.counter("fabric.sends"),
+            local_sends: tel.counter("fabric.local_sends"),
+            bytes: tel.counter("fabric.bytes"),
+            faults: tel.counter("fabric.faults_injected"),
+            bytes_on_wire: tel.histogram(
+                "fabric.bytes_on_wire",
+                &[1024.0, 65536.0, 1048576.0, 16777216.0, 268435456.0],
+            ),
+        }
+    }
+}
 
 /// A transfer attempt rejected by the active [`FaultPlan`].
 ///
@@ -43,6 +76,7 @@ pub struct Fabric {
     local_copy: Vec<Timeline>,
     cpu: CpuSpec,
     fault_plan: Option<FaultPlan>,
+    telem: Option<Box<FabricTelemetry>>,
 }
 
 impl Fabric {
@@ -70,7 +104,19 @@ impl Fabric {
             local_copy: (0..topology.nodes).map(|_| Timeline::new()).collect(),
             cpu,
             fault_plan: None,
+            telem: None,
         }
+    }
+
+    /// Attach telemetry: sends are counted (`fabric.sends`,
+    /// `fabric.local_sends`, `fabric.bytes`, `fabric.bytes_on_wire`),
+    /// plan-injected failures increment `fabric.faults_injected`, and every
+    /// cross-node transfer draws a `NetSend` span on the sender node's NIC
+    /// track (`track_base + node`). Attaching a disabled handle detaches.
+    pub fn attach_telemetry(&mut self, tel: &Telemetry, track_base: u32) {
+        self.telem = tel
+            .is_enabled()
+            .then(|| Box::new(FabricTelemetry::new(tel, track_base)));
     }
 
     /// Cluster shape this fabric serves.
@@ -104,7 +150,13 @@ impl Fabric {
             let node = self.topology.node_of(from) as usize;
             let dur =
                 SimDuration::from_secs(0.5e-6 + bytes as f64 / (2.0 * self.cpu.mem_bandwidth));
-            return self.local_copy[node].reserve(ready, dur).end;
+            let end = self.local_copy[node].reserve(ready, dur).end;
+            if let Some(t) = &self.telem {
+                t.sends.inc();
+                t.local_sends.inc();
+                t.bytes.add(bytes);
+            }
+            return end;
         }
         let (sn, rn) = (
             self.topology.node_of(from) as usize,
@@ -113,6 +165,21 @@ impl Fabric {
         let latency = SimDuration::from_secs(self.nics[sn].latency_s);
         let sent = self.nics[sn].reserve_send(ready, bytes);
         let recv = self.nics[rn].reserve_recv(sent.start + latency, bytes);
+        if let Some(t) = &self.telem {
+            t.sends.inc();
+            t.bytes.add(bytes);
+            t.bytes_on_wire.observe(bytes as f64);
+            t.tel
+                .span(
+                    t.track_base + sn as u32,
+                    "NetSend",
+                    sent.start.as_secs(),
+                    recv.end.as_secs(),
+                )
+                .name(format!("send {from}->{to}"))
+                .attr_with("bytes", || bytes.to_string())
+                .record();
+        }
         recv.end
     }
 
@@ -140,7 +207,12 @@ impl Fabric {
             .map_or(TransferOutcome::Deliver, |p| {
                 p.transfer_outcome(from, to, ready, attempt)
             }) {
-            TransferOutcome::Fail => Err(TransferFault { from, to }),
+            TransferOutcome::Fail => {
+                if let Some(t) = &self.telem {
+                    t.faults.inc();
+                }
+                Err(TransferFault { from, to })
+            }
             TransferOutcome::Delay(extra) => Ok(self.send(from, to, ready + extra, bytes)),
             TransferOutcome::Deliver => Ok(self.send(from, to, ready, bytes)),
         }
@@ -381,6 +453,37 @@ mod tests {
         assert_eq!(got[1].payload, "early-seq-mid-arrival");
         assert_eq!(got[2].payload, "late-seq-early-arrival");
         assert_eq!(mb.pending(0), 0);
+    }
+
+    #[test]
+    fn attached_telemetry_counts_sends_and_faults() {
+        let tel = Telemetry::enabled();
+        let mut f = fabric(8);
+        f.attach_telemetry(&tel, 8);
+        f.send(0, 1, SimTime::ZERO, 1 << 10); // intra-node
+        f.send(0, 4, SimTime::ZERO, 1 << 20); // cross-node
+        f.send(2, 2, SimTime::ZERO, 1 << 20); // self: free, uncounted
+        f.set_fault_plan(Some(FaultPlan::new().transfer_fail(
+            Some(0),
+            Some(4),
+            0.0,
+            1.0,
+            1,
+        )));
+        assert!(f.try_send(0, 4, SimTime::ZERO, 1 << 10, 0).is_err());
+        let snap = tel.snapshot();
+        assert_eq!(snap.metrics.counter("fabric.sends"), 2);
+        assert_eq!(snap.metrics.counter("fabric.local_sends"), 1);
+        assert_eq!(snap.metrics.counter("fabric.bytes"), (1 << 10) + (1 << 20));
+        assert_eq!(snap.metrics.counter("fabric.faults_injected"), 1);
+        assert_eq!(snap.metrics.histograms["fabric.bytes_on_wire"].count, 1);
+        // One NetSend span for the cross-node transfer, on node 0's NIC
+        // track (track_base 8 + node 0).
+        let spans: Vec<_> = snap.spans_of("NetSend").collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].track, 8);
+        assert_eq!(spans[0].name, "send 0->4");
+        assert_eq!(spans[0].attr("bytes"), Some("1048576"));
     }
 
     #[test]

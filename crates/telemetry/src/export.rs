@@ -1,0 +1,563 @@
+//! Exporters: Chrome trace-event / Perfetto JSON, a JSONL event stream,
+//! and a per-track utilization summary — plus a structural validator used
+//! by tests and CI.
+//!
+//! ## Perfetto mapping
+//!
+//! Everything lives in process 0. Each telemetry track becomes one thread
+//! (`tid` = track index) named via a `thread_name` metadata event. Spans
+//! become complete events (`ph:"X"`) with `ts`/`dur` in microseconds of
+//! simulated time; counter samples become counter events (`ph:"C"`).
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse, Value};
+use crate::span::{CounterSample, SpanRecord, TelemetrySnapshot};
+
+const US_PER_S: f64 = 1e6;
+
+/// Render a snapshot as a Chrome trace-event / Perfetto JSON document.
+/// Open the result at <https://ui.perfetto.dev> (drag and drop the file).
+pub fn to_perfetto_json(snap: &TelemetrySnapshot) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    events.push(meta_event(
+        "process_name",
+        0,
+        vec![("name".into(), Value::str("gpmr"))],
+    ));
+    for (&track, name) in &snap.tracks {
+        events.push(Value::Obj(vec![
+            ("name".into(), Value::str("thread_name")),
+            ("ph".into(), Value::str("M")),
+            ("pid".into(), Value::Num(0.0)),
+            ("tid".into(), Value::Num(track as f64)),
+            (
+                "args".into(),
+                Value::Obj(vec![("name".into(), Value::str(name.clone()))]),
+            ),
+        ]));
+    }
+
+    // Emit timed events sorted by timestamp (Perfetto requires no ordering,
+    // but sorted output is stable, diffs cleanly, and lets the validator
+    // assert monotonicity).
+    let mut timed: Vec<(f64, Value)> = Vec::new();
+    for s in &snap.spans {
+        let mut args: Vec<(String, Value)> = vec![("kind".into(), Value::str(s.kind.clone()))];
+        if let Some(p) = s.parent {
+            args.push(("parent_span".into(), Value::Num(p as f64)));
+        }
+        for (k, v) in &s.attrs {
+            args.push((k.clone(), Value::str(v.clone())));
+        }
+        timed.push((
+            s.start_s,
+            Value::Obj(vec![
+                ("name".into(), Value::str(s.name.clone())),
+                ("cat".into(), Value::str(s.kind.clone())),
+                ("ph".into(), Value::str("X")),
+                ("pid".into(), Value::Num(0.0)),
+                ("tid".into(), Value::Num(s.track as f64)),
+                ("ts".into(), Value::Num(s.start_s * US_PER_S)),
+                ("dur".into(), Value::Num(s.duration_s() * US_PER_S)),
+                ("id".into(), Value::Num(s.id as f64)),
+                ("args".into(), Value::Obj(args)),
+            ]),
+        ));
+    }
+    for c in &snap.samples {
+        timed.push((
+            c.ts_s,
+            Value::Obj(vec![
+                ("name".into(), Value::str(c.series.clone())),
+                ("ph".into(), Value::str("C")),
+                ("pid".into(), Value::Num(0.0)),
+                ("tid".into(), Value::Num(c.track as f64)),
+                ("ts".into(), Value::Num(c.ts_s * US_PER_S)),
+                (
+                    "args".into(),
+                    Value::Obj(vec![("value".into(), Value::Num(c.value))]),
+                ),
+            ]),
+        ));
+    }
+    timed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    events.extend(timed.into_iter().map(|(_, v)| v));
+
+    Value::Obj(vec![
+        ("traceEvents".into(), Value::Arr(events)),
+        ("displayTimeUnit".into(), Value::str("ms")),
+    ])
+    .render()
+}
+
+fn meta_event(name: &str, tid: u32, args: Vec<(String, Value)>) -> Value {
+    Value::Obj(vec![
+        ("name".into(), Value::str(name)),
+        ("ph".into(), Value::str("M")),
+        ("pid".into(), Value::Num(0.0)),
+        ("tid".into(), Value::Num(tid as f64)),
+        ("args".into(), Value::Obj(args)),
+    ])
+}
+
+/// Render a snapshot as a JSONL event stream: one `track`, `span`, or
+/// `sample` object per line, ending with a `summary` line carrying drop
+/// counts and the metrics snapshot.
+pub fn to_jsonl(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    for (&track, name) in &snap.tracks {
+        let line = Value::Obj(vec![
+            ("type".into(), Value::str("track")),
+            ("track".into(), Value::Num(track as f64)),
+            ("name".into(), Value::str(name.clone())),
+        ]);
+        out.push_str(&line.render());
+        out.push('\n');
+    }
+    for s in &snap.spans {
+        let mut fields = vec![
+            ("type".into(), Value::str("span")),
+            ("id".into(), Value::Num(s.id as f64)),
+            ("track".into(), Value::Num(s.track as f64)),
+            ("kind".into(), Value::str(s.kind.clone())),
+            ("name".into(), Value::str(s.name.clone())),
+            ("start_s".into(), Value::Num(s.start_s)),
+            ("end_s".into(), Value::Num(s.end_s)),
+        ];
+        if let Some(p) = s.parent {
+            fields.push(("parent".into(), Value::Num(p as f64)));
+        }
+        if !s.attrs.is_empty() {
+            fields.push((
+                "attrs".into(),
+                Value::Obj(
+                    s.attrs
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::str(v.clone())))
+                        .collect(),
+                ),
+            ));
+        }
+        out.push_str(&Value::Obj(fields).render());
+        out.push('\n');
+    }
+    for c in &snap.samples {
+        let line = Value::Obj(vec![
+            ("type".into(), Value::str("sample")),
+            ("track".into(), Value::Num(c.track as f64)),
+            ("series".into(), Value::str(c.series.clone())),
+            ("ts_s".into(), Value::Num(c.ts_s)),
+            ("value".into(), Value::Num(c.value)),
+        ]);
+        out.push_str(&line.render());
+        out.push('\n');
+    }
+    let summary = Value::Obj(vec![
+        ("type".into(), Value::str("summary")),
+        (
+            "dropped_spans".into(),
+            Value::Num(snap.dropped_spans as f64),
+        ),
+        (
+            "dropped_samples".into(),
+            Value::Num(snap.dropped_samples as f64),
+        ),
+        ("metrics".into(), snap.metrics.to_value()),
+    ]);
+    out.push_str(&summary.render());
+    out.push('\n');
+    out
+}
+
+/// Rebuild a [`TelemetrySnapshot`] from a JSONL event stream produced by
+/// [`to_jsonl`]. Metrics inside the `summary` line are restored for
+/// counters and gauges; histogram buckets are restored verbatim.
+pub fn snapshot_from_jsonl(text: &str) -> Result<TelemetrySnapshot, String> {
+    let mut snap = TelemetrySnapshot::default();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let ty = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {}: missing type", lineno + 1))?;
+        match ty {
+            "track" => {
+                let track = field_num(&v, "track", lineno)? as u32;
+                let name = field_str(&v, "name", lineno)?;
+                snap.tracks.insert(track, name);
+            }
+            "span" => {
+                let attrs = match v.get("attrs") {
+                    Some(Value::Obj(fields)) => fields
+                        .iter()
+                        .map(|(k, val)| (k.clone(), val.as_str().unwrap_or_default().to_string()))
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                snap.spans.push(SpanRecord {
+                    id: field_num(&v, "id", lineno)? as u64,
+                    parent: v.get("parent").and_then(Value::as_f64).map(|p| p as u64),
+                    track: field_num(&v, "track", lineno)? as u32,
+                    kind: field_str(&v, "kind", lineno)?,
+                    name: field_str(&v, "name", lineno)?,
+                    start_s: field_num(&v, "start_s", lineno)?,
+                    end_s: field_num(&v, "end_s", lineno)?,
+                    attrs,
+                });
+            }
+            "sample" => {
+                snap.samples.push(CounterSample {
+                    track: field_num(&v, "track", lineno)? as u32,
+                    series: field_str(&v, "series", lineno)?,
+                    ts_s: field_num(&v, "ts_s", lineno)?,
+                    value: field_num(&v, "value", lineno)?,
+                });
+            }
+            "summary" => {
+                snap.dropped_spans = field_num(&v, "dropped_spans", lineno)? as u64;
+                snap.dropped_samples = field_num(&v, "dropped_samples", lineno)? as u64;
+                if let Some(metrics) = v.get("metrics") {
+                    restore_metrics(metrics, &mut snap);
+                }
+            }
+            other => return Err(format!("line {}: unknown type {other:?}", lineno + 1)),
+        }
+    }
+    Ok(snap)
+}
+
+fn restore_metrics(metrics: &Value, snap: &mut TelemetrySnapshot) {
+    if let Some(Value::Obj(fields)) = metrics.get("counters").cloned().as_ref() {
+        for (k, v) in fields {
+            if let Some(n) = v.as_f64() {
+                snap.metrics.counters.insert(k.clone(), n as u64);
+            }
+        }
+    }
+    if let Some(Value::Obj(fields)) = metrics.get("gauges").cloned().as_ref() {
+        for (k, v) in fields {
+            if let Some(n) = v.as_f64() {
+                snap.metrics.gauges.insert(k.clone(), n);
+            }
+        }
+    }
+    if let Some(Value::Obj(fields)) = metrics.get("histograms").cloned().as_ref() {
+        for (k, h) in fields {
+            let nums = |key: &str| -> Vec<f64> {
+                h.get(key)
+                    .and_then(Value::as_arr)
+                    .map(|a| a.iter().filter_map(Value::as_f64).collect())
+                    .unwrap_or_default()
+            };
+            snap.metrics.histograms.insert(
+                k.clone(),
+                crate::metrics::HistogramSnapshot {
+                    bounds: nums("bounds"),
+                    counts: nums("counts").into_iter().map(|c| c as u64).collect(),
+                    count: h.get("count").and_then(Value::as_f64).unwrap_or(0.0) as u64,
+                    sum: h.get("sum").and_then(Value::as_f64).unwrap_or(0.0),
+                },
+            );
+        }
+    }
+}
+
+fn field_num(v: &Value, key: &str, lineno: usize) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("line {}: missing numeric field {key:?}", lineno + 1))
+}
+
+fn field_str(v: &Value, key: &str, lineno: usize) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("line {}: missing string field {key:?}", lineno + 1))
+}
+
+/// Per-track, per-kind busy-time summary derived from a snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct SummaryReport {
+    /// (track, display name, kind → busy seconds, utilization in `[0, 1]`).
+    pub tracks: Vec<TrackSummary>,
+    /// Latest span end time (simulated seconds).
+    pub end_s: f64,
+}
+
+/// Summary for one track.
+#[derive(Clone, Debug, Default)]
+pub struct TrackSummary {
+    /// Track index.
+    pub track: u32,
+    /// Display name (empty when unnamed).
+    pub name: String,
+    /// Busy seconds per span kind, sorted by kind.
+    pub busy_by_kind: BTreeMap<String, f64>,
+    /// Total busy seconds / snapshot end time. Overlapping spans (e.g. a
+    /// parent "Chunk" wrapping its stages) can push this above 1.
+    pub utilization: f64,
+}
+
+/// Compute a per-track utilization summary. Container kinds listed in
+/// `exclude_kinds` (e.g. `"Chunk"`) are ignored so wrappers don't double
+/// count their children.
+pub fn summary_report(snap: &TelemetrySnapshot, exclude_kinds: &[&str]) -> SummaryReport {
+    let end_s = snap.end_s();
+    let mut by_track: BTreeMap<u32, BTreeMap<String, f64>> = BTreeMap::new();
+    for &track in snap.tracks.keys() {
+        by_track.entry(track).or_default();
+    }
+    for s in &snap.spans {
+        if exclude_kinds.contains(&s.kind.as_str()) {
+            continue;
+        }
+        *by_track
+            .entry(s.track)
+            .or_default()
+            .entry(s.kind.clone())
+            .or_insert(0.0) += s.duration_s();
+    }
+    let tracks = by_track
+        .into_iter()
+        .map(|(track, busy_by_kind)| {
+            // fold from +0.0: `Iterator::sum` starts from -0.0, which an
+            // empty track would render as "-0.0% busy".
+            let busy: f64 = busy_by_kind.values().fold(0.0, |a, b| a + b);
+            TrackSummary {
+                track,
+                name: snap.tracks.get(&track).cloned().unwrap_or_default(),
+                busy_by_kind,
+                utilization: if end_s > 0.0 { busy / end_s } else { 0.0 },
+            }
+        })
+        .collect();
+    SummaryReport { tracks, end_s }
+}
+
+impl SummaryReport {
+    /// Stable text render, one track per line plus a header.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("span summary (end = {:.6}s)\n", self.end_s);
+        for t in &self.tracks {
+            let label = if t.name.is_empty() {
+                format!("track {}", t.track)
+            } else {
+                t.name.clone()
+            };
+            out.push_str(&format!("  {label}: {:5.1}% busy", t.utilization * 100.0));
+            let mut kinds: Vec<String> = t
+                .busy_by_kind
+                .iter()
+                .map(|(k, v)| format!("{k} {v:.6}s"))
+                .collect();
+            if kinds.is_empty() {
+                kinds.push("idle".into());
+            }
+            out.push_str(&format!("  [{}]\n", kinds.join(", ")));
+        }
+        out
+    }
+}
+
+/// Structural statistics from a validated Perfetto file.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PerfettoStats {
+    /// Number of complete (`ph:"X"`) events.
+    pub complete_events: usize,
+    /// Number of counter (`ph:"C"`) events.
+    pub counter_events: usize,
+    /// Distinct tids that have a `thread_name` metadata event.
+    pub named_tracks: usize,
+    /// Largest `ts + dur` seen, in microseconds.
+    pub end_ts_us: f64,
+}
+
+/// Validate a Perfetto JSON document produced by [`to_perfetto_json`]:
+/// well-formed JSON, a `traceEvents` array, every timed event carries
+/// `pid`/`tid`/`ts >= 0` (and `dur >= 0`, and a `name` for `X` events),
+/// timed events are sorted by non-decreasing `ts`, and every `tid` used by
+/// a timed event has a `thread_name` metadata record.
+pub fn validate_perfetto(text: &str) -> Result<PerfettoStats, String> {
+    let doc = parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut stats = PerfettoStats::default();
+    let mut named: Vec<f64> = Vec::new();
+    let mut used: Vec<f64> = Vec::new();
+    let mut last_ts = f64::NEG_INFINITY;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing tid"))?;
+        ev.get("pid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing pid"))?;
+        match ph {
+            "M" => {
+                if ev.get("name").and_then(Value::as_str) == Some("thread_name") {
+                    named.push(tid);
+                }
+            }
+            "X" | "C" => {
+                let ts = ev
+                    .get("ts")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: missing ts"))?;
+                if ts < 0.0 {
+                    return Err(format!("event {i}: negative ts {ts}"));
+                }
+                if ts < last_ts {
+                    return Err(format!("event {i}: ts {ts} decreases (previous {last_ts})"));
+                }
+                last_ts = ts;
+                used.push(tid);
+                if ph == "X" {
+                    let dur = ev
+                        .get("dur")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("event {i}: X event missing dur"))?;
+                    if dur < 0.0 {
+                        return Err(format!("event {i}: negative dur {dur}"));
+                    }
+                    if ev.get("name").and_then(Value::as_str).is_none() {
+                        return Err(format!("event {i}: X event missing name"));
+                    }
+                    stats.complete_events += 1;
+                    stats.end_ts_us = stats.end_ts_us.max(ts + dur);
+                } else {
+                    stats.counter_events += 1;
+                    stats.end_ts_us = stats.end_ts_us.max(ts);
+                }
+            }
+            other => return Err(format!("event {i}: unsupported ph {other:?}")),
+        }
+    }
+    named.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    named.dedup();
+    for tid in &used {
+        if !named.contains(tid) {
+            return Err(format!("tid {tid} has timed events but no thread_name"));
+        }
+    }
+    stats.named_tracks = named.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::span::SpanRecorder;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let rec = SpanRecorder::new(64);
+        rec.set_track_name(0, "rank 0");
+        rec.set_track_name(1, "rank 1");
+        rec.record(SpanRecord {
+            id: 0,
+            parent: None,
+            track: 0,
+            kind: "Upload".into(),
+            name: "upload".into(),
+            start_s: 0.0,
+            end_s: 0.25,
+            attrs: vec![("chunk".into(), "0".into())],
+        });
+        rec.record(SpanRecord {
+            id: 0,
+            parent: Some(1),
+            track: 1,
+            kind: "Map".into(),
+            name: "map".into(),
+            start_s: 0.25,
+            end_s: 1.0,
+            attrs: vec![],
+        });
+        rec.sample(CounterSample {
+            track: 0,
+            series: "queue_depth".into(),
+            ts_s: 0.5,
+            value: 3.0,
+        });
+        let reg = Registry::new();
+        reg.counter("engine.chunks_dispatched").add(2);
+        reg.gauge("gpu.rank0.mem_peak_bytes").set(4096.0);
+        rec.snapshot(reg.snapshot())
+    }
+
+    #[test]
+    fn perfetto_export_validates() {
+        let text = to_perfetto_json(&sample_snapshot());
+        let stats = validate_perfetto(&text).expect("valid Perfetto JSON");
+        assert_eq!(stats.complete_events, 2);
+        assert_eq!(stats.counter_events, 1);
+        assert_eq!(stats.named_tracks, 2);
+        assert!((stats.end_ts_us - 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_perfetto("not json").is_err());
+        assert!(validate_perfetto("{}").is_err());
+        // X event without a thread_name for its tid.
+        let bad = r#"{"traceEvents":[{"name":"x","ph":"X","pid":0,"tid":9,"ts":0,"dur":1}]}"#;
+        assert!(validate_perfetto(bad).unwrap_err().contains("thread_name"));
+        // Decreasing timestamps.
+        let bad = r#"{"traceEvents":[
+            {"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"t"}},
+            {"name":"a","ph":"X","pid":0,"tid":0,"ts":5,"dur":1},
+            {"name":"b","ph":"X","pid":0,"tid":0,"ts":4,"dur":1}]}"#;
+        assert!(validate_perfetto(bad).unwrap_err().contains("decreases"));
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let snap = sample_snapshot();
+        let text = to_jsonl(&snap);
+        let restored = snapshot_from_jsonl(&text).expect("JSONL parses");
+        assert_eq!(restored.spans, snap.spans);
+        assert_eq!(restored.samples, snap.samples);
+        assert_eq!(restored.tracks, snap.tracks);
+        assert_eq!(
+            restored.metrics.counter("engine.chunks_dispatched"),
+            snap.metrics.counter("engine.chunks_dispatched")
+        );
+        assert_eq!(
+            restored.metrics.gauge("gpu.rank0.mem_peak_bytes"),
+            snap.metrics.gauge("gpu.rank0.mem_peak_bytes")
+        );
+    }
+
+    #[test]
+    fn summary_report_excludes_container_kinds() {
+        let mut snap = sample_snapshot();
+        snap.spans.push(SpanRecord {
+            id: 99,
+            parent: None,
+            track: 0,
+            kind: "Chunk".into(),
+            name: "chunk 0".into(),
+            start_s: 0.0,
+            end_s: 1.0,
+            attrs: vec![],
+        });
+        let report = summary_report(&snap, &["Chunk"]);
+        let t0 = report.tracks.iter().find(|t| t.track == 0).unwrap();
+        assert!(!t0.busy_by_kind.contains_key("Chunk"));
+        assert!((t0.busy_by_kind["Upload"] - 0.25).abs() < 1e-12);
+        let text = report.render_text();
+        assert!(text.contains("rank 0"));
+        assert!(text.contains("Upload"));
+    }
+}

@@ -1,11 +1,14 @@
-//! Visualize a GPMR schedule: run a job with tracing enabled and print
+//! Visualize a GPMR schedule: run a job with telemetry enabled, print
 //! the ASCII Gantt chart — uploads overlapping map kernels, binning
-//! overlapping computation, the sort barrier, and the reduce tail.
+//! overlapping computation, the sort barrier, and the reduce tail — and
+//! export the same recording as a Perfetto trace.
 //!
 //! Run with: `cargo run --release --example schedule_trace`
+//! Then open `target/schedule_trace.json` in https://ui.perfetto.dev
 
-use gpmr::core::{run_job_traced, TraceKind};
+use gpmr::core::{run_job_instrumented, EngineTuning, JobTrace, TraceKind};
 use gpmr::prelude::*;
+use gpmr::telemetry::{export, Telemetry};
 use gpmr_apps::sio::{generate_integers, sio_chunks};
 
 fn main() {
@@ -18,13 +21,29 @@ fn main() {
         chunks.len()
     );
 
+    // One telemetry handle records everything: spans, counters, samples.
+    let tel = Telemetry::enabled();
     let mut cluster = Cluster::accelerator(gpus, GpuSpec::gt200());
-    let (result, trace) =
-        run_job_traced(&mut cluster, &SioJob::default(), chunks).expect("job failed");
+    let result = run_job_instrumented(
+        &mut cluster,
+        &SioJob::default(),
+        chunks,
+        &EngineTuning::default(),
+        &tel,
+    )
+    .expect("job failed");
+    let snap = tel.snapshot();
 
+    // The classic Gantt chart is derived from the same recording.
+    let trace = JobTrace::from_telemetry(&snap);
     println!("{}", trace.gantt(gpus, 110));
     println!("simulated time: {}", result.total_time());
-    println!("events recorded: {}", trace.events.len());
+    println!(
+        "recorded: {} spans, {} counter samples, {} metrics",
+        snap.spans.len(),
+        snap.samples.len(),
+        snap.metrics.counters.len(),
+    );
 
     // Quantify the overlap the chart shows: how much upload time hides
     // under map kernels.
@@ -34,6 +53,32 @@ fn main() {
         let sort = trace.busy_by_kind(r, TraceKind::Sort);
         println!("rank {r}: upload busy {upload}, map busy {map}, sort busy {sort}");
     }
+
+    // Per-track utilization from the span recording ("Chunk" container
+    // spans excluded so they don't double-count their children).
+    println!(
+        "\n{}",
+        export::summary_report(&snap, &["Chunk"]).render_text()
+    );
+
+    // Key counters from the metrics registry.
+    for key in [
+        "engine.chunks_dispatched",
+        "engine.pairs_emitted",
+        "engine.pairs_shuffled",
+        "fabric.sends",
+        "fabric.bytes",
+    ] {
+        println!("{key} = {}", snap.metrics.counter(key));
+    }
+
+    // Export the recording for Perfetto / chrome://tracing.
+    let path = "target/schedule_trace.json";
+    let json = export::to_perfetto_json(&snap);
+    export::validate_perfetto(&json).expect("export must validate");
+    std::fs::write(path, json).expect("write trace");
+    println!("\nwrote {path} — open it in https://ui.perfetto.dev");
+
     println!("\n(the 'u' upload cells sit under/next to 'M' map cells: PCI-e");
     println!("streaming of the next chunk overlaps the current map kernel,");
     println!("and 's' bin sends overlap both — the paper's pipeline design)");

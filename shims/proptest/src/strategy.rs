@@ -129,7 +129,7 @@ tuple_strategy!(
     (A 0, B 1, C 2, D 3);
 );
 
-/// Size specification for [`vec`]: an exact length or a length range.
+/// Size specification for [`vec()`]: an exact length or a length range.
 pub struct SizeRange {
     min: usize,
     max_exclusive: usize,
@@ -163,7 +163,7 @@ impl From<RangeInclusive<usize>> for SizeRange {
     }
 }
 
-/// Strategy producing `Vec`s of an element strategy; see [`vec`].
+/// Strategy producing `Vec`s of an element strategy; see [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

@@ -19,7 +19,9 @@
 //! * [`apps`] — the paper's benchmarks: Matrix Multiplication, Sparse
 //!   Integer Occurrence, Word Occurrence, K-Means, Linear Regression;
 //! * [`baselines`] — Phoenix-style CPU MapReduce and Mars-style
-//!   single-GPU MapReduce.
+//!   single-GPU MapReduce;
+//! * [`telemetry`] — metrics registry, structured spans, and trace
+//!   exporters (Perfetto/Chrome `trace.json`, JSONL, text summaries).
 //!
 //! ## Quick start
 //!
@@ -47,6 +49,7 @@ pub use gpmr_core as core;
 pub use gpmr_primitives as primitives;
 pub use gpmr_sim_gpu as sim_gpu;
 pub use gpmr_sim_net as sim_net;
+pub use gpmr_telemetry as telemetry;
 
 /// The common imports for GPMR programs.
 pub mod prelude {

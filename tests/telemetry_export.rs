@@ -1,0 +1,163 @@
+//! Acceptance tests for the telemetry subsystem, end to end: run an
+//! instrumented (and faulted) job, export the recording, and assert
+//! structural properties —
+//!
+//! * every dispatched chunk owns a container span whose children cover
+//!   the upload → map → download lifecycle, linked by parent span ids;
+//! * recovery work appears as counter increments that reconcile exactly
+//!   with [`JobTimings`] (also as a property over generated fault plans);
+//! * the Perfetto export passes the structural validator and the JSONL
+//!   stream round-trips losslessly.
+
+use gpmr::core::{run_job_instrumented, EngineTuning, JobTimings};
+use gpmr::prelude::*;
+use gpmr::sim_gpu::FaultPlan;
+use gpmr::telemetry::{export, Telemetry, TelemetrySnapshot};
+use gpmr_apps::sio::{self, sio_chunks};
+use proptest::prelude::*;
+
+const RANKS: u32 = 4;
+
+/// Run the SIO job instrumented under `plan`; returns the recording and
+/// the engine's own accounting.
+fn run_instrumented(plan: Option<FaultPlan>) -> (TelemetrySnapshot, JobTimings) {
+    let data = sio::generate_integers(80_000, 11);
+    let mut cluster = Cluster::accelerator(RANKS, GpuSpec::gt200());
+    cluster.set_fault_plan(plan);
+    let tel = Telemetry::enabled();
+    let result = run_job_instrumented(
+        &mut cluster,
+        &SioJob::default(),
+        sio_chunks(&data, 16 * 1024),
+        &EngineTuning::default(),
+        &tel,
+    )
+    .expect("job should survive");
+    (tel.snapshot(), result.timings)
+}
+
+#[test]
+fn every_chunk_has_upload_map_download_spans() {
+    let (snap, timings) = run_instrumented(None);
+    let chunks: Vec<_> = snap.spans_of("Chunk").collect();
+    let dispatched: u32 = timings.chunks_per_rank.iter().sum();
+    assert_eq!(chunks.len() as u32, dispatched, "one container per chunk");
+    assert_eq!(
+        snap.metrics.counter("engine.chunks_dispatched"),
+        u64::from(dispatched)
+    );
+
+    for chunk in &chunks {
+        let kinds: Vec<&str> = snap
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(chunk.id))
+            .map(|s| s.kind.as_str())
+            .collect();
+        for stage in ["Upload", "Map", "Download"] {
+            assert!(
+                kinds.contains(&stage),
+                "chunk span {} ({:?}) missing {stage} child; children: {kinds:?}",
+                chunk.id,
+                chunk.name,
+            );
+        }
+        // Children stay inside the container's window.
+        for s in snap.spans.iter().filter(|s| s.parent == Some(chunk.id)) {
+            assert!(
+                s.start_s >= chunk.start_s - 1e-12,
+                "{}: starts early",
+                s.kind
+            );
+            assert!(s.end_s <= chunk.end_s + 1e-12, "{}: ends late", s.kind);
+        }
+    }
+}
+
+#[test]
+fn retries_appear_as_counter_increments() {
+    let plan = FaultPlan::parse("xfail:0->1@0..1*2").expect("plan parses");
+    let (snap, timings) = run_instrumented(Some(plan));
+    assert!(timings.transfer_retries > 0, "plan should force retries");
+    assert_eq!(
+        snap.metrics.counter("engine.transfer_retries"),
+        u64::from(timings.transfer_retries)
+    );
+    assert_eq!(
+        snap.spans_of("Retry").count() as u32,
+        timings.transfer_retries
+    );
+    // The fabric saw the same injected failures.
+    assert_eq!(
+        snap.metrics.counter("fabric.faults_injected"),
+        u64::from(timings.transfer_retries)
+    );
+}
+
+#[test]
+fn perfetto_export_is_structurally_valid() {
+    let (snap, _) = run_instrumented(Some(FaultPlan::parse("kill:1@1e-3").unwrap()));
+    let json = export::to_perfetto_json(&snap);
+    let stats = export::validate_perfetto(&json).expect("valid Perfetto JSON");
+    assert_eq!(stats.complete_events, snap.spans.len());
+    assert_eq!(stats.counter_events, snap.samples.len());
+    // Every rank track plus one NIC track per node is named.
+    assert!(stats.named_tracks > RANKS as usize, "{stats:?}");
+    assert!(stats.end_ts_us > 0.0);
+}
+
+#[test]
+fn jsonl_stream_round_trips() {
+    let (snap, _) = run_instrumented(None);
+    let jsonl = export::to_jsonl(&snap);
+    let back = export::snapshot_from_jsonl(&jsonl).expect("stream parses");
+    assert_eq!(back.spans.len(), snap.spans.len());
+    assert_eq!(back.samples.len(), snap.samples.len());
+    assert_eq!(back.tracks, snap.tracks);
+    assert_eq!(
+        back.metrics.counter("engine.chunks_dispatched"),
+        snap.metrics.counter("engine.chunks_dispatched")
+    );
+    // Span identity survives: same ids, kinds, parents, times.
+    for (a, b) in snap.spans.iter().zip(&back.spans) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.parent, b.parent);
+        assert_eq!(a.start_s.to_bits(), b.start_s.to_bits());
+        assert_eq!(a.end_s.to_bits(), b.end_s.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Telemetry counters reconcile exactly with the engine's JobTimings
+    /// accounting on arbitrary generated fault plans (the plans always
+    /// leave at least one GPU alive, so the job must complete).
+    #[test]
+    fn counters_reconcile_with_job_timings_on_faulted_runs(seed in 0u64..2000) {
+        let plan = FaultPlan::generate(seed, RANKS, 10e-3);
+        let (snap, timings) = run_instrumented(Some(plan));
+        let m = &snap.metrics;
+        prop_assert_eq!(m.counter("engine.gpus_lost"), u64::from(timings.gpus_lost));
+        prop_assert_eq!(
+            m.counter("engine.chunks_requeued"),
+            u64::from(timings.chunks_requeued)
+        );
+        prop_assert_eq!(
+            m.counter("engine.transfer_retries"),
+            u64::from(timings.transfer_retries)
+        );
+        prop_assert_eq!(
+            m.counter("engine.stalls_injected"),
+            u64::from(timings.stalls_injected)
+        );
+        prop_assert_eq!(m.counter("engine.chunks_stolen"), u64::from(timings.chunks_stolen));
+        prop_assert_eq!(m.counter("engine.pairs_emitted"), timings.pairs_emitted);
+        prop_assert_eq!(m.counter("engine.pairs_shuffled"), timings.pairs_shuffled);
+        // Span counts for fault events match too.
+        prop_assert_eq!(snap.spans_of("GpuLost").count() as u32, timings.gpus_lost);
+        prop_assert_eq!(snap.spans_of("Requeue").count() as u32, timings.chunks_requeued);
+        prop_assert_eq!(snap.spans_of("Stall").count() as u32, timings.stalls_injected);
+    }
+}
