@@ -1,0 +1,40 @@
+//! Record the perf-gate baseline: run the WO + SIO scenario suite at
+//! 1/4/8 ranks, analyze each run (critical path, stage attribution,
+//! imbalance), and write the baseline set JSON.
+//!
+//! Usage: `cargo run --release -p gpmr-bench --bin bench_pr5 \
+//!         [--scale N] [--out FILE]`
+//! Writes `BENCH_PR5.json` (or `FILE`) in the current directory. CI's
+//! `perf-gate` job diffs a fresh recording against the committed file with
+//! `gpmr perf diff`; all values are simulated-time and deterministic, so
+//! the diff is exact on an unchanged tree.
+
+use gpmr_bench::parse_scale;
+use gpmr_bench::perf::record_suite;
+
+fn main() {
+    let scale = parse_scale();
+    let args: Vec<String> = std::env::args().collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+
+    println!("perf-gate suite (scale {scale})...");
+    let set = record_suite(scale, |b, a| {
+        println!(
+            "  {:<10} makespan {:>10.6}s  bounding {:<5} {:>5.1}%  imbalance CV {:.3}  \
+             {} path segments",
+            b.name,
+            a.makespan_s,
+            b.bounding_stage,
+            a.bounding_share * 100.0,
+            b.imbalance_cv,
+            a.critical_path.len(),
+        );
+    });
+    std::fs::write(&out, set.to_json()).expect("write baseline set");
+    println!("wrote {out}");
+}

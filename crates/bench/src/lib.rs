@@ -25,6 +25,7 @@
 
 pub mod harness;
 pub mod loc;
+pub mod perf;
 pub mod plot;
 pub mod runners;
 pub mod table;

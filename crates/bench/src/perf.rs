@@ -1,0 +1,186 @@
+//! The perf-gate scenario suite: WO and SIO at 1/4/8 ranks, each run
+//! instrumented and analyzed into a [`BenchBaseline`] (makespan, per-stage
+//! critical-path time, counters, imbalance).
+//!
+//! `bench_pr5` records the suite into `BENCH_PR5.json`; `gpmr perf diff`
+//! re-runs it live and compares against that file. The simulation is
+//! deterministic and machine-independent, so an unchanged tree reproduces
+//! the committed numbers exactly and any drift is a real behaviour change.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use gpmr_core::{run_job_instrumented, EngineTuning};
+use gpmr_telemetry::analyze::{analyze, Analysis};
+use gpmr_telemetry::baseline::{BaselineSet, BenchBaseline};
+use gpmr_telemetry::Telemetry;
+
+use gpmr_apps::sio::{self, SioJob};
+use gpmr_apps::text::chunk_text;
+use gpmr_apps::wo::WoJob;
+
+use crate::harness::chunk_bytes;
+use crate::runners::{corpus_for, scaled_cluster, shared_dictionary};
+
+/// Tolerance the perf gate runs with (±15%, per the CI contract).
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// Full-scale WO corpus bytes (divided by the scale divisor per run).
+const WO_FULL_BYTES: u64 = 1 << 28;
+/// Full-scale SIO element count (divided by the scale divisor per run).
+const SIO_FULL_ELEMENTS: u64 = 1 << 25;
+/// Workload seed shared by every scenario.
+const SEED: u64 = 11;
+
+/// Which benchmark a scenario runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PerfApp {
+    /// Word Occurrence (accumulate-mode map, text corpus).
+    Wo,
+    /// Sparse Integer Occurrence (plain map, integer stream).
+    Sio,
+}
+
+/// One gate scenario: a benchmark at a GPU count.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfScenario {
+    /// Stable scenario name used to match baselines, e.g. `"sio_4rank"`.
+    pub name: &'static str,
+    /// Benchmark to run.
+    pub app: PerfApp,
+    /// Cluster size in GPUs.
+    pub gpus: u32,
+}
+
+/// The gate suite: WO + SIO at 1, 4, and 8 ranks.
+pub const SCENARIOS: [PerfScenario; 6] = [
+    PerfScenario {
+        name: "wo_1rank",
+        app: PerfApp::Wo,
+        gpus: 1,
+    },
+    PerfScenario {
+        name: "wo_4rank",
+        app: PerfApp::Wo,
+        gpus: 4,
+    },
+    PerfScenario {
+        name: "wo_8rank",
+        app: PerfApp::Wo,
+        gpus: 8,
+    },
+    PerfScenario {
+        name: "sio_1rank",
+        app: PerfApp::Sio,
+        gpus: 1,
+    },
+    PerfScenario {
+        name: "sio_4rank",
+        app: PerfApp::Sio,
+        gpus: 4,
+    },
+    PerfScenario {
+        name: "sio_8rank",
+        app: PerfApp::Sio,
+        gpus: 8,
+    },
+];
+
+/// Scenario by name.
+pub fn scenario(name: &str) -> Option<PerfScenario> {
+    SCENARIOS.iter().copied().find(|s| s.name == name)
+}
+
+/// Run one scenario instrumented at the given inverse scale, returning its
+/// baseline record and the full analysis behind it.
+pub fn run_scenario(sc: &PerfScenario, scale: u64) -> (BenchBaseline, Analysis) {
+    let scale = scale.max(1);
+    let tel = Telemetry::enabled();
+    let mut cluster = scaled_cluster(sc.gpus, scale);
+    let tuning = EngineTuning::default();
+    match sc.app {
+        PerfApp::Wo => {
+            let dict = shared_dictionary(scale);
+            let bytes = (WO_FULL_BYTES / scale).max(64 * 1024) as usize;
+            let text = corpus_for(&dict, bytes, SEED);
+            let chunks = chunk_text(&text, chunk_bytes(bytes as u64, sc.gpus, scale));
+            let job = WoJob::new(Arc::clone(&dict), sc.gpus);
+            run_job_instrumented(&mut cluster, &job, chunks, &tuning, &tel)
+                .expect("WO perf scenario failed");
+        }
+        PerfApp::Sio => {
+            let elements = (SIO_FULL_ELEMENTS / scale).max(16 * 1024) as usize;
+            let data = sio::generate_integers(elements, SEED);
+            let chunks = sio::sio_chunks(&data, chunk_bytes(4 * elements as u64, sc.gpus, scale));
+            run_job_instrumented(&mut cluster, &SioJob::default(), chunks, &tuning, &tel)
+                .expect("SIO perf scenario failed");
+        }
+    }
+    let snap = tel.snapshot();
+    let analysis = analyze(&snap);
+    let counters: BTreeMap<String, u64> = snap
+        .metrics
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("engine."))
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    let baseline = BenchBaseline::from_analysis(sc.name, &analysis, counters);
+    (baseline, analysis)
+}
+
+/// Run the whole suite and collect a baseline set, invoking `progress`
+/// after each scenario (for harness output).
+pub fn record_suite(
+    scale: u64,
+    mut progress: impl FnMut(&BenchBaseline, &Analysis),
+) -> BaselineSet {
+    let mut set = BaselineSet {
+        scale,
+        tolerance: DEFAULT_TOLERANCE,
+        baselines: Vec::new(),
+    };
+    for sc in &SCENARIOS {
+        let (baseline, analysis) = run_scenario(sc, scale);
+        progress(&baseline, &analysis);
+        set.baselines.push(baseline);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpmr_telemetry::baseline::{diff, Verdict};
+
+    #[test]
+    fn scenario_reruns_are_bit_identical() {
+        let sc = scenario("sio_4rank").unwrap();
+        // A large scale keeps the test fast; determinism is scale-blind.
+        let (a, _) = run_scenario(&sc, 2048);
+        let (b, _) = run_scenario(&sc, 2048);
+        assert_eq!(a, b, "deterministic sim must reproduce exactly");
+        assert_eq!(diff(&a, &b, DEFAULT_TOLERANCE).verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn stage_attribution_reconciles_with_makespan() {
+        let sc = scenario("wo_4rank").unwrap();
+        let (baseline, analysis) = run_scenario(&sc, 2048);
+        assert!(baseline.makespan_ns > 0);
+        let stage_sum: u64 = baseline.stage_ns.values().sum();
+        let drift =
+            (stage_sum as f64 - baseline.makespan_ns as f64).abs() / baseline.makespan_ns as f64;
+        assert!(
+            drift < 0.01,
+            "stage sum {stage_sum} vs {}",
+            baseline.makespan_ns
+        );
+        // The accumulate-mode WO job must now report emitted pairs.
+        let emitted = baseline.counters["engine.pairs_emitted"];
+        let shuffled = baseline.counters["engine.pairs_shuffled"];
+        assert!(emitted > 0, "WO pairs_emitted stuck at 0");
+        assert!(emitted >= shuffled);
+        assert!(analysis.ranks.len() == 4);
+    }
+}

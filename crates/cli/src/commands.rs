@@ -9,9 +9,12 @@ use gpmr_apps::mm::{run_mm_auto, Matrix};
 use gpmr_apps::sio::{self, SioJob};
 use gpmr_apps::text::{chunk_text, generate_text, Dictionary};
 use gpmr_apps::wo::WoJob;
+use gpmr_bench::perf as perfsuite;
 use gpmr_core::{run_job_instrumented, EngineTuning, GpmrJob, JobResult, JobTrace};
 use gpmr_sim_gpu::{FaultPlan, GpuSpec, PcieLink};
 use gpmr_sim_net::{Cluster, CpuSpec, Nic, Topology};
+use gpmr_telemetry::analyze;
+use gpmr_telemetry::baseline::{diff_sets, BaselineSet, Verdict};
 use gpmr_telemetry::{export, Telemetry, TelemetrySnapshot};
 
 use crate::args::{ArgError, Args};
@@ -26,9 +29,13 @@ USAGE:
                 [--metrics-out F] [--trace-out F] [--events-out F]
                 [--fault-plan SPEC | --fault-seed S]
     gpmr kmeans [--points N] [--k K] [--gpus N] [--iterations I] [--seed S]
+    gpmr analyze --events events.jsonl [--json]
+    gpmr analyze --benchmark <sio|wo|kmc|lr> [run options] [--json]
     gpmr trace  export --in events.jsonl --out trace.json
     gpmr trace  check  --in trace.json
     gpmr trace  summary --in events.jsonl
+    gpmr perf   record [--out F] [--scale N]
+    gpmr perf   diff --baseline F [--against F] [--tolerance T] [--json]
     gpmr info   [--gpus N]
     gpmr help
 
@@ -55,10 +62,29 @@ RUN OPTIONS:
     --fault-seed  generate a random fault plan from seed S (deterministic;
                   always leaves at least one GPU alive)
 
+ANALYZE:
+    Performance diagnosis: critical-path extraction with per-stage
+    attribution, per-rank busy/blocked/idle breakdown, imbalance score,
+    map/send overlap, and named findings (stragglers, poor overlap,
+    sort-bound jobs, transfer-retry hotspots). Reads a recorded
+    --events-out JSONL stream (--events F) or runs a benchmark live
+    (--benchmark plus the RUN OPTIONS above). --json emits the
+    machine-readable twin of the report.
+
 TRACE SUBCOMMAND:
     export        convert a --events-out JSONL stream to Perfetto JSON
     check         validate a Perfetto JSON file (structure, monotonic ts)
     summary       print per-track busy-time/utilization from a JSONL stream
+
+PERF SUBCOMMAND:
+    record        run the WO+SIO gate suite at 1/4/8 ranks and write the
+                  baseline set (--out, default BENCH_PR5.json; --scale,
+                  default 64)
+    diff          compare against a recorded baseline set. With --against
+                  it diffs two recordings; otherwise it re-runs the suite
+                  live at the baseline's scale. Exits non-zero when the
+                  makespan regresses beyond the tolerance (--tolerance,
+                  default: the baseline file's, ±15%).
 ";
 
 /// Errors surfaced to the user.
@@ -102,9 +128,10 @@ pub const VALUED: &[&str] = &[
     "metrics-out",
     "trace-out",
     "events-out",
+    "events",
 ];
 /// Boolean flags.
-pub const BOOLEAN: &[&str] = &["trace"];
+pub const BOOLEAN: &[&str] = &["trace", "json"];
 
 /// Parse tokens and execute; returns the text to print.
 pub fn dispatch<I, S>(tokens: I) -> Result<String, CliError>
@@ -118,6 +145,10 @@ where
     if tokens.first().map(String::as_str) == Some("trace") {
         return cmd_trace(&tokens[1..]);
     }
+    // `perf` takes a mode positional too (`record`/`diff`).
+    if tokens.first().map(String::as_str) == Some("perf") {
+        return cmd_perf(&tokens[1..]);
+    }
     let args = match Args::parse(tokens, VALUED, BOOLEAN) {
         Ok(a) => a,
         Err(ArgError::MissingSubcommand) => return Ok(HELP.to_string()),
@@ -126,6 +157,7 @@ where
     match args.subcommand.as_str() {
         "run" => cmd_run(&args),
         "kmeans" => cmd_kmeans(&args),
+        "analyze" => cmd_analyze(&args),
         "info" => cmd_info(&args),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(CliError::Invalid(format!(
@@ -323,6 +355,195 @@ fn cmd_trace(tokens: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// Apply `--fault-plan`/`--fault-seed` to a freshly built cluster.
+fn apply_faults(cluster: &mut Cluster, args: &Args, gpus: u32) -> Result<(), CliError> {
+    match (args.get("fault-plan"), args.get("fault-seed")) {
+        (Some(spec), _) => {
+            let plan = FaultPlan::parse(spec).map_err(|e| CliError::Invalid(e.to_string()))?;
+            cluster.set_fault_plan(Some(plan));
+        }
+        (None, Some(_)) => {
+            let fault_seed: u64 = args.get_or("fault-seed", 0)?;
+            // Horizon covers the first ~10 simulated ms, where the default
+            // benchmark sizes do most of their work.
+            cluster.set_fault_plan(Some(FaultPlan::generate(fault_seed, gpus, 10e-3)));
+        }
+        (None, None) => {}
+    }
+    Ok(())
+}
+
+/// Items per chunk: about a quarter of the per-GPU share, clamped to
+/// [64 KiB, 32 MiB] of payload (both ends shrunk by the scale divisor).
+fn chunk_items(elem_bytes: u64, n: usize, gpus: u32, scale: u64) -> usize {
+    let per = (n as u64 * elem_bytes) / (4 * u64::from(gpus));
+    (per.clamp(64 * 1024 / scale.max(1), (32 << 20) / scale.max(1)) / elem_bytes).max(1) as usize
+}
+
+/// `gpmr analyze`: performance diagnosis over a recorded JSONL stream or a
+/// live instrumented run.
+fn cmd_analyze(args: &Args) -> Result<String, CliError> {
+    let snap = match (args.get("events"), args.get("benchmark")) {
+        (Some(path), None) => {
+            export::snapshot_from_jsonl(&read_file(path)?).map_err(CliError::Invalid)?
+        }
+        (None, Some(_)) => live_snapshot(args)?,
+        _ => {
+            return Err(CliError::Invalid(
+                "analyze needs exactly one of --events <file.jsonl> or \
+                 --benchmark <sio|wo|kmc|lr>"
+                    .into(),
+            ))
+        }
+    };
+    let analysis = analyze::analyze(&snap);
+    Ok(if args.flag("json") {
+        analysis.to_json()
+    } else {
+        analysis.render_text()
+    })
+}
+
+/// Run one benchmark with telemetry on and hand back the recording.
+fn live_snapshot(args: &Args) -> Result<TelemetrySnapshot, CliError> {
+    let bench = args
+        .get("benchmark")
+        .unwrap_or_default()
+        .to_ascii_lowercase();
+    let gpus: u32 = args.get_or("gpus", 4)?;
+    let scale: u64 = args.get_or("scale", 1)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    if gpus == 0 || gpus > 1024 {
+        return Err(CliError::Invalid("--gpus must be in 1..=1024".into()));
+    }
+    let mut cluster = Cluster::accelerator_scaled(gpus, GpuSpec::gt200(), scale as f64);
+    apply_faults(&mut cluster, args, gpus)?;
+    let tel = Telemetry::enabled();
+    let tuning = EngineTuning::default();
+    let fail = |e: gpmr_core::EngineError| CliError::Invalid(e.to_string());
+    match bench.as_str() {
+        "sio" => {
+            let n: usize = args.get_or("size", 1_000_000)?;
+            let data = sio::generate_integers(n, seed);
+            let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(4, n, gpus, scale));
+            run_job_instrumented(&mut cluster, &SioJob::default(), chunks, &tuning, &tel)
+                .map_err(fail)?;
+        }
+        "wo" => {
+            let n: usize = args.get_or("size", 4 << 20)?;
+            let dict = Arc::new(Dictionary::generate(
+                (43_000 / scale.max(1) as usize).max(64),
+                seed,
+            ));
+            let text = generate_text(&dict, n, seed + 1);
+            let chunks = chunk_text(&text, chunk_items(1, n, gpus, scale));
+            let job = WoJob::new(dict, gpus);
+            run_job_instrumented(&mut cluster, &job, chunks, &tuning, &tel).map_err(fail)?;
+        }
+        "kmc" => {
+            let n: usize = args.get_or("size", 500_000)?;
+            let centers = kmc::initial_centers(32, seed);
+            let data = kmc::generate_points(n, 32, seed + 1);
+            let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(16, n, gpus, scale));
+            run_job_instrumented(&mut cluster, &KmcJob::new(centers), chunks, &tuning, &tel)
+                .map_err(fail)?;
+        }
+        "lr" => {
+            let n: usize = args.get_or("size", 1_000_000)?;
+            let data = lr::generate_samples(n, 2.0, -1.0, seed);
+            let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(8, n, gpus, scale));
+            run_job_instrumented(&mut cluster, &LrJob, chunks, &tuning, &tel).map_err(fail)?;
+        }
+        other => {
+            return Err(CliError::Invalid(format!(
+                "analyze supports sio, wo, kmc, or lr; got {other:?} \
+                 (mm runs outside the instrumented engine)"
+            )))
+        }
+    }
+    Ok(tel.snapshot())
+}
+
+/// `gpmr perf`: record the gate baseline suite or diff against one.
+fn cmd_perf(tokens: &[String]) -> Result<String, CliError> {
+    const PERF_VALUED: &[&str] = &["out", "scale", "baseline", "against", "tolerance"];
+    const PERF_BOOLEAN: &[&str] = &["json"];
+    let args =
+        Args::parse(tokens.iter().cloned(), PERF_VALUED, PERF_BOOLEAN).map_err(|e| match e {
+            ArgError::MissingSubcommand => {
+                CliError::Invalid("perf needs a mode: record or diff".into())
+            }
+            other => CliError::Args(other),
+        })?;
+    match args.subcommand.as_str() {
+        "record" => {
+            let out_path = args.get("out").unwrap_or("BENCH_PR5.json");
+            let scale: u64 = args.get_or("scale", gpmr_bench::DEFAULT_SCALE)?;
+            let mut out = format!("recording perf baselines (scale {scale})\n");
+            let set = perfsuite::record_suite(scale, |b, a| {
+                out.push_str(&format!(
+                    "  {:<10} makespan {:.6}s  bounding {} ({:.1}%)  imbalance CV {:.3}\n",
+                    b.name,
+                    a.makespan_s,
+                    b.bounding_stage,
+                    a.bounding_share * 100.0,
+                    b.imbalance_cv,
+                ));
+            });
+            write_file(out_path, &set.to_json())?;
+            out.push_str(&format!("wrote {out_path}\n"));
+            Ok(out)
+        }
+        "diff" => {
+            let base_path = args
+                .get("baseline")
+                .ok_or_else(|| CliError::Invalid("perf diff needs --baseline <file>".into()))?;
+            let old = BaselineSet::from_json(&read_file(base_path)?).map_err(CliError::Invalid)?;
+            let default_tol = if old.tolerance > 0.0 {
+                old.tolerance
+            } else {
+                perfsuite::DEFAULT_TOLERANCE
+            };
+            let tolerance: f64 = args.get_or("tolerance", default_tol)?;
+            let (new, provenance) = match args.get("against") {
+                Some(path) => (
+                    BaselineSet::from_json(&read_file(path)?).map_err(CliError::Invalid)?,
+                    format!("recorded set {path}"),
+                ),
+                None => {
+                    let scale = if old.scale > 0 {
+                        old.scale
+                    } else {
+                        gpmr_bench::DEFAULT_SCALE
+                    };
+                    (
+                        perfsuite::record_suite(scale, |_, _| {}),
+                        format!("live re-run at scale {scale}"),
+                    )
+                }
+            };
+            let report = diff_sets(&old, &new, tolerance);
+            let body = if args.flag("json") {
+                report.to_json()
+            } else {
+                format!(
+                    "comparing {base_path} against {provenance}\n{}",
+                    report.render_text()
+                )
+            };
+            // A Fail verdict must surface as a non-zero exit for CI gating.
+            if report.verdict == Verdict::Fail {
+                Err(CliError::Invalid(body))
+            } else {
+                Ok(body)
+            }
+        }
+        other => Err(CliError::Invalid(format!(
+            "unknown perf mode {other:?}; expected record or diff"
+        ))),
+    }
+}
+
 fn cmd_run(args: &Args) -> Result<String, CliError> {
     let bench = args
         .get("benchmark")
@@ -339,24 +560,8 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     }
 
     let mut cluster = Cluster::accelerator_scaled(gpus, GpuSpec::gt200(), scale as f64);
-    match (args.get("fault-plan"), args.get("fault-seed")) {
-        (Some(spec), _) => {
-            let plan = FaultPlan::parse(spec).map_err(|e| CliError::Invalid(e.to_string()))?;
-            cluster.set_fault_plan(Some(plan));
-        }
-        (None, Some(_)) => {
-            let fault_seed: u64 = args.get_or("fault-seed", 0)?;
-            // Horizon covers the first ~10 simulated ms, where the default
-            // benchmark sizes do most of their work.
-            cluster.set_fault_plan(Some(FaultPlan::generate(fault_seed, gpus, 10e-3)));
-        }
-        (None, None) => {}
-    }
-    let chunk_items = |elem_bytes: u64, n: usize| -> usize {
-        let per = (n as u64 * elem_bytes) / (4 * u64::from(gpus));
-        (per.clamp(64 * 1024 / scale.max(1), (32 << 20) / scale.max(1)) / elem_bytes).max(1)
-            as usize
-    };
+    apply_faults(&mut cluster, args, gpus)?;
+    let chunk_items = |elem_bytes: u64, n: usize| chunk_items(elem_bytes, n, gpus, scale);
 
     match bench.as_str() {
         "sio" => {
@@ -803,6 +1008,167 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.to_string().contains("not supported for mm"), "{err}");
+    }
+
+    #[test]
+    fn analyze_live_run_reports_bounding_stage() {
+        let out = run(&[
+            "analyze",
+            "--benchmark",
+            "sio",
+            "--gpus",
+            "2",
+            "--size",
+            "20000",
+        ])
+        .unwrap();
+        assert!(out.contains("performance analysis"), "{out}");
+        assert!(out.contains("bounding stage:"), "{out}");
+        assert!(out.contains("rank 0:"), "{out}");
+        assert!(out.contains("imbalance"), "{out}");
+    }
+
+    #[test]
+    fn analyze_json_output_parses() {
+        let out = run(&[
+            "analyze",
+            "--benchmark",
+            "sio",
+            "--gpus",
+            "2",
+            "--size",
+            "20000",
+            "--json",
+        ])
+        .unwrap();
+        let v = gpmr_telemetry::json::parse(&out).unwrap();
+        assert!(v.get("makespan_s").and_then(|m| m.as_f64()).unwrap() > 0.0);
+        assert!(v.get("bounding_stage").is_some());
+        assert!(v.get("findings").is_some());
+    }
+
+    #[test]
+    fn analyze_events_file_matches_live_schema() {
+        let dir = std::env::temp_dir().join("gpmr_cli_analyze_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = dir.join("events.jsonl");
+        run(&[
+            "run",
+            "--benchmark",
+            "sio",
+            "--gpus",
+            "2",
+            "--size",
+            "20000",
+            "--events-out",
+            events.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&["analyze", "--events", events.to_str().unwrap()]).unwrap();
+        assert!(out.contains("bounding stage:"), "{out}");
+        assert!(out.contains("critical path:"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_validates_usage() {
+        let err = run(&["analyze"]).unwrap_err();
+        assert!(err.to_string().contains("--events"), "{err}");
+        let err = run(&["analyze", "--benchmark", "mm"]).unwrap_err();
+        assert!(err.to_string().contains("analyze supports"), "{err}");
+    }
+
+    #[test]
+    fn perf_record_then_self_diff_passes() {
+        let dir = std::env::temp_dir().join("gpmr_cli_perf_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let out = run(&[
+            "perf",
+            "record",
+            "--scale",
+            "4096",
+            "--out",
+            base.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("wo_8rank"), "{out}");
+        assert!(out.contains("wrote"), "{out}");
+
+        // A recording diffed against itself is identical: PASS, exit 0.
+        let diffed = run(&[
+            "perf",
+            "diff",
+            "--baseline",
+            base.to_str().unwrap(),
+            "--against",
+            base.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(diffed.contains("verdict: PASS"), "{diffed}");
+
+        // Doubling a makespan in the new measurement is a regression: the
+        // gate must surface it as an error (non-zero process exit).
+        let mut set = BaselineSet::from_json(&std::fs::read_to_string(&base).unwrap()).unwrap();
+        set.baselines[0].makespan_ns *= 2;
+        let worse = dir.join("worse.json");
+        std::fs::write(&worse, set.to_json()).unwrap();
+        let err = run(&[
+            "perf",
+            "diff",
+            "--baseline",
+            base.to_str().unwrap(),
+            "--against",
+            worse.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("FAIL"), "{err}");
+        assert!(err.to_string().contains("regressed"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn perf_diff_reruns_live_and_reproduces_exactly() {
+        let dir = std::env::temp_dir().join("gpmr_cli_perf_live_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        run(&[
+            "perf",
+            "record",
+            "--scale",
+            "4096",
+            "--out",
+            base.to_str().unwrap(),
+        ])
+        .unwrap();
+        // No --against: the suite re-runs live at the recorded scale. The
+        // sim is deterministic, so an unchanged tree matches bit-exactly.
+        let diffed = run(&["perf", "diff", "--baseline", base.to_str().unwrap()]).unwrap();
+        assert!(diffed.contains("live re-run at scale 4096"), "{diffed}");
+        assert!(diffed.contains("verdict: PASS"), "{diffed}");
+        for line in diffed.lines().filter(|l| l.contains("makespan_ns")) {
+            assert!(
+                line.contains("+0.00%"),
+                "drift in deterministic sim: {line}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn perf_validates_usage() {
+        assert!(run(&["perf"])
+            .unwrap_err()
+            .to_string()
+            .contains("record or diff"));
+        assert!(run(&["perf", "frob"])
+            .unwrap_err()
+            .to_string()
+            .contains("unknown perf mode"));
+        assert!(run(&["perf", "diff"])
+            .unwrap_err()
+            .to_string()
+            .contains("--baseline"));
     }
 
     #[test]

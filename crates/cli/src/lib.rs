@@ -3,7 +3,9 @@
 //! ```text
 //! gpmr run   --benchmark sio --gpus 8 --size 1000000 [--scale 64] [--trace]
 //!            [--metrics-out m.json] [--trace-out t.json] [--events-out e.jsonl]
+//! gpmr analyze --events e.jsonl [--json]
 //! gpmr trace export --in e.jsonl --out t.json
+//! gpmr perf  diff --baseline BENCH_PR5.json
 //! gpmr info  [--gpus 8]
 //! gpmr help
 //! ```
@@ -13,7 +15,10 @@
 //! ASCII Gantt chart of the schedule, and the `--*-out` flags export the
 //! telemetry recording (metrics snapshot, Chrome/Perfetto trace JSON, raw
 //! JSONL stream). `trace` converts, validates, and summarises those
-//! exports. `info` prints the modelled hardware.
+//! exports. `analyze` runs the performance-diagnosis layer (critical path,
+//! stragglers, overlap, findings) over a recording or a live run, and
+//! `perf` records/gates the deterministic benchmark baselines. `info`
+//! prints the modelled hardware.
 
 #![warn(missing_docs)]
 

@@ -18,6 +18,7 @@
 use gpmr_primitives::{bitonic_sort_pairs_by, extract_segments, sort_pairs, RadixKey, Segments};
 use gpmr_sim_gpu::{FaultPlan, SimDuration, SimTime};
 use gpmr_sim_net::{Cluster, Fabric, Mailbox};
+use gpmr_telemetry::analyze::{analyze, Analysis};
 use gpmr_telemetry::{Counter, Registry, Telemetry};
 
 use crate::error::{EngineError, EngineResult};
@@ -31,6 +32,10 @@ use crate::Chunk;
 
 /// Result of a traced run: the job result paired with its schedule trace.
 pub type TracedRun<K, V> = EngineResult<(JobResult<K, V>, JobTrace)>;
+
+/// Result of an analyzed run: the job result paired with its performance
+/// diagnosis.
+pub type AnalyzedRun<K, V> = EngineResult<(JobResult<K, V>, Analysis)>;
 
 /// Engine policy knobs: scheduler behaviour and fixed-cost calibration.
 ///
@@ -439,6 +444,22 @@ pub fn run_job_traced<J: GpmrJob>(
     Ok((result, JobTrace::from_telemetry(&tel.snapshot())))
 }
 
+/// [`run_job_instrumented`] with a private recording, returning the job
+/// result alongside the finished performance [`Analysis`] (critical path
+/// with per-stage attribution, per-rank busy/idle/blocked, imbalance, and
+/// findings). The recorder is snapshotted after engine teardown, so the
+/// analysis sees final memory-peak gauges and every span.
+pub fn run_job_analyzed<J: GpmrJob>(
+    cluster: &mut Cluster,
+    job: &J,
+    chunks: Vec<J::Chunk>,
+    tuning: &EngineTuning,
+) -> AnalyzedRun<J::Key, J::Value> {
+    let tel = Telemetry::enabled();
+    let result = run_job_impl(cluster, job, chunks, tuning, &tel)?;
+    Ok((result, analyze(&tel.snapshot())))
+}
+
 fn run_job_impl<J: GpmrJob>(
     cluster: &mut Cluster,
     job: &J,
@@ -609,6 +630,8 @@ fn run_job_impl<J: GpmrJob>(
 
         let gpu = cluster.gpu(r);
         let up = gpu.h2d(cursor, chunk.size_bytes());
+        // Double-buffered input: the next chunk uploads while this one maps.
+        gpu.note_resident(2 * chunk.size_bytes());
         tel.child_event(r, TraceKind::Upload, up.start, up.end, chunk_span, || {
             format!("{} bytes", chunk.size_bytes())
         });
@@ -638,6 +661,7 @@ fn run_job_impl<J: GpmrJob>(
                     "map+accumulate".into()
                 });
                 tel.chunk_span(r, chunk_span, chunk_id, up.start, t);
+                gpu.note_resident(2 * chunk.size_bytes() + state.size_bytes());
                 let s = &mut st[ri];
                 s.accum = Some(state);
                 s.last_map_end = s.last_map_end.max(t);
@@ -689,6 +713,7 @@ fn run_job_impl<J: GpmrJob>(
                     );
                 }
                 tel.pairs_emitted.add(map_pairs as u64);
+                gpu.note_resident(chunk.size_bytes() + pairs.size_bytes());
                 if cfg.combine {
                     // Pairs are stored in CPU memory until all maps finish.
                     let down = gpu.d2h(t, pairs.size_bytes());
@@ -777,6 +802,13 @@ fn run_job_impl<J: GpmrJob>(
                     continue;
                 }
                 let state = st[ri].accum.take().unwrap_or_default();
+                // Accumulate-mode maps fold emissions into device state
+                // immediately, so the committed accumulator entries are the
+                // map output: count them as emitted here, where the state
+                // is committed for binning (keeps `pairs_emitted >=
+                // pairs_shuffled` in every map mode, and counts nothing for
+                // state that died with its GPU and was rerun elsewhere).
+                tel.pairs_emitted.add(state.len() as u64);
                 tel.pairs_shuffled.add(state.len() as u64);
                 let gpu = cluster.gpu(r);
                 let t_part =
@@ -962,6 +994,13 @@ fn run_job_impl<J: GpmrJob>(
         let mut sort_start = up.end;
         let capacity = gpu.mem.capacity();
         let need = 2 * incoming.size_bytes();
+        // In-core working set: pairs plus the ping-pong buffer, capped at
+        // device capacity when the sort spills out of core.
+        gpu.note_resident(if capacity > 0 {
+            need.min(capacity)
+        } else {
+            need
+        });
         if capacity > 0 && need > capacity {
             let extra_passes = need / capacity;
             for _ in 0..extra_passes {
@@ -1026,6 +1065,10 @@ fn run_job_impl<J: GpmrJob>(
         st[ri].reduce_done = down.end;
         outputs.push(out);
     }
+
+    // Job is done: publish each device's memory high-water mark to its
+    // `gpu.rank{r}.mem_peak_bytes` gauge (teardown flush).
+    cluster.flush_telemetry();
 
     // --- Assemble timings -------------------------------------------------
     let makespan = st

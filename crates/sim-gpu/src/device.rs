@@ -224,6 +224,23 @@ impl Gpu {
         (buf.into_vec(), res)
     }
 
+    /// Note a modeled working set resident in device memory (raises the
+    /// allocator's high-water mark without charging capacity; see
+    /// [`DeviceMemory::note_resident`]).
+    pub fn note_resident(&mut self, bytes: u64) {
+        self.mem.note_resident(bytes);
+    }
+
+    /// Publish the memory high-water mark to the `mem_peak_bytes` gauge.
+    /// Kernel launches update the gauge as they go; this teardown flush
+    /// catches residency noted after the last launch. No-op when
+    /// uninstrumented.
+    pub fn flush_telemetry(&self) {
+        if let Some(t) = &self.telem {
+            t.mem_peak.set_max(self.mem.peak() as f64);
+        }
+    }
+
     /// Instant after which the compute engine is idle.
     pub fn compute_free_at(&self) -> SimTime {
         self.compute.free_at()
@@ -357,6 +374,24 @@ mod tests {
         g.attach_telemetry(&Telemetry::disabled(), 3);
         g.h2d(SimTime::ZERO, 4096);
         assert_eq!(tel.snapshot().metrics.counter("gpu.rank3.h2d_bytes"), 4096);
+    }
+
+    #[test]
+    fn teardown_flush_reports_exact_memory_peak() {
+        let tel = Telemetry::enabled();
+        let mut g = gpu();
+        g.attach_telemetry(&tel, 0);
+        // Known allocation pattern: peak 256 + 1024 = 1280, then shrink...
+        let a = g.alloc::<u8>(256).unwrap();
+        let b = g.alloc::<u8>(1024).unwrap();
+        drop(b);
+        let _c = g.alloc::<u8>(512).unwrap();
+        drop(a);
+        // ...then a modeled working set on top of the 512 still allocated.
+        g.note_resident(4096);
+        g.flush_telemetry();
+        let snap = tel.snapshot();
+        assert_eq!(snap.metrics.gauge("gpu.rank0.mem_peak_bytes"), 4608.0);
     }
 
     #[test]

@@ -135,6 +135,20 @@ impl DeviceMemory {
         self.state.lock().unwrap().peak
     }
 
+    /// Note a modeled working set of `bytes` resident on top of current
+    /// allocations, raising the peak without charging capacity.
+    ///
+    /// The engine moves whole chunks and pair sets through analytical cost
+    /// formulas rather than individual [`DeviceBuffer`]s, so this is how
+    /// those working sets reach the high-water mark (and, through it, the
+    /// `gpu.rank{r}.mem_peak_bytes` gauge). Accounting only — it never
+    /// fails, even when the modeled set transiently exceeds capacity (the
+    /// engine charges out-of-core passes for that instead).
+    pub fn note_resident(&self, bytes: u64) {
+        let mut st = self.state.lock().unwrap();
+        st.peak = st.peak.max(st.used + bytes);
+    }
+
     /// Number of allocations performed over the allocator's lifetime.
     pub fn allocation_count(&self) -> u64 {
         self.state.lock().unwrap().allocations
@@ -248,6 +262,20 @@ mod tests {
         assert!(mem.alloc::<u8>(40).is_err());
         drop(a);
         assert!(mem.alloc::<u8>(40).is_ok());
+    }
+
+    #[test]
+    fn note_resident_raises_peak_without_charging() {
+        let mem = DeviceMemory::new(100);
+        let _a = mem.alloc::<u8>(30).unwrap();
+        mem.note_resident(50);
+        assert_eq!(mem.used(), 30, "accounting only: nothing is charged");
+        assert_eq!(mem.peak(), 80);
+        // A modeled set beyond capacity is fine — it raises the high-water
+        // mark but never errors and never blocks real allocations.
+        mem.note_resident(200);
+        assert_eq!(mem.peak(), 230);
+        assert!(mem.alloc::<u8>(70).is_ok());
     }
 
     #[test]

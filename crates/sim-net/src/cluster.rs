@@ -154,6 +154,15 @@ impl Cluster {
         }
         self.fabric.reset();
     }
+
+    /// Publish every device's memory high-water mark to its telemetry
+    /// gauge (see [`Gpu::flush_telemetry`]). Called by the engine at job
+    /// teardown; a no-op for uninstrumented clusters.
+    pub fn flush_telemetry(&self) {
+        for g in &self.gpus {
+            g.flush_telemetry();
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,8 @@
 //! Observability for the GPMR simulator: a metrics registry, a structured
-//! span recorder, and exporters (Perfetto JSON, JSONL, utilization
-//! summaries).
+//! span recorder, exporters (Perfetto JSON, JSONL, utilization summaries),
+//! and a performance-diagnosis layer ([`analyze`]: critical-path
+//! extraction, straggler/imbalance findings; [`baseline`]: benchmark
+//! baselines with a pass/warn/fail regression gate).
 //!
 //! The entry point is [`Telemetry`], a cheaply cloneable handle that is
 //! either *enabled* (backed by a shared [`Registry`] and [`SpanRecorder`])
@@ -24,6 +26,8 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
+pub mod baseline;
 pub mod export;
 pub mod json;
 pub mod metrics;

@@ -94,6 +94,41 @@ fn retries_appear_as_counter_increments() {
     );
 }
 
+/// Accumulate-mode jobs (WO) fold map emissions into device state, so
+/// pair accounting happens when the accumulator is committed for binning —
+/// the `engine.pairs_emitted` counter must not stay at zero there (it did,
+/// while `engine.pairs_shuffled` counted; see BENCH_PR1's
+/// `telemetry_small_wo_4rank`).
+#[test]
+fn accumulate_mode_reports_emitted_pairs() {
+    use gpmr_apps::text::{chunk_text, generate_text, Dictionary};
+    use gpmr_apps::wo::WoJob;
+    use std::sync::Arc;
+
+    let dict = Arc::new(Dictionary::generate(256, 11));
+    let text = generate_text(&dict, 200_000, 12);
+    let mut cluster = Cluster::accelerator(RANKS, GpuSpec::gt200());
+    let tel = Telemetry::enabled();
+    let result = run_job_instrumented(
+        &mut cluster,
+        &WoJob::new(Arc::clone(&dict), RANKS),
+        chunk_text(&text, 32 * 1024),
+        &EngineTuning::default(),
+        &tel,
+    )
+    .expect("WO job runs");
+    let snap = tel.snapshot();
+    let emitted = snap.metrics.counter("engine.pairs_emitted");
+    let shuffled = snap.metrics.counter("engine.pairs_shuffled");
+    assert!(emitted > 0, "accumulate-mode pairs_emitted stuck at 0");
+    assert!(
+        emitted >= shuffled,
+        "emitted {emitted} < shuffled {shuffled}: pairs cannot appear in the shuffle \
+         that were never emitted by a map stage"
+    );
+    assert_eq!(emitted, result.timings.pairs_emitted);
+}
+
 #[test]
 fn perfetto_export_is_structurally_valid() {
     let (snap, _) = run_instrumented(Some(FaultPlan::parse("kill:1@1e-3").unwrap()));
@@ -155,6 +190,9 @@ proptest! {
         prop_assert_eq!(m.counter("engine.chunks_stolen"), u64::from(timings.chunks_stolen));
         prop_assert_eq!(m.counter("engine.pairs_emitted"), timings.pairs_emitted);
         prop_assert_eq!(m.counter("engine.pairs_shuffled"), timings.pairs_shuffled);
+        // A pair can only reach the shuffle after a map stage emitted it.
+        prop_assert!(timings.pairs_emitted >= timings.pairs_shuffled);
+        prop_assert!(timings.pairs_emitted > 0);
         // Span counts for fault events match too.
         prop_assert_eq!(snap.spans_of("GpuLost").count() as u32, timings.gpus_lost);
         prop_assert_eq!(snap.spans_of("Requeue").count() as u32, timings.chunks_requeued);
