@@ -1,0 +1,70 @@
+//! Record the perf-gate baseline: run the WO + SIO scenario suite —
+//! 1/4/8 ranks plus the GPU-direct and pipelining-off variants at 8
+//! ranks — analyze each run (critical path, stage attribution,
+//! imbalance), and write the baseline set JSON.
+//!
+//! Usage: `cargo run --release -p gpmr-bench --bin bench_pr6 \
+//!         [--scale N] [--out FILE]`
+//! Writes `BENCH_PR6.json` (or `FILE`) in the current directory. CI's
+//! `perf-gate` job diffs a fresh recording against the committed file with
+//! `gpmr perf diff`; all values are simulated-time and deterministic, so
+//! the diff is exact on an unchanged tree.
+//!
+//! Alongside the deterministic suite, the recorder prints the host
+//! wall-clock sort throughput (1M u32 pairs through `sort_pairs`, in
+//! Melem/s). That number is machine-dependent, so it goes to stdout only
+//! — never into the baseline JSON.
+
+use std::time::Instant;
+
+use gpmr_bench::parse_scale;
+use gpmr_bench::perf::record_suite;
+use gpmr_sim_gpu::{Gpu, GpuSpec, SimTime};
+
+/// Host wall-clock throughput of the radix-sort hot path, in Melem/s.
+fn sort_throughput_melem_s() -> f64 {
+    let n = 1usize << 20;
+    let keys: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    let vals: Vec<u32> = (0..n as u32).collect();
+    let mut gpu = Gpu::new(GpuSpec::gt200());
+    gpmr_primitives::sort_pairs(&mut gpu, SimTime::ZERO, &keys, &vals).unwrap(); // warm-up
+    let reps = 5;
+    let t = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(
+            gpmr_primitives::sort_pairs(&mut gpu, SimTime::ZERO, &keys, &vals).unwrap(),
+        );
+    }
+    (reps * n) as f64 / t.elapsed().as_secs_f64() / 1e6
+}
+
+fn main() {
+    let scale = parse_scale();
+    let args: Vec<String> = std::env::args().collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+
+    println!("perf-gate suite (scale {scale})...");
+    let set = record_suite(scale, |b, a| {
+        println!(
+            "  {:<16} makespan {:>10.6}s  bounding {:<5} {:>5.1}%  imbalance CV {:.3}  \
+             {} path segments",
+            b.name,
+            a.makespan_s,
+            b.bounding_stage,
+            a.bounding_share * 100.0,
+            b.imbalance_cv,
+            a.critical_path.len(),
+        );
+    });
+    println!(
+        "sort throughput  {:.1} Melem/s (host wall-clock, 1M u32 pairs; not recorded)",
+        sort_throughput_melem_s()
+    );
+    std::fs::write(&out, set.to_json()).expect("write baseline set");
+    println!("wrote {out}");
+}

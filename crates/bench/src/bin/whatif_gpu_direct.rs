@@ -1,90 +1,45 @@
-//! What-if study: GPU-direct networking — the hardware the paper's
-//! conclusion asks vendors for ("allow sourcing and sinking by the GPU
-//! for network I/O ... GPMR would benefit by moving intermediate data
-//! between nodes without having to route through CPU memory").
+//! GPU-direct networking — the hardware the paper's conclusion asks
+//! vendors for ("allow sourcing and sinking by the GPU for network I/O
+//! ... GPMR would benefit by moving intermediate data between nodes
+//! without having to route through CPU memory").
 //!
-//! Compares every benchmark with and without GPU-direct across cluster
-//! sizes. Expectation: shuffle-heavy jobs (SIO, plain WO) gain the most;
-//! accumulation jobs (KMC, LR) barely move because they already minimized
-//! the intermediate data.
+//! GPU-direct is a first-class engine mode now (`gpmr run --gpu-direct`,
+//! `EngineTuning::gpu_direct`), so this binary is a thin wrapper over the
+//! perf-gate scenarios that pin it: it runs each 8-rank scenario in both
+//! transfer modes through the same `bench::perf` code path the CI gate
+//! uses, so the what-if table and the gate can never drift apart.
 //!
 //! Usage: `cargo run --release -p gpmr-bench --bin whatif_gpu_direct [--scale N]`
 
-use gpmr_apps::lr::{self, LrJob};
-use gpmr_apps::sio::{self, SioJob};
-use gpmr_apps::text::chunk_text;
-use gpmr_apps::wo::WoJob;
-use gpmr_bench::harness::chunk_bytes;
-use gpmr_bench::runners::corpus_for;
+use gpmr_bench::perf::{run_scenario, scenario};
 use gpmr_bench::table::{render, speedup_cell};
-use gpmr_bench::{shared_dictionary, HarnessConfig};
-use gpmr_core::{run_job, GpmrJob, SliceChunk};
-use gpmr_sim_gpu::{GpuSpec, SimDuration};
-use gpmr_sim_net::Cluster;
-
-fn timed<J: GpmrJob>(
-    gpus: u32,
-    scale: u64,
-    direct: bool,
-    job: &J,
-    chunks: Vec<J::Chunk>,
-) -> SimDuration {
-    let mut cluster =
-        Cluster::accelerator_scaled(gpus, GpuSpec::gt200(), scale as f64).with_gpu_direct(direct);
-    run_job(&mut cluster, job, chunks)
-        .expect("job failed")
-        .timings
-        .total
-}
+use gpmr_bench::HarnessConfig;
 
 fn main() {
     let cfg = HarnessConfig::from_args();
     let scale = cfg.scale;
     println!("What-if: GPU-direct networking (paper §7 future work), scale divisor {scale}\n");
 
-    let headers = ["benchmark", "GPUs", "host-staged", "GPU-direct", "gain x"];
+    let headers = ["scenario", "GPUs", "host-staged", "GPU-direct", "gain x"];
     let mut rows = Vec::new();
-
-    for gpus in [8u32, 32] {
-        // SIO: the full pair volume crosses PCI-e twice without GPU-direct.
-        let elements = (32_000_000 / scale as usize).max(64 * 1024);
-        let data = sio::generate_integers(elements, cfg.seed);
-        let chunks = sio::sio_chunks(&data, chunk_bytes(4 * elements as u64, gpus, scale));
-        let base = timed(gpus, scale, false, &SioJob::default(), chunks.clone());
-        let direct = timed(gpus, scale, true, &SioJob::default(), chunks);
-        rows.push(row("SIO", gpus, base, direct));
-
-        // Plain WO (no accumulation): shuffle-heavy text counting.
-        let bytes = (64_000_000 / scale as usize).max(64 * 1024);
-        let dict = shared_dictionary(scale);
-        let text = corpus_for(&dict, bytes, cfg.seed);
-        let wo_chunks = chunk_text(&text, chunk_bytes(bytes as u64, gpus, scale));
-        let job = WoJob::new(dict.clone(), gpus).with_accumulation(false);
-        let base = timed(gpus, scale, false, &job, wo_chunks.clone());
-        let direct = timed(gpus, scale, true, &job, wo_chunks);
-        rows.push(row("WO (plain)", gpus, base, direct));
-
-        // LR: accumulation already minimized communication — control case.
-        let samples = (64_000_000 / scale as usize).max(64 * 1024);
-        let lrdata = lr::generate_samples(samples, 2.0, -1.0, cfg.seed);
-        let lr_chunks =
-            SliceChunk::split(&lrdata, chunk_bytes(8 * samples as u64, gpus, scale) / 8);
-        let base = timed(gpus, scale, false, &LrJob, lr_chunks.clone());
-        let direct = timed(gpus, scale, true, &LrJob, lr_chunks);
-        rows.push(row("LR (accum)", gpus, base, direct));
+    for (staged, direct) in [
+        ("wo_8rank", "wo_8rank_direct"),
+        ("sio_8rank", "sio_8rank_direct"),
+    ] {
+        let base = scenario(staged).expect("gate scenario");
+        let with = scenario(direct).expect("gate scenario");
+        let (b, _) = run_scenario(&base, scale);
+        let (d, _) = run_scenario(&with, scale);
+        rows.push(vec![
+            staged.to_string(),
+            base.gpus.to_string(),
+            format!("{:.3} ms", b.makespan_ns as f64 / 1e6),
+            format!("{:.3} ms", d.makespan_ns as f64 / 1e6),
+            speedup_cell(b.makespan_ns as f64 / d.makespan_ns.max(1) as f64),
+        ]);
     }
     println!("{}", render(&headers, &rows));
-    println!("Expected shape: shuffle-heavy jobs (SIO, plain WO) gain noticeably;");
-    println!("accumulation jobs are a control — their intermediate data is already");
-    println!("tiny, so GPU-direct buys almost nothing (the paper's own reasoning).");
-}
-
-fn row(name: &str, gpus: u32, base: SimDuration, direct: SimDuration) -> Vec<String> {
-    vec![
-        name.to_string(),
-        gpus.to_string(),
-        format!("{base}"),
-        format!("{direct}"),
-        speedup_cell(base.as_secs() / direct.as_secs().max(1e-12)),
-    ]
+    println!("Expected shape: the shuffle-heavy SIO job gains the most; WO under");
+    println!("accumulation has already minimized its intermediate data, so");
+    println!("GPU-direct buys it less (the paper's own reasoning).");
 }

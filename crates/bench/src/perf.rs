@@ -2,10 +2,16 @@
 //! instrumented and analyzed into a [`BenchBaseline`] (makespan, per-stage
 //! critical-path time, counters, imbalance).
 //!
-//! `bench_pr5` records the suite into `BENCH_PR5.json`; `gpmr perf diff`
-//! re-runs it live and compares against that file. The simulation is
+//! `gpmr perf record` writes the suite into `BENCH_PR6.json`; `gpmr perf
+//! diff` re-runs it live and compares against that file. The simulation is
 //! deterministic and machine-independent, so an unchanged tree reproduces
 //! the committed numbers exactly and any drift is a real behaviour change.
+//!
+//! Beyond the classic WO/SIO × 1/4/8-rank grid, the suite pins the engine
+//! tuning axes that matter for the upload wall: GPU-direct transfers
+//! (`*_direct`) and the upload pipeline depth (`wo_8rank_k1` runs the
+//! 8-rank WO scenario with pipelining disabled, so the gate notices if
+//! the pipeline ever stops paying for itself).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -19,11 +25,11 @@ use gpmr_apps::sio::{self, SioJob};
 use gpmr_apps::text::chunk_text;
 use gpmr_apps::wo::WoJob;
 
-use crate::harness::chunk_bytes;
+use crate::harness::chunk_bytes_tuned;
 use crate::runners::{corpus_for, scaled_cluster, shared_dictionary};
 
-/// Tolerance the perf gate runs with (±15%, per the CI contract).
-pub const DEFAULT_TOLERANCE: f64 = 0.15;
+/// Tolerance the perf gate runs with (±10%, per the CI contract).
+pub const DEFAULT_TOLERANCE: f64 = 0.10;
 
 /// Full-scale WO corpus bytes (divided by the scale divisor per run).
 const WO_FULL_BYTES: u64 = 1 << 28;
@@ -41,7 +47,8 @@ pub enum PerfApp {
     Sio,
 }
 
-/// One gate scenario: a benchmark at a GPU count.
+/// One gate scenario: a benchmark at a GPU count under a fixed engine
+/// tuning (pipeline depth, transfer mode).
 #[derive(Clone, Copy, Debug)]
 pub struct PerfScenario {
     /// Stable scenario name used to match baselines, e.g. `"sio_4rank"`.
@@ -50,39 +57,53 @@ pub struct PerfScenario {
     pub app: PerfApp,
     /// Cluster size in GPUs.
     pub gpus: u32,
+    /// Upload pipeline depth the engine (and chunk autotuner) run with.
+    pub depth: u32,
+    /// Shuffle pairs directly between GPUs instead of bouncing via hosts.
+    pub gpu_direct: bool,
 }
 
-/// The gate suite: WO + SIO at 1, 4, and 8 ranks.
-pub const SCENARIOS: [PerfScenario; 6] = [
+impl PerfScenario {
+    const fn new(name: &'static str, app: PerfApp, gpus: u32) -> Self {
+        PerfScenario {
+            name,
+            app,
+            gpus,
+            depth: 4,
+            gpu_direct: false,
+        }
+    }
+
+    /// The [`EngineTuning`] this scenario runs under.
+    pub fn tuning(&self) -> EngineTuning {
+        EngineTuning {
+            pipeline_depth: self.depth,
+            gpu_direct: self.gpu_direct,
+            ..EngineTuning::default()
+        }
+    }
+}
+
+/// The gate suite: WO + SIO at 1, 4, and 8 ranks at the default tuning,
+/// plus the GPU-direct and pipelining-off variants of the 8-rank runs.
+pub const SCENARIOS: [PerfScenario; 9] = [
+    PerfScenario::new("wo_1rank", PerfApp::Wo, 1),
+    PerfScenario::new("wo_4rank", PerfApp::Wo, 4),
+    PerfScenario::new("wo_8rank", PerfApp::Wo, 8),
     PerfScenario {
-        name: "wo_1rank",
-        app: PerfApp::Wo,
-        gpus: 1,
+        gpu_direct: true,
+        ..PerfScenario::new("wo_8rank_direct", PerfApp::Wo, 8)
     },
     PerfScenario {
-        name: "wo_4rank",
-        app: PerfApp::Wo,
-        gpus: 4,
+        depth: 1,
+        ..PerfScenario::new("wo_8rank_k1", PerfApp::Wo, 8)
     },
+    PerfScenario::new("sio_1rank", PerfApp::Sio, 1),
+    PerfScenario::new("sio_4rank", PerfApp::Sio, 4),
+    PerfScenario::new("sio_8rank", PerfApp::Sio, 8),
     PerfScenario {
-        name: "wo_8rank",
-        app: PerfApp::Wo,
-        gpus: 8,
-    },
-    PerfScenario {
-        name: "sio_1rank",
-        app: PerfApp::Sio,
-        gpus: 1,
-    },
-    PerfScenario {
-        name: "sio_4rank",
-        app: PerfApp::Sio,
-        gpus: 4,
-    },
-    PerfScenario {
-        name: "sio_8rank",
-        app: PerfApp::Sio,
-        gpus: 8,
+        gpu_direct: true,
+        ..PerfScenario::new("sio_8rank_direct", PerfApp::Sio, 8)
     },
 ];
 
@@ -97,13 +118,16 @@ pub fn run_scenario(sc: &PerfScenario, scale: u64) -> (BenchBaseline, Analysis) 
     let scale = scale.max(1);
     let tel = Telemetry::enabled();
     let mut cluster = scaled_cluster(sc.gpus, scale);
-    let tuning = EngineTuning::default();
+    let tuning = sc.tuning();
     match sc.app {
         PerfApp::Wo => {
             let dict = shared_dictionary(scale);
             let bytes = (WO_FULL_BYTES / scale).max(64 * 1024) as usize;
             let text = corpus_for(&dict, bytes, SEED);
-            let chunks = chunk_text(&text, chunk_bytes(bytes as u64, sc.gpus, scale));
+            let chunks = chunk_text(
+                &text,
+                chunk_bytes_tuned(bytes as u64, sc.gpus, scale, sc.depth),
+            );
             let job = WoJob::new(Arc::clone(&dict), sc.gpus);
             run_job_instrumented(&mut cluster, &job, chunks, &tuning, &tel)
                 .expect("WO perf scenario failed");
@@ -111,7 +135,10 @@ pub fn run_scenario(sc: &PerfScenario, scale: u64) -> (BenchBaseline, Analysis) 
         PerfApp::Sio => {
             let elements = (SIO_FULL_ELEMENTS / scale).max(16 * 1024) as usize;
             let data = sio::generate_integers(elements, SEED);
-            let chunks = sio::sio_chunks(&data, chunk_bytes(4 * elements as u64, sc.gpus, scale));
+            let chunks = sio::sio_chunks(
+                &data,
+                chunk_bytes_tuned(4 * elements as u64, sc.gpus, scale, sc.depth),
+            );
             run_job_instrumented(&mut cluster, &SioJob::default(), chunks, &tuning, &tel)
                 .expect("SIO perf scenario failed");
         }

@@ -26,6 +26,7 @@ gpmr — Multi-GPU MapReduce on a simulated GPU cluster
 USAGE:
     gpmr run    --benchmark <mm|sio|wo|kmc|lr> [--gpus N] [--size X]
                 [--scale K] [--seed S] [--trace]
+                [--pipeline-depth K] [--gpu-direct]
                 [--metrics-out F] [--trace-out F] [--events-out F]
                 [--fault-plan SPEC | --fault-seed S]
     gpmr kmeans [--points N] [--k K] [--gpus N] [--iterations I] [--seed S]
@@ -46,6 +47,11 @@ RUN OPTIONS:
     --scale       workload/hardware scale divisor         [default: 1]
     --seed        workload generator seed                 [default: 42]
     --trace       print an ASCII Gantt chart of the schedule
+    --pipeline-depth
+                  upload pipeline depth: H2D copy buffers in flight per
+                  rank; 1 disables pipelining             [default: 4]
+    --gpu-direct  shuffle pairs GPU-to-GPU over the fabric instead of
+                  bouncing through host staging buffers
     --metrics-out write a metrics snapshot to F (JSON when F ends in
                   .json, text otherwise)
     --trace-out   write a Chrome/Perfetto trace-event JSON to F
@@ -77,14 +83,15 @@ TRACE SUBCOMMAND:
     summary       print per-track busy-time/utilization from a JSONL stream
 
 PERF SUBCOMMAND:
-    record        run the WO+SIO gate suite at 1/4/8 ranks and write the
-                  baseline set (--out, default BENCH_PR5.json; --scale,
-                  default 64)
+    record        run the WO+SIO gate suite — 1/4/8 ranks plus the
+                  GPU-direct and pipelining-off variants at 8 ranks —
+                  and write the baseline set (--out, default
+                  BENCH_PR6.json; --scale, default 64)
     diff          compare against a recorded baseline set. With --against
                   it diffs two recordings; otherwise it re-runs the suite
                   live at the baseline's scale. Exits non-zero when the
                   makespan regresses beyond the tolerance (--tolerance,
-                  default: the baseline file's, ±15%).
+                  default: the baseline file's, ±10%).
 ";
 
 /// Errors surfaced to the user.
@@ -125,13 +132,14 @@ pub const VALUED: &[&str] = &[
     "iterations",
     "fault-plan",
     "fault-seed",
+    "pipeline-depth",
     "metrics-out",
     "trace-out",
     "events-out",
     "events",
 ];
 /// Boolean flags.
-pub const BOOLEAN: &[&str] = &["trace", "json"];
+pub const BOOLEAN: &[&str] = &["trace", "json", "gpu-direct"];
 
 /// Parse tokens and execute; returns the text to print.
 pub fn dispatch<I, S>(tokens: I) -> Result<String, CliError>
@@ -248,6 +256,7 @@ fn run_with_tel<J: GpmrJob>(
     cluster: &mut Cluster,
     job: &J,
     chunks: Vec<J::Chunk>,
+    tuning: &EngineTuning,
     need_tel: bool,
 ) -> Result<RunOutcome<J>, CliError> {
     let tel = if need_tel {
@@ -255,7 +264,7 @@ fn run_with_tel<J: GpmrJob>(
     } else {
         Telemetry::disabled()
     };
-    let result = run_job_instrumented(cluster, job, chunks, &EngineTuning::default(), &tel)
+    let result = run_job_instrumented(cluster, job, chunks, tuning, &tel)
         .map_err(|e| CliError::Invalid(e.to_string()))?;
     Ok((result, tel))
 }
@@ -373,11 +382,32 @@ fn apply_faults(cluster: &mut Cluster, args: &Args, gpus: u32) -> Result<(), Cli
     Ok(())
 }
 
-/// Items per chunk: about a quarter of the per-GPU share, clamped to
-/// [64 KiB, 32 MiB] of payload (both ends shrunk by the scale divisor).
-fn chunk_items(elem_bytes: u64, n: usize, gpus: u32, scale: u64) -> usize {
-    let per = (n as u64 * elem_bytes) / (4 * u64::from(gpus));
-    (per.clamp(64 * 1024 / scale.max(1), (32 << 20) / scale.max(1)) / elem_bytes).max(1) as usize
+/// The engine tuning requested on the command line: `--pipeline-depth`
+/// and `--gpu-direct` over the defaults.
+fn tuning_from_args(args: &Args) -> Result<EngineTuning, CliError> {
+    let depth: u32 = args.get_or("pipeline-depth", EngineTuning::default().pipeline_depth)?;
+    if !(1..=64).contains(&depth) {
+        return Err(CliError::Invalid(
+            "--pipeline-depth must be in 1..=64".into(),
+        ));
+    }
+    Ok(EngineTuning {
+        pipeline_depth: depth,
+        gpu_direct: args.flag("gpu-direct"),
+        ..EngineTuning::default()
+    })
+}
+
+/// Items per chunk, autotuned to the upload pipeline: target `2 * depth`
+/// chunks per rank so every copy-engine slot stays fed, clamped to
+/// [64 KiB, 64 MiB / depth] of payload (both ends shrunk by the scale
+/// divisor) — the mirror of `gpmr_bench::harness::chunk_bytes_tuned`.
+fn chunk_items(elem_bytes: u64, n: usize, gpus: u32, scale: u64, depth: u32) -> usize {
+    let d = u64::from(depth.max(1));
+    let per = (n as u64 * elem_bytes) / (2 * d * u64::from(gpus));
+    let min = 64 * 1024 / scale.max(1);
+    let max = ((64 << 20) / (d * scale.max(1))).max(min);
+    (per.clamp(min, max) / elem_bytes).max(1) as usize
 }
 
 /// `gpmr analyze`: performance diagnosis over a recorded JSONL stream or a
@@ -419,13 +449,14 @@ fn live_snapshot(args: &Args) -> Result<TelemetrySnapshot, CliError> {
     let mut cluster = Cluster::accelerator_scaled(gpus, GpuSpec::gt200(), scale as f64);
     apply_faults(&mut cluster, args, gpus)?;
     let tel = Telemetry::enabled();
-    let tuning = EngineTuning::default();
+    let tuning = tuning_from_args(args)?;
+    let depth = tuning.pipeline_depth;
     let fail = |e: gpmr_core::EngineError| CliError::Invalid(e.to_string());
     match bench.as_str() {
         "sio" => {
             let n: usize = args.get_or("size", 1_000_000)?;
             let data = sio::generate_integers(n, seed);
-            let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(4, n, gpus, scale));
+            let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(4, n, gpus, scale, depth));
             run_job_instrumented(&mut cluster, &SioJob::default(), chunks, &tuning, &tel)
                 .map_err(fail)?;
         }
@@ -436,7 +467,7 @@ fn live_snapshot(args: &Args) -> Result<TelemetrySnapshot, CliError> {
                 seed,
             ));
             let text = generate_text(&dict, n, seed + 1);
-            let chunks = chunk_text(&text, chunk_items(1, n, gpus, scale));
+            let chunks = chunk_text(&text, chunk_items(1, n, gpus, scale, depth));
             let job = WoJob::new(dict, gpus);
             run_job_instrumented(&mut cluster, &job, chunks, &tuning, &tel).map_err(fail)?;
         }
@@ -444,14 +475,15 @@ fn live_snapshot(args: &Args) -> Result<TelemetrySnapshot, CliError> {
             let n: usize = args.get_or("size", 500_000)?;
             let centers = kmc::initial_centers(32, seed);
             let data = kmc::generate_points(n, 32, seed + 1);
-            let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(16, n, gpus, scale));
+            let chunks =
+                gpmr_core::SliceChunk::split(&data, chunk_items(16, n, gpus, scale, depth));
             run_job_instrumented(&mut cluster, &KmcJob::new(centers), chunks, &tuning, &tel)
                 .map_err(fail)?;
         }
         "lr" => {
             let n: usize = args.get_or("size", 1_000_000)?;
             let data = lr::generate_samples(n, 2.0, -1.0, seed);
-            let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(8, n, gpus, scale));
+            let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(8, n, gpus, scale, depth));
             run_job_instrumented(&mut cluster, &LrJob, chunks, &tuning, &tel).map_err(fail)?;
         }
         other => {
@@ -477,7 +509,7 @@ fn cmd_perf(tokens: &[String]) -> Result<String, CliError> {
         })?;
     match args.subcommand.as_str() {
         "record" => {
-            let out_path = args.get("out").unwrap_or("BENCH_PR5.json");
+            let out_path = args.get("out").unwrap_or("BENCH_PR6.json");
             let scale: u64 = args.get_or("scale", gpmr_bench::DEFAULT_SCALE)?;
             let mut out = format!("recording perf baselines (scale {scale})\n");
             let set = perfsuite::record_suite(scale, |b, a| {
@@ -561,14 +593,17 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
 
     let mut cluster = Cluster::accelerator_scaled(gpus, GpuSpec::gt200(), scale as f64);
     apply_faults(&mut cluster, args, gpus)?;
-    let chunk_items = |elem_bytes: u64, n: usize| chunk_items(elem_bytes, n, gpus, scale);
+    let tuning = tuning_from_args(args)?;
+    let depth = tuning.pipeline_depth;
+    let chunk_items = |elem_bytes: u64, n: usize| chunk_items(elem_bytes, n, gpus, scale, depth);
 
     match bench.as_str() {
         "sio" => {
             let n: usize = args.get_or("size", 1_000_000)?;
             let data = sio::generate_integers(n, seed);
             let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(4, n));
-            let (result, tel) = run_with_tel(&mut cluster, &SioJob::default(), chunks, need_tel)?;
+            let (result, tel) =
+                run_with_tel(&mut cluster, &SioJob::default(), chunks, &tuning, need_tel)?;
             let mut out = report("Sparse Integer Occurrence", gpus, n as u64, &result);
             finish_run(&mut out, &tel, want_trace, &outs, gpus)?;
             Ok(out)
@@ -582,7 +617,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
             let text = generate_text(&dict, n, seed + 1);
             let chunks = chunk_text(&text, chunk_items(1, n));
             let job = WoJob::new(dict, gpus);
-            let (result, tel) = run_with_tel(&mut cluster, &job, chunks, need_tel)?;
+            let (result, tel) = run_with_tel(&mut cluster, &job, chunks, &tuning, need_tel)?;
             let mut out = report("Word Occurrence", gpus, n as u64, &result);
             finish_run(&mut out, &tel, want_trace, &outs, gpus)?;
             Ok(out)
@@ -592,8 +627,13 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
             let centers = kmc::initial_centers(32, seed);
             let data = kmc::generate_points(n, 32, seed + 1);
             let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(16, n));
-            let (result, tel) =
-                run_with_tel(&mut cluster, &KmcJob::new(centers), chunks, need_tel)?;
+            let (result, tel) = run_with_tel(
+                &mut cluster,
+                &KmcJob::new(centers),
+                chunks,
+                &tuning,
+                need_tel,
+            )?;
             let mut out = report(
                 "K-Means Clustering (one iteration)",
                 gpus,
@@ -607,7 +647,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
             let n: usize = args.get_or("size", 1_000_000)?;
             let data = lr::generate_samples(n, 2.0, -1.0, seed);
             let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(8, n));
-            let (result, tel) = run_with_tel(&mut cluster, &LrJob, chunks, need_tel)?;
+            let (result, tel) = run_with_tel(&mut cluster, &LrJob, chunks, &tuning, need_tel)?;
             let mut out = report("Linear Regression", gpus, n as u64, &result);
             let model = lr::model_from_stats(&lr::stats_from_output(&result.into_merged_output()));
             out.push_str(&format!(
@@ -1169,6 +1209,56 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("--baseline"));
+    }
+
+    #[test]
+    fn run_accepts_transfer_tuning_flags() {
+        let base = [
+            "run",
+            "--benchmark",
+            "sio",
+            "--gpus",
+            "4",
+            "--size",
+            "40000",
+        ];
+        let plain = run(&base).unwrap();
+        let tuned = run(&[
+            "run",
+            "--benchmark",
+            "sio",
+            "--gpus",
+            "4",
+            "--size",
+            "40000",
+            "--pipeline-depth",
+            "1",
+            "--gpu-direct",
+        ])
+        .unwrap();
+        // Same pair accounting; only the schedule (and so the simulated
+        // time) may differ between transfer modes.
+        let pairs = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("pairs"))
+                .map(str::to_string)
+        };
+        assert_eq!(pairs(&plain), pairs(&tuned));
+    }
+
+    #[test]
+    fn run_rejects_bad_pipeline_depth() {
+        let err = run(&[
+            "run",
+            "--benchmark",
+            "sio",
+            "--size",
+            "20000",
+            "--pipeline-depth",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("1..=64"), "{err}");
     }
 
     #[test]

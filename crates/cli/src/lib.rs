@@ -5,7 +5,7 @@
 //!            [--metrics-out m.json] [--trace-out t.json] [--events-out e.jsonl]
 //! gpmr analyze --events e.jsonl [--json]
 //! gpmr trace export --in e.jsonl --out t.json
-//! gpmr perf  diff --baseline BENCH_PR5.json
+//! gpmr perf  diff --baseline BENCH_PR6.json
 //! gpmr info  [--gpus 8]
 //! gpmr help
 //! ```

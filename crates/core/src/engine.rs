@@ -15,14 +15,19 @@
 //! Data is computed for real — the output of [`run_job`] is bit-exact and
 //! is verified against CPU references in the application crates.
 
-use gpmr_primitives::{bitonic_sort_pairs_by, extract_segments, sort_pairs, RadixKey, Segments};
+use std::collections::VecDeque;
+
+use gpmr_primitives::{
+    bitonic_sort_pairs_by, bits_for_radix, extract_segments, sort_pairs_with_bits_config, RadixKey,
+    Segments, SortConfig,
+};
 use gpmr_sim_gpu::{FaultPlan, SimDuration, SimTime};
 use gpmr_sim_net::{Cluster, Fabric, Mailbox};
 use gpmr_telemetry::analyze::{analyze, Analysis};
 use gpmr_telemetry::{Counter, Registry, Telemetry};
 
 use crate::error::{EngineError, EngineResult};
-use crate::helpers::{charge_partition, combine_pairs, split_buckets};
+use crate::helpers::{charge_partition, combine_pairs, split_buckets_bounded};
 use crate::job::{GpmrJob, MapMode, PartitionMode, SortMode};
 use crate::scheduler::WorkQueues;
 use crate::stats::{JobTimings, StageTimes};
@@ -68,6 +73,20 @@ pub struct EngineTuning {
     pub retry_backoff_base_s: f64,
     /// Ceiling on the exponential backoff, in seconds.
     pub retry_backoff_cap_s: f64,
+    /// Depth of the chunk upload pipeline: how many chunk staging buffers
+    /// each rank keeps resident. `1` serializes upload behind the previous
+    /// map (no overlap), `2` is the classic double buffer, and deeper
+    /// values let uploads for chunks N+1..N+k-1 queue on the device's copy
+    /// engine while chunk N maps — hiding per-chunk dispatch and PCI-e
+    /// latency on upload-bound jobs. Device memory must hold the chunk
+    /// `pipeline_depth` times (see [`EngineError::ChunkTooLarge`]).
+    pub pipeline_depth: u32,
+    /// GPU-direct networking (the source paper's future-work hardware):
+    /// intermediate pairs are sourced and sunk by the GPU for network I/O,
+    /// skipping the PCI-e round trips through host memory that bracket
+    /// every Bin send and the sort-input upload. Also enabled by
+    /// [`Cluster::with_gpu_direct`]; either switch turns it on.
+    pub gpu_direct: bool,
 }
 
 impl Default for EngineTuning {
@@ -80,6 +99,8 @@ impl Default for EngineTuning {
             max_transfer_retries: 8,
             retry_backoff_base_s: 50.0e-6,
             retry_backoff_cap_s: 5.0e-3,
+            pipeline_depth: 4,
+            gpu_direct: false,
         }
     }
 }
@@ -130,7 +151,13 @@ impl<K: crate::types::Key, V: crate::types::Value> JobResult<K, V> {
 #[derive(Clone, Debug)]
 struct RankState<K, V, C> {
     cursor: SimTime,
-    prev_kernel_end: SimTime,
+    /// Earliest instant kernels may run (job setup done, and in accumulate
+    /// mode the accumulator initialized). Uploads may start earlier.
+    compute_ready: SimTime,
+    /// Map-end instants of chunks whose staging buffer is still occupied;
+    /// an upload for a new chunk gates on the oldest entry once all
+    /// `pipeline_depth` buffers are in flight.
+    inflight: VecDeque<SimTime>,
     last_map_end: SimTime,
     last_d2h: SimTime,
     bin_done: SimTime,
@@ -156,7 +183,8 @@ impl<K: crate::types::Key, V: crate::types::Value, C> Default for RankState<K, V
     fn default() -> Self {
         RankState {
             cursor: SimTime::ZERO,
-            prev_kernel_end: SimTime::ZERO,
+            compute_ready: SimTime::ZERO,
+            inflight: VecDeque::new(),
             last_map_end: SimTime::ZERO,
             last_d2h: SimTime::ZERO,
             bin_done: SimTime::ZERO,
@@ -470,20 +498,26 @@ fn run_job_impl<J: GpmrJob>(
     let cfg = job.pipeline();
     cfg.validate().map_err(EngineError::InvalidPipeline)?;
     let ranks = cluster.size();
-    let gpu_direct = cluster.gpu_direct();
+    let gpu_direct = tuning.gpu_direct || cluster.gpu_direct();
+    let depth = tuning.pipeline_depth.max(1) as usize;
+    let sort_cfg = SortConfig::from_env();
     cluster.reset_clocks();
     if telemetry.is_enabled() {
         cluster.attach_telemetry(telemetry);
     }
     let tel = EngineTel::new(telemetry);
 
-    // Double-buffered chunks must fit on the device.
+    // Every staging slot of the upload pipeline must fit on the device at
+    // once, plus one slot of GPU-direct staging (pairs parked in device
+    // memory for the NIC to source).
+    let staging_slots = depth as u64 + u64::from(gpu_direct);
     let capacity = cluster.gpu(0).mem.capacity();
     for c in &chunks {
-        if c.size_bytes() * 2 > capacity {
+        if c.size_bytes().saturating_mul(staging_slots) > capacity {
             return Err(EngineError::ChunkTooLarge {
                 bytes: c.size_bytes(),
                 capacity,
+                slots: staging_slots,
             });
         }
     }
@@ -511,9 +545,19 @@ fn run_job_impl<J: GpmrJob>(
     let mut queues = WorkQueues::distribute(ids, ranks);
     let setup =
         SimTime::from_secs(tuning.setup_base_s + tuning.setup_per_rank_s * f64::from(ranks));
+    // Uploads are host-driven DMA enqueues: with a pipelined engine they
+    // start once the local context exists (base setup), overlapping the
+    // cluster-wide collective startup. Kernels still wait for full setup
+    // (`compute_ready`). Depth 1 keeps the legacy serialized start.
+    let upload_ready = if depth >= 2 {
+        SimTime::from_secs(tuning.setup_base_s)
+    } else {
+        setup
+    };
     let mut st: Vec<RankState<J::Key, J::Value, J::Chunk>> = (0..ranks)
         .map(|_| RankState {
-            cursor: setup,
+            cursor: upload_ready,
+            compute_ready: setup,
             ..RankState::default()
         })
         .collect();
@@ -522,20 +566,20 @@ fn run_job_impl<J: GpmrJob>(
             "job setup".into()
         });
     }
-    let mut mailbox: Mailbox<KvSet<J::Key, J::Value>> = Mailbox::new(ranks);
+    let mut mailbox: Mailbox<ShuffleMsg<J::Key, J::Value>> = Mailbox::new(ranks);
 
     // --- Map stage -------------------------------------------------------
     if cfg.map_mode == MapMode::Accumulate {
         for r in 0..ranks {
-            let start = st[r as usize].cursor;
             let gpu = cluster.gpu(r);
-            let (state, t) = job.accumulate_init(gpu, start)?;
-            tel.event(r, TraceKind::AccumulateInit, start, t, || {
+            let (state, t) = job.accumulate_init(gpu, setup)?;
+            tel.event(r, TraceKind::AccumulateInit, setup, t, || {
                 "accumulate init".into()
             });
             let s = &mut st[r as usize];
             s.accum = Some(state);
-            s.cursor = s.cursor.max(t);
+            // Chunk uploads may overlap the init kernel; maps may not.
+            s.compute_ready = s.compute_ready.max(t);
         }
     }
 
@@ -589,9 +633,14 @@ fn run_job_impl<J: GpmrJob>(
                 st[ri].active = false;
                 continue;
             }
-            None => match queues.steal_victim(r) {
-                Some(victim) => {
-                    let c = queues.steal_from(victim).expect("victim had chunks");
+            // Work-aware stealing: take the heaviest chunk from the rank
+            // with the most queued bytes, but only while the steal pays
+            // for itself (see `WorkQueues::steal_profitable`) — late
+            // steals queue their migration behind the victim's outbound
+            // shuffle traffic and arrive after the victim would have
+            // processed the chunk locally.
+            None => match queues.steal_profitable(r, |c| c.1.size_bytes()) {
+                Some((victim, c)) => {
                     tel.stolen.inc();
                     // Migration: serialized chunk crosses the fabric from the
                     // victim's host memory to the thief's.
@@ -621,7 +670,15 @@ fn run_job_impl<J: GpmrJob>(
 
         st[ri].cursor += SimDuration::from_secs(tuning.sched_overhead_s);
         let cursor = st[ri].cursor;
-        let prev_kernel_end = st[ri].prev_kernel_end;
+        let compute_ready = st[ri].compute_ready;
+        // k-deep upload pipeline: the upload may only start once a staging
+        // slot frees — i.e. when the map of the chunk `depth` dispatches
+        // back has finished. Until then uploads queue on the copy engine
+        // while earlier chunks map.
+        let mut gate = SimTime::ZERO;
+        while st[ri].inflight.len() >= depth {
+            gate = gate.max(st[ri].inflight.pop_front().expect("len checked"));
+        }
         tel.dispatch(r, cursor, queues.remaining(r));
         // Container span grouping this chunk's stage spans; its id is
         // reserved now so children can link to it, and the span itself is
@@ -629,9 +686,8 @@ fn run_job_impl<J: GpmrJob>(
         let chunk_span = tel.tel.reserve_span_id();
 
         let gpu = cluster.gpu(r);
-        let up = gpu.h2d(cursor, chunk.size_bytes());
-        // Double-buffered input: the next chunk uploads while this one maps.
-        gpu.note_resident(2 * chunk.size_bytes());
+        let up = gpu.h2d_gated(cursor, gate, chunk.size_bytes());
+        gpu.note_resident(staging_slots * chunk.size_bytes());
         tel.child_event(r, TraceKind::Upload, up.start, up.end, chunk_span, || {
             format!("{} bytes", chunk.size_bytes())
         });
@@ -639,7 +695,7 @@ fn run_job_impl<J: GpmrJob>(
         match cfg.map_mode {
             MapMode::Accumulate => {
                 let mut state = st[ri].accum.take().expect("accumulate state initialized");
-                let t = job.map_accumulate(gpu, up.end, &chunk, &mut state)?;
+                let t = job.map_accumulate(gpu, up.end.max(compute_ready), &chunk, &mut state)?;
                 if kill_at[ri].is_some_and(|k| k <= t) {
                     // The device died before this map finished. The whole
                     // accumulate state dies with it, so every chunk it
@@ -657,23 +713,31 @@ fn run_job_impl<J: GpmrJob>(
                     )?;
                     continue;
                 }
-                tel.child_event(r, TraceKind::Map, up.end, t, chunk_span, || {
-                    "map+accumulate".into()
-                });
+                tel.child_event(
+                    r,
+                    TraceKind::Map,
+                    up.end.max(compute_ready),
+                    t,
+                    chunk_span,
+                    || "map+accumulate".into(),
+                );
                 tel.chunk_span(r, chunk_span, chunk_id, up.start, t);
-                gpu.note_resident(2 * chunk.size_bytes() + state.size_bytes());
+                gpu.note_resident(staging_slots * chunk.size_bytes() + state.size_bytes());
                 let s = &mut st[ri];
                 s.accum = Some(state);
                 s.last_map_end = s.last_map_end.max(t);
-                s.cursor = up.end.max(prev_kernel_end);
-                s.prev_kernel_end = t;
+                // The host is free to dispatch again once this upload has
+                // left the queue; the staging gate and the compute timeline
+                // keep the device honest.
+                s.cursor = up.start;
+                s.inflight.push_back(t);
                 s.chunks_done += 1;
                 if kill_at[ri].is_some() {
                     s.processed.push((chunk_id, chunk));
                 }
             }
             MapMode::Plain | MapMode::PartialReduce => {
-                let (mut pairs, mut t) = job.map(gpu, up.end, &chunk)?;
+                let (mut pairs, mut t) = job.map(gpu, up.end.max(compute_ready), &chunk)?;
                 let map_end = t;
                 let map_pairs = pairs.len();
                 let mut partial = None;
@@ -699,9 +763,14 @@ fn run_job_impl<J: GpmrJob>(
                     )?;
                     continue;
                 }
-                tel.child_event(r, TraceKind::Map, up.end, map_end, chunk_span, || {
-                    format!("{map_pairs} pairs")
-                });
+                tel.child_event(
+                    r,
+                    TraceKind::Map,
+                    up.end.max(compute_ready),
+                    map_end,
+                    chunk_span,
+                    || format!("{map_pairs} pairs"),
+                );
                 if let Some((pr_start, pr_end, pr_pairs)) = partial {
                     tel.child_event(
                         r,
@@ -722,8 +791,8 @@ fn run_job_impl<J: GpmrJob>(
                     s.store.append(pairs);
                     s.last_d2h = s.last_d2h.max(down.end);
                     s.last_map_end = s.last_map_end.max(t);
-                    s.cursor = up.end.max(prev_kernel_end);
-                    s.prev_kernel_end = t;
+                    s.cursor = up.start;
+                    s.inflight.push_back(t);
                     s.chunks_done += 1;
                 } else {
                     // Partition on the GPU, download, and bin immediately —
@@ -754,10 +823,10 @@ fn run_job_impl<J: GpmrJob>(
                     let mut bin_done = st[ri].bin_done;
                     let mut chunk_end = send_ready;
                     for (dest, bucket) in buckets.into_iter().enumerate() {
-                        if bucket.is_empty() {
+                        if bucket.pairs.is_empty() {
                             continue;
                         }
-                        let bytes = bucket.size_bytes();
+                        let bytes = bucket.pairs.size_bytes();
                         let arrival = transfer_with_retry(
                             cluster.fabric(),
                             r,
@@ -783,8 +852,8 @@ fn run_job_impl<J: GpmrJob>(
                     let s = &mut st[ri];
                     s.bin_done = bin_done;
                     s.last_map_end = s.last_map_end.max(t);
-                    s.cursor = up.end.max(prev_kernel_end);
-                    s.prev_kernel_end = t;
+                    s.cursor = up.start;
+                    s.inflight.push_back(t);
                     s.chunks_done += 1;
                 }
             }
@@ -821,10 +890,10 @@ fn run_job_impl<J: GpmrJob>(
                 let buckets = route_pairs(job, cfg.partition, state, ranks);
                 let mut bin_done = st[ri].bin_done;
                 for (dest, bucket) in buckets.into_iter().enumerate() {
-                    if bucket.is_empty() {
+                    if bucket.pairs.is_empty() {
                         continue;
                     }
-                    let bytes = bucket.size_bytes();
+                    let bytes = bucket.pairs.size_bytes();
                     let arrival = transfer_with_retry(
                         cluster.fabric(),
                         r,
@@ -881,10 +950,10 @@ fn run_job_impl<J: GpmrJob>(
                 let buckets = route_pairs(job, cfg.partition, combined, ranks);
                 let mut bin_done = st[ri].bin_done;
                 for (dest, bucket) in buckets.into_iter().enumerate() {
-                    if bucket.is_empty() {
+                    if bucket.pairs.is_empty() {
                         continue;
                     }
-                    let bytes = bucket.size_bytes();
+                    let bytes = bucket.pairs.size_bytes();
                     let arrival = transfer_with_retry(
                         cluster.fabric(),
                         r,
@@ -912,19 +981,27 @@ fn run_job_impl<J: GpmrJob>(
     // are consumed in canonical (chunk-id, sender) order, so the
     // concatenated set is identical no matter how faults, retries, or
     // stalls reshuffled arrival times.
-    let mut inbound: Vec<KvSet<J::Key, J::Value>> = Vec::with_capacity(ranks as usize);
+    let mut inbound: Vec<Inbound<J::Key, J::Value>> = Vec::with_capacity(ranks as usize);
     for r in 0..ranks {
         let ri = r as usize;
         let deliveries = mailbox.drain_canonical(r);
         let mut incoming: KvSet<J::Key, J::Value> =
-            KvSet::with_capacity(deliveries.iter().map(|d| d.payload.len()).sum());
+            KvSet::with_capacity(deliveries.iter().map(|d| d.payload.pairs.len()).sum());
         let mut last_arrival = SimTime::ZERO;
+        let mut parts = Vec::with_capacity(deliveries.len());
+        let mut max_radix = 0u64;
         for d in deliveries {
             last_arrival = last_arrival.max(d.arrival);
-            incoming.append(d.payload);
+            max_radix = max_radix.max(d.payload.max_radix);
+            parts.push((d.arrival, d.payload.pairs.size_bytes()));
+            incoming.append(d.payload.pairs);
         }
         st[ri].sort_ready = st[ri].last_map_end.max(st[ri].bin_done).max(last_arrival);
-        inbound.push(incoming);
+        inbound.push(Inbound {
+            pairs: incoming,
+            parts,
+            max_radix,
+        });
     }
 
     // A rank whose GPU died after its map work completed is discovered
@@ -953,9 +1030,10 @@ fn run_job_impl<J: GpmrJob>(
     }
 
     let mut outputs: Vec<KvSet<J::Key, J::Value>> = Vec::with_capacity(ranks as usize);
-    for (r, incoming) in (0..ranks).zip(inbound) {
+    for (r, inb) in (0..ranks).zip(inbound) {
         let ri = r as usize;
         let sort_ready = st[ri].sort_ready;
+        let incoming = inb.pairs;
 
         if !cfg.sort_and_reduce || incoming.is_empty() {
             st[ri].sort_done = sort_ready;
@@ -975,23 +1053,51 @@ fn run_job_impl<J: GpmrJob>(
             format!(" (on rank {exec})")
         };
 
-        // Sort: upload received pairs (free with GPU-direct networking —
-        // they arrived in device memory), radix sort, dedup keys.
+        // Sort input: stream inbound buckets up to the device as they
+        // arrive, overlapping the upload with the map/bin tail instead of
+        // paying one bulk transfer after the last arrival. The host stages
+        // arrivals in a pinned buffer and coalesces everything that lands
+        // while the previous DMA is in flight into the next one, so
+        // hundreds of small deliveries cost a handful of transfers — not
+        // one initiation latency each. Free with GPU-direct networking —
+        // the pairs arrived in device memory.
         let gpu = cluster.gpu(exec);
-        let up = if gpu_direct {
-            gpmr_sim_gpu::Reservation {
-                start: sort_ready,
-                end: sort_ready,
+        let mut device_ready = sort_ready;
+        if !gpu_direct {
+            let mut parts = inb.parts;
+            parts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let mut first_start: Option<SimTime> = None;
+            let mut last_end = sort_ready;
+            let mut transfers = 0u32;
+            let mut i = 0usize;
+            while i < parts.len() {
+                let issue = parts[i].0.max(gpu.copy_free_at());
+                let mut bytes = 0u64;
+                while i < parts.len() && parts[i].0 <= issue {
+                    bytes += parts[i].1;
+                    i += 1;
+                }
+                let u = gpu.h2d(issue, bytes);
+                first_start.get_or_insert(u.start);
+                last_end = u.end;
+                transfers += 1;
             }
-        } else {
-            gpu.h2d(sort_ready, incoming.size_bytes())
-        };
+            device_ready = device_ready.max(last_end);
+            if let Some(first) = first_start {
+                tel.event(r, TraceKind::Upload, first, last_end, || {
+                    format!(
+                        "{} bytes of sort input in {transfers} transfers{exec_note}",
+                        incoming.size_bytes(),
+                    )
+                });
+            }
+        }
         // Out-of-core sort: when the pairs (with the sort's ping-pong
         // buffer) exceed device memory, external passes stream the data
         // back and forth across PCI-e. This is what makes SIO's speedup
         // super-linear at the GPU count where the data first fits in core
         // (paper Figure 3).
-        let mut sort_start = up.end;
+        let mut sort_start = device_ready;
         let capacity = gpu.mem.capacity();
         let need = 2 * incoming.size_bytes();
         // In-core working set: pairs plus the ping-pong buffer, capped at
@@ -1009,8 +1115,18 @@ fn run_job_impl<J: GpmrJob>(
                 sort_start = u.end;
             }
         }
+        // The partitioner already bounded every bucket's key range while
+        // routing, so the sort starts on the right digit count without a
+        // max-radix reduction pass.
         let (skeys, svals, t1) = match cfg.sort {
-            SortMode::Radix => sort_pairs(gpu, sort_start, &incoming.keys, &incoming.vals)?,
+            SortMode::Radix => sort_pairs_with_bits_config(
+                gpu,
+                sort_start,
+                &incoming.keys,
+                &incoming.vals,
+                bits_for_radix(inb.max_radix),
+                &sort_cfg,
+            )?,
             SortMode::Bitonic => {
                 bitonic_sort_pairs_by(gpu, sort_start, &incoming.keys, &incoming.vals, |a, b| {
                     a.radix().cmp(&b.radix())
@@ -1018,7 +1134,7 @@ fn run_job_impl<J: GpmrJob>(
             }
         };
         let (segs, t2) = extract_segments(gpu, t1, &skeys)?;
-        tel.event(r, TraceKind::Sort, sort_ready, t2, || {
+        tel.event(r, TraceKind::Sort, device_ready, t2, || {
             format!(
                 "{} pairs, {} unique keys{exec_note}",
                 skeys.len(),
@@ -1026,6 +1142,9 @@ fn run_job_impl<J: GpmrJob>(
             )
         });
         st[ri].sort_done = t2;
+        // Stage accounting: Bin absorbs the wait for arrivals and the
+        // streamed input upload; Sort is kernel time only.
+        st[ri].sort_ready = device_ready;
 
         // Reduce: chunked by the job's callback. Typical reducers emit one
         // pair per unique key, so size for that.
@@ -1104,23 +1223,54 @@ fn run_job_impl<J: GpmrJob>(
     })
 }
 
+/// One binned bucket in flight to its reducer rank, carrying the key-range
+/// bound the partition pass computed while routing (the pass touches every
+/// key anyway, so folding a max costs nothing extra). The receiver uses it
+/// to size its radix sort without a max-radix reduction.
+struct ShuffleMsg<K, V> {
+    pairs: KvSet<K, V>,
+    max_radix: u64,
+}
+
+/// Everything a rank received for its sort stage: the concatenated pairs,
+/// the per-delivery (arrival, bytes) schedule for streamed input uploads,
+/// and the folded key-range bound.
+struct Inbound<K, V> {
+    pairs: KvSet<K, V>,
+    parts: Vec<(SimTime, u64)>,
+    max_radix: u64,
+}
+
 fn route_pairs<J: GpmrJob>(
     job: &J,
     mode: PartitionMode,
     pairs: KvSet<J::Key, J::Value>,
     ranks: u32,
-) -> Vec<KvSet<J::Key, J::Value>> {
+) -> Vec<ShuffleMsg<J::Key, J::Value>> {
+    fn wrap<K, V>(buckets: Vec<(KvSet<K, V>, u64)>) -> Vec<ShuffleMsg<K, V>> {
+        buckets
+            .into_iter()
+            .map(|(pairs, max_radix)| ShuffleMsg { pairs, max_radix })
+            .collect()
+    }
     match mode {
         PartitionMode::None => {
-            let mut buckets: Vec<KvSet<J::Key, J::Value>> =
-                (0..ranks).map(|_| KvSet::new()).collect();
-            buckets[0] = pairs;
+            let max_radix = pairs.keys.iter().map(|k| k.radix()).max().unwrap_or(0);
+            let mut buckets: Vec<ShuffleMsg<J::Key, J::Value>> = (0..ranks)
+                .map(|_| ShuffleMsg {
+                    pairs: KvSet::new(),
+                    max_radix: 0,
+                })
+                .collect();
+            buckets[0] = ShuffleMsg { pairs, max_radix };
             buckets
         }
-        PartitionMode::RoundRobin => {
-            split_buckets(pairs, ranks, |k| (k.radix() % u64::from(ranks)) as u32)
-        }
-        PartitionMode::Custom => split_buckets(pairs, ranks, |k| job.partition(k, ranks)),
+        PartitionMode::RoundRobin => wrap(split_buckets_bounded(pairs, ranks, |k| {
+            (k.radix() % u64::from(ranks)) as u32
+        })),
+        PartitionMode::Custom => wrap(split_buckets_bounded(pairs, ranks, |k| {
+            job.partition(k, ranks)
+        })),
     }
 }
 

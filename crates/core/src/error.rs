@@ -12,13 +12,19 @@ pub enum EngineError {
     Gpu(SimGpuError),
     /// The job's pipeline configuration is inconsistent.
     InvalidPipeline(String),
-    /// A chunk (double-buffered) cannot fit in device memory; re-chunk the
-    /// input with a smaller chunk size.
+    /// A chunk cannot fit in device memory once per staging slot of the
+    /// upload pipeline (`EngineTuning::pipeline_depth` buffers, plus one
+    /// GPU-direct staging slot when that mode is on); re-chunk the input
+    /// with a smaller chunk size or shrink the pipeline depth.
     ChunkTooLarge {
         /// The chunk's transfer size in bytes.
         bytes: u64,
         /// The device capacity in bytes.
         capacity: u64,
+        /// Staging slots the chunk must fit into the capacity: the
+        /// configured pipeline depth plus one when GPU-direct staging is
+        /// enabled.
+        slots: u64,
     },
     /// A GPU failed and no live GPU remained to take over its work. Raised
     /// only when a fault plan kills *every* rank; any plan that leaves one
@@ -42,12 +48,20 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Gpu(e) => write!(f, "device error: {e}"),
             EngineError::InvalidPipeline(msg) => write!(f, "invalid pipeline: {msg}"),
-            EngineError::ChunkTooLarge { bytes, capacity } => write!(
+            EngineError::ChunkTooLarge {
+                bytes,
+                capacity,
+                slots,
+            } => write!(
                 f,
-                "chunk of {bytes} bytes cannot be double-buffered in {capacity} bytes of device memory"
+                "chunk of {bytes} bytes cannot be staged {slots} times (pipeline depth plus \
+                 GPU-direct staging) in {capacity} bytes of device memory"
             ),
             EngineError::GpuLost { rank } => {
-                write!(f, "GPU on rank {rank} lost with no surviving GPU to recover onto")
+                write!(
+                    f,
+                    "GPU on rank {rank} lost with no surviving GPU to recover onto"
+                )
             }
             EngineError::TransferFailed { attempt, fault } => {
                 write!(f, "transfer failed after {attempt} attempts: {fault}")

@@ -25,25 +25,42 @@ pub fn charge_partition<K: Key, V: Value>(gpu: &mut Gpu, at: SimTime, pairs: usi
 
 /// Split pairs into per-destination buckets with `route`. Buckets for
 /// every rank are returned (possibly empty), in rank order.
-pub fn split_buckets<K: Key, V: Value>(
+pub fn split_buckets<K: Key + RadixKey, V: Value>(
     pairs: KvSet<K, V>,
     ranks: u32,
     route: impl Fn(&K) -> u32,
 ) -> Vec<KvSet<K, V>> {
+    split_buckets_bounded(pairs, ranks, route)
+        .into_iter()
+        .map(|(bucket, _)| bucket)
+        .collect()
+}
+
+/// [`split_buckets`], additionally returning each bucket's maximum key
+/// radix (0 for an empty bucket). The partition pass reads every key to
+/// route it, so the bound is free — receivers use it to size their radix
+/// sorts without paying a max-radix reduction.
+pub fn split_buckets_bounded<K: Key + RadixKey, V: Value>(
+    pairs: KvSet<K, V>,
+    ranks: u32,
+    route: impl Fn(&K) -> u32,
+) -> Vec<(KvSet<K, V>, u64)> {
     // Counting pre-pass: route every key once to size each bucket exactly,
     // so the fill loop never reallocates.
     let mut dests: Vec<u32> = Vec::with_capacity(pairs.len());
     let mut counts = vec![0usize; ranks as usize];
+    let mut bounds = vec![0u64; ranks as usize];
     for k in &pairs.keys {
         let dest = route(k).min(ranks - 1);
         counts[dest as usize] += 1;
+        bounds[dest as usize] = bounds[dest as usize].max(k.radix());
         dests.push(dest);
     }
     let mut buckets: Vec<KvSet<K, V>> = counts.into_iter().map(KvSet::with_capacity).collect();
     for ((k, v), dest) in pairs.keys.into_iter().zip(pairs.vals).zip(dests) {
         buckets[dest as usize].push(k, v);
     }
-    buckets
+    buckets.into_iter().zip(bounds).collect()
 }
 
 /// The generic Combine: group like-keyed pairs and fold each group with

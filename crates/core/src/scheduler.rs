@@ -47,14 +47,24 @@ impl<C> WorkQueues<C> {
     /// would just move the imbalance). Ties break to the lowest rank for
     /// determinism.
     pub fn steal_victim(&self, thief: u32) -> Option<u32> {
-        let mut best: Option<(usize, u32)> = None;
+        self.steal_victim_by(thief, |_| 1)
+    }
+
+    /// [`WorkQueues::steal_victim`] with an explicit work measure: the
+    /// victim is the rank with the most remaining *work* (the summed
+    /// `weigh` of its queue), not the longest queue — with a deep upload
+    /// pipeline the queue a rank is slowest to drain is the one holding
+    /// the biggest chunks, not the most. Ties break to the lowest rank.
+    pub fn steal_victim_by(&self, thief: u32, weigh: impl Fn(&C) -> u64) -> Option<u32> {
+        let mut best: Option<(u64, u32)> = None;
         for (r, q) in self.queues.iter().enumerate() {
             if r as u32 == thief || q.len() < 2 {
                 continue;
             }
+            let load: u64 = q.iter().map(&weigh).sum();
             match best {
-                Some((len, _)) if q.len() <= len => {}
-                _ => best = Some((q.len(), r as u32)),
+                Some((l, _)) if load <= l => {}
+                _ => best = Some((load, r as u32)),
             }
         }
         best.map(|(_, r)| r)
@@ -64,6 +74,53 @@ impl<C> WorkQueues<C> {
     /// will map next).
     pub fn steal_from(&mut self, victim: u32) -> Option<C> {
         self.queues[victim as usize].pop_back()
+    }
+
+    /// Steal the heaviest chunk (by `weigh`) from `victim`'s queue,
+    /// leaving the head alone — it is what the victim maps next. Ties
+    /// break toward the tail, so uniform queues behave like
+    /// [`WorkQueues::steal_from`]. A migration costs one fabric transfer
+    /// no matter the choice, so the thief takes the chunk that sheds the
+    /// most work from the victim's critical path.
+    pub fn steal_heaviest(&mut self, victim: u32, weigh: impl Fn(&C) -> u64) -> Option<C> {
+        let q = &mut self.queues[victim as usize];
+        if q.len() < 2 {
+            return q.pop_back();
+        }
+        let mut pick = q.len() - 1;
+        let mut heaviest = 0u64;
+        for (i, c) in q.iter().enumerate().skip(1) {
+            let w = weigh(c);
+            if w >= heaviest {
+                heaviest = w;
+                pick = i;
+            }
+        }
+        q.remove(pick)
+    }
+
+    /// The full work-aware steal policy: pick the victim with the most
+    /// queued work ([`WorkQueues::steal_victim_by`]) and take its heaviest
+    /// chunk ([`WorkQueues::steal_heaviest`]) — but only when the
+    /// migration can pay for itself. The paper steals when another GPU has
+    /// "much more work to do"; concretely, the victim must keep at least a
+    /// full steal-wave's worth of work (one stolen-chunk's `weigh` per
+    /// other rank) after the theft. Below that, the victim drains its
+    /// queue before the fabric can move a chunk — every thief in the wave
+    /// queues its migration behind the victim's outbound shuffle traffic —
+    /// and the copy only delays the makespan. Returns the victim alongside
+    /// the chunk, or `None` when no steal is worthwhile.
+    pub fn steal_profitable(&mut self, thief: u32, weigh: impl Fn(&C) -> u64) -> Option<(u32, C)> {
+        let victim = self.steal_victim_by(thief, &weigh)?;
+        let q = &self.queues[victim as usize];
+        let load: u64 = q.iter().map(&weigh).sum();
+        let heaviest = q.iter().skip(1).map(&weigh).max().unwrap_or(0);
+        let wave = (self.queues.len() as u64).saturating_sub(1);
+        if load.saturating_sub(heaviest) < heaviest.saturating_mul(wave) {
+            return None;
+        }
+        let chunk = self.steal_heaviest(victim, weigh)?;
+        Some((victim, chunk))
     }
 
     /// Take everything still queued on `rank`, in queue order. Used when a
@@ -144,6 +201,50 @@ mod tests {
         q.push_back(1, 99);
         assert_eq!(q.remaining(1), 1);
         assert_eq!(q.pop_local(1), Some(99));
+    }
+
+    #[test]
+    fn steal_victim_by_weighs_work_not_length() {
+        let mut q = WorkQueues::distribute(Vec::<u64>::new(), 3);
+        // Rank 0: two heavy chunks (200 bytes); rank 1: three unit chunks.
+        q.push_back(0, 100);
+        q.push_back(0, 100);
+        q.push_back(1, 1);
+        q.push_back(1, 1);
+        q.push_back(1, 1);
+        assert_eq!(q.steal_victim(2), Some(1)); // longest queue under unit weights
+        assert_eq!(q.steal_victim_by(2, |c| *c), Some(0)); // most work under byte weights
+        assert_eq!(q.steal_victim_by(0, |c| *c), Some(1)); // thief never picks itself
+        assert_eq!(q.steal_victim_by(1, |c| *c), Some(0));
+    }
+
+    #[test]
+    fn steal_heaviest_spares_the_head_and_breaks_ties_to_tail() {
+        let mut q = WorkQueues::distribute(vec![9u64, 1, 5, 1, 5], 1);
+        // Queue: 9,1,5,1,5. The head (9) is what the victim maps next.
+        assert_eq!(q.steal_heaviest(0, |c| *c), Some(5));
+        assert_eq!(q.remaining(0), 4);
+        assert_eq!(q.pop_local(0), Some(9)); // head untouched
+    }
+
+    #[test]
+    fn steal_profitable_stops_when_the_victim_is_nearly_drained() {
+        // Three ranks; rank 0 holds all the work. Each steal must leave the
+        // victim a wave's worth (2 chunks here) beyond the stolen one.
+        let mut q = WorkQueues::distribute(vec![1u64; 15], 1);
+        let mut extra = WorkQueues::distribute(Vec::<u64>::new(), 3);
+        std::mem::swap(&mut extra, &mut q);
+        for _ in 0..5 {
+            q.push_back(0, 1);
+        }
+        // Queue of 5: head + 4 stealable; 5 - 1 = 4 >= 1 * 2 → pays.
+        assert!(q.steal_profitable(1, |c| *c).is_some());
+        assert!(q.steal_profitable(2, |c| *c).is_some());
+        // Queue of 3: 3 - 1 = 2 >= 2 → last profitable steal.
+        assert_eq!(q.steal_profitable(1, |c| *c), Some((0, 1)));
+        // Queue of 2: 2 - 1 = 1 < 2 → the victim finishes faster alone.
+        assert_eq!(q.steal_profitable(2, |c| *c), None);
+        assert_eq!(q.remaining(0), 2);
     }
 
     #[test]

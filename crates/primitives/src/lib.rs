@@ -9,9 +9,10 @@
 //!   three-phase device-wide prefix sums;
 //! * [`compact()`] — order-preserving stream compaction;
 //! * [`histogram()`] — per-block shared-memory histograms, merged;
-//! * [`sort_pairs`]/[`sort_keys`] — Satish-style LSD radix sort over 8-bit
-//!   digits with CUDPP-like significant-bit detection (GPMR's default
-//!   Sorter for integer keys);
+//! * [`sort_pairs`]/[`sort_keys`] — Satish-style LSD radix sort over
+//!   configurable-width digits (default 11-bit with a fused final pass;
+//!   see [`SortConfig`]) with CUDPP-like significant-bit detection
+//!   (GPMR's default Sorter for integer keys);
 //! * [`extract_segments`] — unique keys + contiguous value ranges from a
 //!   sorted sequence (GPMR's post-sort key dedup);
 //! * [`segmented_inclusive_scan`]/[`segmented_reduce`] — Sengupta-style
@@ -34,7 +35,10 @@ pub use bitonic::{bitonic_sort_by, bitonic_sort_pairs_by};
 pub use compact::compact;
 pub use elem::{AddElem, RadixKey};
 pub use histogram::histogram;
-pub use radix::{sort_keys, sort_pairs, sort_pairs_with_bits};
+pub use radix::{
+    bits_for_radix, sort_keys, sort_pairs, sort_pairs_config, sort_pairs_with_bits,
+    sort_pairs_with_bits_config, SortConfig,
+};
 pub use scan::{exclusive_scan, inclusive_scan, reduce};
 pub use segmented::{flags_from_segments, segmented_inclusive_scan, segmented_reduce};
 pub use segments::{extract_segments, Segments};

@@ -1,22 +1,90 @@
 //! GPU radix sort, after Satish/Harris/Garland — the CUDPP sort GPMR uses
 //! as its default Sorter for integer-based keys.
 //!
-//! Least-significant-digit counting sort over 8-bit digits. Each pass runs
-//! two kernels (per-block digit histograms, then a stable scatter) plus a
-//! digit-major scan of the histogram matrix; all three charge the compute
-//! timeline. The scatter's writes are inherently uncoalesced and are
+//! Least-significant-digit counting sort over configurable-width digits
+//! (default 11 bits, so 32-bit keys take 3 passes instead of 4 — the
+//! wide-digit trick from the Xeon Phi MapReduce work). Each pass runs two
+//! kernels (per-block digit histograms, then a stable scatter) plus a
+//! digit-major scan of the histogram matrix; the final pass can instead
+//! run as one fused histogram+scatter kernel that keeps its histogram in
+//! shared memory and skips the separate global-memory histogram read and
+//! scan launch. The scatter's writes are inherently uncoalesced and are
 //! charged as such — this is why Sort is a visible slice of the paper's
 //! Figure 2 runtime breakdown.
 
-use gpmr_sim_gpu::{Gpu, KernelCost, LaunchConfig, SimGpuResult, SimTime};
+use std::sync::Mutex;
+
+use gpmr_sim_gpu::{
+    occupancy, run_indexed, worker_threads, Gpu, KernelCost, LaunchConfig, SimGpuResult, SimTime,
+};
 
 use crate::elem::RadixKey;
-use crate::scan::reduce;
 
 /// Items processed per sort block.
 pub const SORT_ITEMS_PER_BLOCK: usize = 4096;
-const DIGIT_BITS: u32 = 8;
-const DIGITS: usize = 1 << DIGIT_BITS;
+
+/// Sort tuning knobs (digit width and final-pass fusion). The defaults are
+/// the fast path; [`SortConfig::reference()`] is the classic 8-bit
+/// two-kernel CUDPP layout kept as the bit-identical baseline for tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SortConfig {
+    /// Bits per counting-sort pass. Wider digits mean fewer passes but a
+    /// bigger shared-memory histogram (`4 << digit_bits` bytes, which must
+    /// fit in the device's per-SM shared memory). Clamped to 1..=12.
+    pub digit_bits: u32,
+    /// Run the last pass as a single fused histogram+scatter kernel: the
+    /// histogram lives in shared memory, so the pass reads the pairs from
+    /// global memory once and skips the standalone scan launch.
+    pub fuse_final: bool,
+}
+
+impl Default for SortConfig {
+    fn default() -> Self {
+        SortConfig {
+            digit_bits: 11,
+            fuse_final: true,
+        }
+    }
+}
+
+impl SortConfig {
+    /// The pre-optimization CUDPP layout: 8-bit digits, no fusion. Every
+    /// other configuration must produce bit-identical output to this one.
+    pub fn reference() -> Self {
+        SortConfig {
+            digit_bits: 8,
+            fuse_final: false,
+        }
+    }
+
+    /// Config from the environment: `GPMR_SORT_DIGIT_BITS` (1..=12) and
+    /// `GPMR_SORT_FUSE` (`0` disables final-pass fusion). Unset variables
+    /// keep the defaults.
+    pub fn from_env() -> Self {
+        let mut cfg = SortConfig::default();
+        if let Some(bits) = std::env::var("GPMR_SORT_DIGIT_BITS")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+        {
+            cfg.digit_bits = bits;
+        }
+        if let Ok(v) = std::env::var("GPMR_SORT_FUSE") {
+            cfg.fuse_final = v != "0";
+        }
+        cfg.normalized()
+    }
+
+    /// Clamp the digit width to what the histogram's shared-memory
+    /// footprint allows.
+    pub fn normalized(mut self) -> Self {
+        self.digit_bits = self.digit_bits.clamp(1, 12);
+        self
+    }
+
+    fn digits(&self) -> usize {
+        1usize << self.digit_bits
+    }
+}
 
 /// Sort `keys` ascending, carrying `vals` along, auto-detecting the number
 /// of significant key bits (one reduction pass, like CUDPP's bit-range
@@ -45,24 +113,84 @@ where
     K: RadixKey,
     V: Copy + Send + Sync + 'static,
 {
+    sort_pairs_config(gpu, at, keys, vals, &SortConfig::default())
+}
+
+/// [`sort_pairs`] with explicit [`SortConfig`] tuning.
+pub fn sort_pairs_config<K, V>(
+    gpu: &mut Gpu,
+    at: SimTime,
+    keys: &[K],
+    vals: &[V],
+    cfg: &SortConfig,
+) -> SimGpuResult<(Vec<K>, Vec<V>, SimTime)>
+where
+    K: RadixKey,
+    V: Copy + Send + Sync + 'static,
+{
+    if keys.len() > 1 && serial_host(gpu, keys.len()) {
+        // Serial fast path: charge the max-reduction kernels as usual but
+        // fold the host-side max into the pass-0 histogram sweep the sort
+        // needs anyway — one read of the keys instead of two.
+        let cfg = cfg.normalized();
+        let t = charge_max_radix(gpu, at, keys)?;
+        let hbits = host_digit_bits(keys.len(), &cfg);
+        let mask = (1u64 << hbits) - 1;
+        let mut hist = vec![0usize; 1 << hbits];
+        let mut max = 0u64;
+        for k in keys {
+            let r = k.radix();
+            max = max.max(r);
+            hist[(r & mask) as usize] += 1;
+        }
+        return serial_sort(gpu, t, keys, vals, bits_for_radix(max), &cfg, hist);
+    }
     // Find the maximum radix to bound the number of passes.
     let (max_radix, t) = max_radix(gpu, at, keys)?;
-    let bits = if max_radix == 0 {
+    sort_pairs_with_bits_config(gpu, t, keys, vals, bits_for_radix(max_radix), cfg)
+}
+
+/// Significant bits needed to represent `max_radix` (at least 1).
+pub fn bits_for_radix(max_radix: u64) -> u32 {
+    if max_radix == 0 {
         1
     } else {
         64 - max_radix.leading_zeros()
-    };
-    sort_pairs_with_bits(gpu, t, keys, vals, bits)
+    }
 }
 
 /// Sort with an explicit significant-bit count (use when the caller knows
-/// the key range, e.g. a partitioner that already bounded keys).
+/// the key range, e.g. a partitioner that already bounded keys). Skips the
+/// max-radix reduction pass that [`sort_pairs`] pays.
 pub fn sort_pairs_with_bits<K, V>(
     gpu: &mut Gpu,
     at: SimTime,
     keys: &[K],
     vals: &[V],
     significant_bits: u32,
+) -> SimGpuResult<(Vec<K>, Vec<V>, SimTime)>
+where
+    K: RadixKey,
+    V: Copy + Send + Sync + 'static,
+{
+    sort_pairs_with_bits_config(
+        gpu,
+        at,
+        keys,
+        vals,
+        significant_bits,
+        &SortConfig::default(),
+    )
+}
+
+/// [`sort_pairs_with_bits`] with explicit [`SortConfig`] tuning.
+pub fn sort_pairs_with_bits_config<K, V>(
+    gpu: &mut Gpu,
+    at: SimTime,
+    keys: &[K],
+    vals: &[V],
+    significant_bits: u32,
+    cfg: &SortConfig,
 ) -> SimGpuResult<(Vec<K>, Vec<V>, SimTime)>
 where
     K: RadixKey,
@@ -76,27 +204,241 @@ where
     if keys.len() <= 1 {
         return Ok((keys.to_vec(), vals.to_vec(), at));
     }
-    let passes = significant_bits.clamp(1, K::BITS).div_ceil(DIGIT_BITS);
+    let cfg = cfg.normalized();
+    let passes = significant_bits.clamp(1, K::BITS).div_ceil(cfg.digit_bits);
 
-    // Ping-pong between two owned buffer pairs: pass 0 reads the borrowed
-    // input directly, so neither an up-front clone of the dataset nor a
-    // fresh output allocation per pass is needed.
-    let mut a = SortBufs::default();
-    let mut b = SortBufs::default();
+    if serial_host(gpu, keys.len()) {
+        let hbits = host_digit_bits(keys.len(), &cfg);
+        let mask = (1u64 << hbits) - 1;
+        let mut hist = vec![0usize; 1 << hbits];
+        for k in keys {
+            hist[(k.radix() & mask) as usize] += 1;
+        }
+        return serial_sort(gpu, at, keys, vals, significant_bits, &cfg, hist);
+    }
+
+    // Ping-pong between two packed pair buffers: pass 0 reads the borrowed
+    // key/value slices directly, later passes read the previous pass's
+    // output. Packing each pair into one element means a scatter touches
+    // one cache line per pair instead of two (one per array) — the
+    // dominant cost of an LSD sort on the host side.
+    let mut a: Vec<(K, V)> = Vec::new();
+    let mut b: Vec<(K, V)> = Vec::new();
+    let mut offsets: Vec<usize> = Vec::new();
     let mut t = at;
 
     for pass in 0..passes {
-        let shift = pass * DIGIT_BITS;
+        let shift = pass * cfg.digit_bits;
+        let fused = cfg.fuse_final && pass + 1 == passes;
         t = if pass == 0 {
-            counting_pass_into(gpu, t, keys, vals, shift, &mut a)?
+            let src = SplitSrc { keys, vals };
+            one_pass_into(gpu, t, &src, shift, &cfg, fused, &mut a, &mut offsets)?
         } else if pass % 2 == 1 {
-            counting_pass_into(gpu, t, &a.keys, &a.vals, shift, &mut b)?
+            one_pass_into(
+                gpu,
+                t,
+                a.as_slice(),
+                shift,
+                &cfg,
+                fused,
+                &mut b,
+                &mut offsets,
+            )?
         } else {
-            counting_pass_into(gpu, t, &b.keys, &b.vals, shift, &mut a)?
+            one_pass_into(
+                gpu,
+                t,
+                b.as_slice(),
+                shift,
+                &cfg,
+                fused,
+                &mut a,
+                &mut offsets,
+            )?
         };
     }
     let out = if passes % 2 == 1 { a } else { b };
-    Ok((out.keys, out.vals, t))
+    let mut ks = Vec::with_capacity(out.len());
+    let mut vs = Vec::with_capacity(out.len());
+    for (k, v) in out {
+        ks.push(k);
+        vs.push(v);
+    }
+    Ok((ks, vs, t))
+}
+
+/// Whole-sort serial fast path: one histogram read of the input up front,
+/// then one combined scatter-plus-next-histogram sweep per digit — the
+/// next pass's counts fall out of the keys the scatter is already
+/// touching, and the final pass scatters straight into the split output
+/// vectors, so no standalone histogram or unzip passes remain. Charges
+/// exactly the per-pass kernels the worker-pool path charges, and the
+/// stable output is unique, so simulated time, kernel counts, and results
+/// are all bit-identical to it.
+fn serial_sort<K, V>(
+    gpu: &mut Gpu,
+    at: SimTime,
+    keys: &[K],
+    vals: &[V],
+    bits: u32,
+    cfg: &SortConfig,
+    // Digit counts of the host's pass 0 (shift 0, [`host_digit_bits`]
+    // wide), computed by the caller so it can fold other per-key work
+    // (e.g. the max reduction) into the same sweep; later passes inherit
+    // `next` from the previous scatter.
+    mut hist: Vec<usize>,
+) -> SimGpuResult<(Vec<K>, Vec<V>, SimTime)>
+where
+    K: RadixKey,
+    V: Copy + Send + Sync + 'static,
+{
+    let n = keys.len();
+    let digits = cfg.digits();
+    let pair_bytes = std::mem::size_of::<K>() + std::mem::size_of::<V>();
+    let launch_cfg = LaunchConfig::for_items(n, SORT_ITEMS_PER_BLOCK, 256)
+        .with_shared_bytes((digits * 4) as u32);
+    let blocks = n.div_ceil(SORT_ITEMS_PER_BLOCK);
+
+    // Simulated kernels: exactly the configured plan (`cfg.digit_bits`-wide
+    // passes, optionally a fused final) that `one_pass_into` charges, with
+    // charge-only launch closures — how the host reproduces the output is
+    // its own business (below).
+    let sim_passes = bits.clamp(1, K::BITS).div_ceil(cfg.digit_bits);
+    let mut t = at;
+    for pass in 0..sim_passes {
+        let fused = cfg.fuse_final && pass + 1 == sim_passes;
+        t = if fused {
+            let cost = KernelCost {
+                flops: 5 * n as u64 + (digits * blocks) as u64,
+                bytes_coalesced: (n * pair_bytes) as u64,
+                bytes_uncoalesced: (n * pair_bytes) as u64,
+                ..KernelCost::ZERO
+            };
+            let occ = occupancy(&gpu.spec, &launch_cfg).fraction;
+            gpu.charge_compute(t, &cost, occ).end
+        } else {
+            let (_, r1) = gpu.launch(t, &launch_cfg, |ctx| {
+                let range = ctx.item_range(n);
+                ctx.charge_read::<K>(range.len());
+                ctx.charge_read::<V>(range.len());
+                ctx.charge_flops(3 * range.len() as u64);
+            })?;
+            let scan_cost = KernelCost {
+                flops: (digits * blocks) as u64,
+                bytes_coalesced: (2 * digits * blocks * 4) as u64,
+                ..KernelCost::ZERO
+            };
+            let r2 = gpu.charge_compute(r1.end, &scan_cost, 1.0);
+            let scatter_cost = KernelCost {
+                flops: 2 * n as u64,
+                bytes_coalesced: (n * pair_bytes) as u64,
+                bytes_uncoalesced: (n * pair_bytes) as u64,
+                ..KernelCost::ZERO
+            };
+            gpu.charge_compute(r2.end, &scatter_cost, 1.0).end
+        };
+    }
+
+    // Host sweeps, possibly on wider digits than the simulated kernels
+    // (see [`host_digit_bits`]) — fewer sweeps over the data, same unique
+    // stable output.
+    let hbits = host_digit_bits(n, cfg);
+    let hmask = (1u64 << hbits) - 1;
+    let hpasses = bits.clamp(1, K::BITS).div_ceil(hbits);
+    debug_assert_eq!(hist.len(), 1usize << hbits);
+    let mut next = vec![0usize; 1 << hbits];
+    let mut a: Vec<(K, V)> = Vec::new();
+    let mut b: Vec<(K, V)> = Vec::new();
+    let mut ks: Vec<K> = Vec::new();
+    let mut vs: Vec<V> = Vec::new();
+    for pass in 0..hpasses {
+        let shift = pass * hbits;
+        let last = pass + 1 == hpasses;
+
+        // Exclusive scan turns the counts into running placement cursors
+        // in place.
+        let mut running = 0usize;
+        for c in hist.iter_mut() {
+            running += std::mem::replace(c, running);
+        }
+        let next_shift = shift + hbits;
+        if !last {
+            next.iter_mut().for_each(|c| *c = 0);
+        }
+        // Every scatter writes into spare capacity: the cursors are the
+        // exclusive scan of exact digit counts, so each slot in 0..n is
+        // written exactly once and `set_len(n)` below observes a fully
+        // initialized buffer — no zero/fill pass over memory the scatter
+        // is about to overwrite anyway. All element types are `Copy`.
+        if pass == 0 && last {
+            ks.clear();
+            ks.reserve(n);
+            vs.clear();
+            vs.reserve(n);
+            let ok = &mut ks.spare_capacity_mut()[..n];
+            let ov = &mut vs.spare_capacity_mut()[..n];
+            for (&k, &v) in keys.iter().zip(vals) {
+                let pos = &mut hist[((k.radix() >> shift) & hmask) as usize];
+                ok[*pos].write(k);
+                ov[*pos].write(v);
+                *pos += 1;
+            }
+        } else if pass == 0 {
+            a.clear();
+            a.reserve(n);
+            let out = &mut a.spare_capacity_mut()[..n];
+            for (&k, &v) in keys.iter().zip(vals) {
+                let pos = &mut hist[((k.radix() >> shift) & hmask) as usize];
+                out[*pos].write((k, v));
+                *pos += 1;
+                next[((k.radix() >> next_shift) & hmask) as usize] += 1;
+            }
+            // SAFETY: all n slots written exactly once (see above).
+            unsafe { a.set_len(n) };
+        } else {
+            let (src, dst) = if pass % 2 == 1 {
+                (&mut a, &mut b)
+            } else {
+                (&mut b, &mut a)
+            };
+            if last {
+                ks.clear();
+                ks.reserve(n);
+                vs.clear();
+                vs.reserve(n);
+                let ok = &mut ks.spare_capacity_mut()[..n];
+                let ov = &mut vs.spare_capacity_mut()[..n];
+                for &(k, v) in src.iter() {
+                    let pos = &mut hist[((k.radix() >> shift) & hmask) as usize];
+                    ok[*pos].write(k);
+                    ov[*pos].write(v);
+                    *pos += 1;
+                }
+            } else {
+                dst.clear();
+                dst.reserve(n);
+                let out = &mut dst.spare_capacity_mut()[..n];
+                for &(k, v) in src.iter() {
+                    let pos = &mut hist[((k.radix() >> shift) & hmask) as usize];
+                    out[*pos].write((k, v));
+                    *pos += 1;
+                    next[((k.radix() >> next_shift) & hmask) as usize] += 1;
+                }
+                // SAFETY: all n slots written exactly once (see above).
+                unsafe { dst.set_len(n) };
+            }
+        }
+        if last {
+            // SAFETY: all n slots written exactly once (see above).
+            unsafe {
+                ks.set_len(n);
+                vs.set_len(n);
+            }
+        } else {
+            std::mem::swap(&mut hist, &mut next);
+        }
+    }
+    Ok((ks, vs, t))
 }
 
 /// Sort keys only (values are implicit indices nobody needs).
@@ -111,118 +453,372 @@ pub fn sort_keys<K: RadixKey>(
     Ok((k, t))
 }
 
+/// Whether the sort's host bookkeeping should run serially: a worker pool
+/// wider than the machine's real parallelism only adds queuing overhead
+/// to a memory-bound scatter, so the pool path is gated on the GPU's
+/// configured workers AND the cores actually present. Either path charges
+/// the same simulated kernels and produces bit-identical output (the
+/// stable sort result is unique).
+fn serial_host(gpu: &Gpu, n: usize) -> bool {
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    gpu.worker_threads.min(hw).min(8) <= 1 || n < (1 << 16)
+}
+
+/// Digit width of the serial host sweeps. Wide 16-bit digits halve the
+/// sweep count for 32-bit keys once the input is big enough to amortize
+/// the 64K-entry counter tables; small inputs keep the configured width.
+/// Purely a host-execution choice: the simulated kernels always charge
+/// the configured [`SortConfig`] plan, and the stable sort output is
+/// unique, so results are bit-identical regardless of digit width.
+fn host_digit_bits(n: usize, cfg: &SortConfig) -> u32 {
+    if n >= (1 << 16) {
+        16
+    } else {
+        cfg.digit_bits
+    }
+}
+
+/// Charge exactly the kernels [`max_radix`] charges without the host-side
+/// reduction — the serial sort folds the real max into the pass-0
+/// histogram sweep it needs anyway.
+fn charge_max_radix<K: RadixKey>(gpu: &mut Gpu, at: SimTime, keys: &[K]) -> SimGpuResult<SimTime> {
+    if keys.is_empty() {
+        return Ok(at);
+    }
+    let cfg = LaunchConfig::for_items(keys.len(), SORT_ITEMS_PER_BLOCK, 256);
+    let (partials, r1) = gpu.launch(at, &cfg, |ctx| {
+        let range = ctx.item_range(keys.len());
+        ctx.charge_read::<K>(range.len());
+        ctx.charge_flops(range.len() as u64);
+    })?;
+    let final_cost = KernelCost {
+        flops: partials.outputs.len() as u64,
+        bytes_coalesced: (partials.outputs.len() * 8) as u64,
+        ..KernelCost::ZERO
+    };
+    Ok(gpu.charge_compute(r1.end, &final_cost, 1.0).end)
+}
+
 fn max_radix<K: RadixKey>(gpu: &mut Gpu, at: SimTime, keys: &[K]) -> SimGpuResult<(u64, SimTime)> {
     if keys.is_empty() {
         return Ok((0, at));
     }
-    // A dedicated max-reduction kernel: same traffic as a sum reduction.
-    let radixes: Vec<u64> = keys.iter().map(|k| k.radix()).collect();
-    let (_, t) = reduce(gpu, at, &radixes)?;
-    let max = radixes.into_iter().max().unwrap_or(0);
-    Ok((max, t))
+    // A dedicated max-reduction kernel: read every key once, fold per
+    // block, then fold the per-block partials (same shape as a sum
+    // reduction, no materialized radix array).
+    let cfg = LaunchConfig::for_items(keys.len(), SORT_ITEMS_PER_BLOCK, 256);
+    let (partials, r1) = gpu.launch(at, &cfg, |ctx| {
+        let range = ctx.item_range(keys.len());
+        ctx.charge_read::<K>(range.len());
+        ctx.charge_flops(range.len() as u64);
+        keys[range].iter().map(|k| k.radix()).max().unwrap_or(0)
+    })?;
+    let final_cost = KernelCost {
+        flops: partials.outputs.len() as u64,
+        bytes_coalesced: (partials.outputs.len() * 8) as u64,
+        ..KernelCost::ZERO
+    };
+    let r2 = gpu.charge_compute(r1.end, &final_cost, 1.0);
+    Ok((partials.outputs.into_iter().max().unwrap_or(0), r2.end))
 }
 
-/// Reusable destination buffers for one ping-pong direction of the sort.
-struct SortBufs<K, V> {
-    keys: Vec<K>,
-    vals: Vec<V>,
-    /// Scanned (digit x block) histogram scratch, indexed `b * DIGITS + d`.
-    offsets: Vec<usize>,
+/// Pair source a sort pass reads from: the borrowed key/value slices on
+/// pass 0, the packed ping-pong buffer on later passes.
+trait PairSrc<K, V>: Sync {
+    fn len(&self) -> usize;
+    fn key(&self, i: usize) -> K;
+    fn pair(&self, i: usize) -> (K, V);
 }
 
-impl<K, V> Default for SortBufs<K, V> {
-    fn default() -> Self {
-        SortBufs {
-            keys: Vec::new(),
-            vals: Vec::new(),
-            offsets: Vec::new(),
-        }
+struct SplitSrc<'a, K, V> {
+    keys: &'a [K],
+    vals: &'a [V],
+}
+
+impl<K: RadixKey, V: Copy + Send + Sync> PairSrc<K, V> for SplitSrc<'_, K, V> {
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+    #[inline]
+    fn key(&self, i: usize) -> K {
+        self.keys[i]
+    }
+    #[inline]
+    fn pair(&self, i: usize) -> (K, V) {
+        (self.keys[i], self.vals[i])
     }
 }
 
-/// One stable counting-sort pass on an 8-bit digit at `shift`, writing the
-/// reordered pairs into `out` (buffers are reused across passes).
-fn counting_pass_into<K, V>(
+impl<K: RadixKey, V: Copy + Send + Sync> PairSrc<K, V> for [(K, V)] {
+    fn len(&self) -> usize {
+        <[(K, V)]>::len(self)
+    }
+    #[inline]
+    fn key(&self, i: usize) -> K {
+        self[i].0
+    }
+    #[inline]
+    fn pair(&self, i: usize) -> (K, V) {
+        self[i]
+    }
+}
+
+/// One stable counting-sort pass on a `cfg.digit_bits`-wide digit at
+/// `shift`, writing the reordered pairs into `out` (buffers are reused
+/// across passes). `fused` charges the single-kernel histogram+scatter
+/// variant instead of the two-kernel-plus-scan layout; the data movement
+/// is identical either way, so the output does not depend on it.
+#[allow(clippy::too_many_arguments)]
+fn one_pass_into<K, V, S>(
     gpu: &mut Gpu,
     at: SimTime,
-    keys: &[K],
-    vals: &[V],
+    src: &S,
     shift: u32,
-    out: &mut SortBufs<K, V>,
+    cfg: &SortConfig,
+    fused: bool,
+    out: &mut Vec<(K, V)>,
+    offsets: &mut Vec<usize>,
 ) -> SimGpuResult<SimTime>
 where
     K: RadixKey,
     V: Copy + Send + Sync + 'static,
+    S: PairSrc<K, V> + ?Sized,
 {
-    let n = keys.len();
-    let cfg = LaunchConfig::for_items(n, SORT_ITEMS_PER_BLOCK, 256)
-        .with_shared_bytes((DIGITS * 4) as u32);
+    let n = src.len();
+    let digits = cfg.digits();
+    let mask = digits as u64 - 1;
+    let launch_cfg = LaunchConfig::for_items(n, SORT_ITEMS_PER_BLOCK, 256)
+        .with_shared_bytes((digits * 4) as u32);
+    let pair_bytes = std::mem::size_of::<K>() + std::mem::size_of::<V>();
+    let blocks = n.div_ceil(SORT_ITEMS_PER_BLOCK);
 
-    // Kernel 1: per-block digit histogram. The global stable order is
-    // digit-major then block-major then local order; with counts per block
-    // the scatter below can place every pair directly, so no per-block
-    // bucket lists are materialized.
-    let (hist, r1) = gpu.launch(at, &cfg, |ctx| {
-        let range = ctx.item_range(n);
-        ctx.charge_read::<K>(range.len());
-        ctx.charge_read::<V>(range.len());
-        ctx.charge_flops(3 * range.len() as u64); // digit extract + shared atomic
-        let mut counts = [0usize; DIGITS];
-        for i in range {
-            let d = ((keys[i].radix() >> shift) & (DIGITS as u64 - 1)) as usize;
+    let end = if fused {
+        // Fused pass: one kernel builds its digit histogram in shared
+        // memory, exchanges per-block digit offsets, and scatters — the
+        // pairs are read from global memory once (no standalone histogram
+        // read) and the separate scan launch disappears. Writes stay
+        // scattered and are charged uncoalesced.
+        let cost = KernelCost {
+            flops: 5 * n as u64 + (digits * blocks) as u64,
+            bytes_coalesced: (n * pair_bytes) as u64,
+            bytes_uncoalesced: (n * pair_bytes) as u64,
+            ..KernelCost::ZERO
+        };
+        let occ = occupancy(&gpu.spec, &launch_cfg).fraction;
+        let r = gpu.charge_compute(at, &cost, occ);
+        let counts = host_histogram(src, shift, mask, digits, blocks, n);
+        scan_offsets(&counts, digits, offsets);
+        r.end
+    } else {
+        // Kernel 1: per-block digit histogram. The global stable order is
+        // digit-major then block-major then local order; with counts per
+        // block the scatter below can place every pair directly, so no
+        // per-block bucket lists are materialized.
+        let (hist, r1) = gpu.launch(at, &launch_cfg, |ctx| {
+            let range = ctx.item_range(n);
+            ctx.charge_read::<K>(range.len());
+            ctx.charge_read::<V>(range.len());
+            ctx.charge_flops(3 * range.len() as u64); // digit extract + shared atomic
+            let mut counts = vec![0usize; digits];
+            for i in range {
+                let d = ((src.key(i).radix() >> shift) & mask) as usize;
+                counts[d] += 1;
+            }
+            counts
+        })?;
+
+        // Digit-major exclusive scan over the (digit x block) histogram.
+        let blocks = hist.outputs.len();
+        let scan_cost = KernelCost {
+            flops: (digits * blocks) as u64,
+            bytes_coalesced: (2 * digits * blocks * 4) as u64,
+            ..KernelCost::ZERO
+        };
+        let r2 = gpu.charge_compute(r1.end, &scan_cost, 1.0);
+        scan_offsets(&hist.outputs, digits, offsets);
+
+        // Kernel 2 (scatter): each pair lands at its scanned offset. Writes
+        // are scattered across the output — charged uncoalesced, reads
+        // coalesced.
+        let scatter_cost = KernelCost {
+            flops: 2 * n as u64,
+            bytes_coalesced: (n * pair_bytes) as u64,
+            bytes_uncoalesced: (n * pair_bytes) as u64,
+            ..KernelCost::ZERO
+        };
+        gpu.charge_compute(r2.end, &scatter_cost, 1.0).end
+    };
+
+    // A forward scan writes each pair at its block's scanned offset;
+    // forward order within a block keeps the sort stable. (Placement is
+    // the same data movement the kernels charged for above.) The stable
+    // output is unique, so either placement strategy below produces
+    // bit-identical results no matter the worker count.
+    if out.len() != n {
+        out.clear();
+        out.resize(n, src.pair(0));
+    }
+    let per = n.div_ceil(blocks);
+    let parts = digit_partitions(offsets, blocks, digits, n);
+    if parts.len() <= 1 {
+        // Serial placement collapses the (digit x block) offset table to
+        // one running counter per digit — a block's pairs are visited in
+        // global input order anyway, so per-block bases are redundant and
+        // the counter table stays cache-resident.
+        let mut ctr: Vec<usize> = (0..digits).map(|d| offsets[d * blocks]).collect();
+        for i in 0..n {
+            let (k, v) = src.pair(i);
+            let d = ((k.radix() >> shift) & mask) as usize;
+            let pos = &mut ctr[d];
+            out[*pos] = (k, v);
+            *pos += 1;
+        }
+    } else {
+        // Parallel placement: the digit-major layout means each digit range
+        // owns one contiguous slice of the output and of the offset table,
+        // so the ranges can be carved into disjoint `&mut` regions and
+        // filled on the worker pool. Every region's writes are fully
+        // determined by the scanned offsets, so the result is bit-identical
+        // to the serial loop no matter how tasks interleave.
+        struct Region<'a, K, V> {
+            d0: usize,
+            d1: usize,
+            base: usize,
+            pairs: &'a mut [(K, V)],
+            offs: &'a mut [usize],
+        }
+        let mut regions: Vec<Mutex<Region<'_, K, V>>> = Vec::with_capacity(parts.len());
+        let mut rem_p: &mut [(K, V)] = out;
+        let mut rem_o: &mut [usize] = offsets;
+        let mut done_out = 0usize;
+        let mut done_dig = 0usize;
+        for &(d0, d1, start, end_o) in &parts {
+            let (_, rest) = std::mem::take(&mut rem_p).split_at_mut(start - done_out);
+            let (mine_p, rest_p) = rest.split_at_mut(end_o - start);
+            rem_p = rest_p;
+            let (_, rest) = std::mem::take(&mut rem_o).split_at_mut((d0 - done_dig) * blocks);
+            let (mine_o, rest_o) = rest.split_at_mut((d1 - d0) * blocks);
+            rem_o = rest_o;
+            done_out = end_o;
+            done_dig = d1;
+            regions.push(Mutex::new(Region {
+                d0,
+                d1,
+                base: start,
+                pairs: mine_p,
+                offs: mine_o,
+            }));
+        }
+        run_indexed(regions.len(), |t| {
+            let mut guard = regions[t].lock().unwrap();
+            let reg = &mut *guard;
+            for b in 0..blocks {
+                let start = (b * per).min(n);
+                let end_i = ((b + 1) * per).min(n);
+                for i in start..end_i {
+                    let d = ((src.key(i).radix() >> shift) & mask) as usize;
+                    if d < reg.d0 || d >= reg.d1 {
+                        continue;
+                    }
+                    let pos = &mut reg.offs[(d - reg.d0) * blocks + b];
+                    reg.pairs[*pos - reg.base] = src.pair(i);
+                    *pos += 1;
+                }
+            }
+        });
+    }
+    Ok(end)
+}
+
+/// Host-side per-block digit histograms for the fused pass — the same
+/// per-block counts the two-kernel path gets from its histogram kernel
+/// launch. Runs on the worker pool when there is one; a single-thread
+/// host just walks the input once (queueing hundreds of block tasks
+/// through a one-worker pool only adds overhead).
+fn host_histogram<K, V, S>(
+    src: &S,
+    shift: u32,
+    mask: u64,
+    digits: usize,
+    blocks: usize,
+    n: usize,
+) -> Vec<Vec<usize>>
+where
+    K: RadixKey,
+    V: Copy + Send + Sync + 'static,
+    S: PairSrc<K, V> + ?Sized,
+{
+    let per = n.div_ceil(blocks);
+    let block_counts = |b: usize| {
+        let start = (b * per).min(n);
+        let end = ((b + 1) * per).min(n);
+        let mut counts = vec![0usize; digits];
+        for i in start..end {
+            let d = ((src.key(i).radix() >> shift) & mask) as usize;
             counts[d] += 1;
         }
         counts
-    })?;
-
-    // Digit-major exclusive scan over the (digit x block) histogram.
-    let blocks = hist.outputs.len();
-    let scan_cost = KernelCost {
-        flops: (DIGITS * blocks) as u64,
-        bytes_coalesced: (2 * DIGITS * blocks * 4) as u64,
-        ..KernelCost::ZERO
     };
-    let r2 = gpu.charge_compute(r1.end, &scan_cost, 1.0);
-    out.offsets.clear();
-    out.offsets.resize(blocks * DIGITS, 0);
+    if worker_threads() == 1 {
+        (0..blocks).map(block_counts).collect()
+    } else {
+        run_indexed(blocks, block_counts)
+    }
+}
+
+/// Digit-major exclusive scan of per-block counts into `offsets`
+/// (indexed `d * blocks + b`): the global stable order is digit-major,
+/// then block-major, then local order.
+fn scan_offsets(counts: &[Vec<usize>], digits: usize, offsets: &mut Vec<usize>) {
+    let blocks = counts.len();
+    offsets.clear();
+    offsets.resize(blocks * digits, 0);
     let mut running = 0usize;
-    for d in 0..DIGITS {
-        for (b, counts) in hist.outputs.iter().enumerate() {
-            out.offsets[b * DIGITS + d] = running;
-            running += counts[d];
+    for d in 0..digits {
+        for (b, c) in counts.iter().enumerate() {
+            offsets[d * blocks + b] = running;
+            running += c[d];
         }
     }
+}
 
-    // Kernel 2 (scatter): each pair lands at its scanned offset. Writes are
-    // scattered across the output — charged uncoalesced, reads coalesced.
-    let pair_bytes = std::mem::size_of::<K>() + std::mem::size_of::<V>();
-    let scatter_cost = KernelCost {
-        flops: 2 * n as u64,
-        bytes_coalesced: (n * pair_bytes) as u64,
-        bytes_uncoalesced: (n * pair_bytes) as u64,
-        ..KernelCost::ZERO
+/// Greedily split the digit space into at most `worker_threads()` (capped
+/// at 8) contiguous ranges holding roughly equal pair counts, returning
+/// `(d0, d1, out_start, out_end)` per non-empty range. Small inputs stay
+/// on one range (serial placement).
+fn digit_partitions(
+    offsets: &[usize],
+    blocks: usize,
+    digits: usize,
+    n: usize,
+) -> Vec<(usize, usize, usize, usize)> {
+    let max_parts = worker_threads().min(8);
+    if n < (1 << 16) || max_parts <= 1 {
+        return vec![(0, digits, 0, n)];
+    }
+    let start = |d: usize| {
+        if d == digits {
+            n
+        } else {
+            offsets[d * blocks]
+        }
     };
-    let r3 = gpu.charge_compute(r2.end, &scatter_cost, 1.0);
-
-    // A forward scan writes each pair at its block's scanned offset;
-    // forward order within a block keeps the sort stable.
-    out.keys.clear();
-    out.vals.clear();
-    out.keys.resize(n, keys[0]);
-    out.vals.resize(n, vals[0]);
-    let per = n.div_ceil(blocks);
-    for b in 0..blocks {
-        let start = (b * per).min(n);
-        let end = ((b + 1) * per).min(n);
-        for i in start..end {
-            let d = ((keys[i].radix() >> shift) & (DIGITS as u64 - 1)) as usize;
-            let pos = &mut out.offsets[b * DIGITS + d];
-            out.keys[*pos] = keys[i];
-            out.vals[*pos] = vals[i];
-            *pos += 1;
+    let target = n.div_ceil(max_parts);
+    let mut parts = Vec::with_capacity(max_parts);
+    let mut d0 = 0;
+    while d0 < digits {
+        let mut d1 = d0 + 1;
+        while d1 < digits && start(d1) - start(d0) < target {
+            d1 += 1;
         }
+        if start(d1) > start(d0) {
+            parts.push((d0, d1, start(d0), start(d1)));
+        }
+        d0 = d1;
     }
-    Ok(r3.end)
+    parts
 }
 
 #[cfg(test)]
@@ -295,12 +891,67 @@ mod tests {
         expect.sort_unstable();
         assert_eq!(sorted, expect);
 
-        // Full-width keys need four passes; 8-bit keys only one.
+        // Full-width keys need three 11-bit passes; 8-bit keys only one.
         let wide = pseudo_random(30_000, 3);
         let k2 = g.stats().kernels;
         sort_keys(&mut g, SimTime::ZERO, &wide).unwrap();
         let launches_wide = g.stats().kernels - k2;
         assert!(launches_wide > launches_narrow);
+    }
+
+    #[test]
+    fn wide_digits_cut_pass_count_and_time() {
+        // 32-bit keys: 8-bit digits need 4 passes, 11-bit digits 3, and
+        // the fused final pass removes two launches more. Fewer, cheaper
+        // passes must show up as less simulated time.
+        let keys = pseudo_random(60_000, 17);
+        let vals: Vec<u32> = (0..keys.len() as u32).collect();
+        let mut runs = Vec::new();
+        for cfg in [SortConfig::reference(), SortConfig::default()] {
+            let mut g = gpu();
+            let (sk, sv, t) =
+                sort_pairs_with_bits_config(&mut g, SimTime::ZERO, &keys, &vals, 32, &cfg).unwrap();
+            runs.push((sk, sv, t, g.stats().kernels));
+        }
+        let (ref_k, ref_v, ref_t, ref_kernels) = runs.remove(0);
+        let (wide_k, wide_v, wide_t, wide_kernels) = runs.remove(0);
+        assert_eq!(ref_k, wide_k, "output must not depend on digit width");
+        assert_eq!(ref_v, wide_v, "value order must not depend on digit width");
+        assert!(
+            wide_kernels < ref_kernels,
+            "{wide_kernels} vs {ref_kernels}"
+        );
+        assert!(
+            wide_t < ref_t,
+            "wide-digit fused sort ({wide_t}) should beat 8-bit ({ref_t})"
+        );
+    }
+
+    #[test]
+    fn fused_final_pass_saves_launches() {
+        let keys = pseudo_random(40_000, 23);
+        let vals: Vec<u32> = (0..keys.len() as u32).collect();
+        let cfg_plain = SortConfig {
+            fuse_final: false,
+            ..SortConfig::default()
+        };
+        let mut g1 = gpu();
+        let (k1, _, t1) =
+            sort_pairs_with_bits_config(&mut g1, SimTime::ZERO, &keys, &vals, 32, &cfg_plain)
+                .unwrap();
+        let mut g2 = gpu();
+        let (k2, _, t2) = sort_pairs_with_bits_config(
+            &mut g2,
+            SimTime::ZERO,
+            &keys,
+            &vals,
+            32,
+            &SortConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(k1, k2);
+        assert!(g2.stats().kernels < g1.stats().kernels);
+        assert!(t2 < t1, "fused ({t2}) should beat unfused ({t1})");
     }
 
     #[test]
@@ -312,6 +963,22 @@ mod tests {
         assert_eq!(sk[0], 0);
         assert_eq!(sk[4999], 4999);
         assert_eq!(sv[0], (4999 % 256) as u8);
+    }
+
+    #[test]
+    fn config_from_env_clamps_digit_width() {
+        let clamped = SortConfig {
+            digit_bits: 40,
+            fuse_final: true,
+        }
+        .normalized();
+        assert_eq!(clamped.digit_bits, 12);
+        let floor = SortConfig {
+            digit_bits: 0,
+            fuse_final: false,
+        }
+        .normalized();
+        assert_eq!(floor.digit_bits, 1);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use gpmr_primitives::{
     bitonic_sort_pairs_by, compact, exclusive_scan, extract_segments, histogram, inclusive_scan,
-    reduce, sort_pairs, RadixKey,
+    reduce, sort_pairs, sort_pairs_with_bits_config, RadixKey, SortConfig,
 };
 use gpmr_sim_gpu::{Gpu, GpuSpec, SimTime};
 use proptest::prelude::*;
@@ -116,6 +116,39 @@ proptest! {
         }
         // Unique keys ascend strictly.
         prop_assert!(segs.keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn wide_and_fused_digits_match_8bit_reference(
+        keys in prop::collection::vec(any::<u32>(), 0..2000),
+        width in 1u32..=32,
+    ) {
+        // Mask keys to a random significant width so every pass-count path
+        // (1..=8 passes depending on digit width) gets exercised.
+        let keys: Vec<u32> = keys
+            .iter()
+            .map(|&k| if width == 32 { k } else { k & ((1u32 << width) - 1) })
+            .collect();
+        let vals: Vec<u32> = (0..keys.len() as u32).collect();
+        let mut g = gpu();
+        let (ref_k, ref_v, _) = sort_pairs_with_bits_config(
+            &mut g, SimTime::ZERO, &keys, &vals, width, &SortConfig::reference(),
+        )
+        .unwrap();
+        for digit_bits in [4u32, 8, 11] {
+            for fuse_final in [false, true] {
+                let cfg = SortConfig { digit_bits, fuse_final };
+                let mut g = gpu();
+                let (k, v, _) = sort_pairs_with_bits_config(
+                    &mut g, SimTime::ZERO, &keys, &vals, width, &cfg,
+                )
+                .unwrap();
+                prop_assert_eq!(&k, &ref_k, "keys diverged at {:?}", cfg);
+                // Value agreement proves stability: values are original
+                // indices, so any instability reorders equal keys' values.
+                prop_assert_eq!(&v, &ref_v, "values diverged at {:?}", cfg);
+            }
+        }
     }
 
     #[test]

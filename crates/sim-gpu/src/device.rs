@@ -73,6 +73,7 @@ pub struct Gpu {
     /// Global-memory allocator for this device.
     pub mem: DeviceMemory,
     compute: Timeline,
+    copy_engine: Timeline,
     link: SharedLink,
     stats: GpuStats,
     telem: Option<Box<GpuTelemetry>>,
@@ -96,6 +97,7 @@ impl Gpu {
             spec,
             mem,
             compute: Timeline::new(),
+            copy_engine: Timeline::new(),
             link,
             stats: GpuStats::default(),
             telem: None,
@@ -174,12 +176,33 @@ impl Gpu {
     }
 
     /// Reserve a host-to-device transfer of `bytes` on the PCI-e link.
+    ///
+    /// The transfer also occupies this device's H2D copy-engine timeline:
+    /// uploads issued to one device serialize on its copy engine even when
+    /// the PCI-e link itself is idle, exactly like queueing `cudaMemcpyAsync`
+    /// calls on a single copy stream. The returned reservation reflects
+    /// both constraints.
     pub fn h2d(&mut self, at: SimTime, bytes: u64) -> Reservation {
         self.stats.h2d_bytes += bytes;
         if let Some(t) = &self.telem {
             t.h2d_bytes.add(bytes);
         }
-        self.link.transfer(Direction::HostToDevice, at, bytes)
+        // The copy engine must be free before the link transfer can start.
+        let engine_free = self.copy_engine.free_at();
+        let res = self
+            .link
+            .transfer(Direction::HostToDevice, at.max(engine_free), bytes);
+        self.copy_engine.reserve(res.start, res.duration());
+        res
+    }
+
+    /// Queue a host-to-device transfer on the copy engine at `issue`, but
+    /// no earlier than `gate` (typically the instant the destination
+    /// staging buffer frees up). This is the k-deep upload pipeline's
+    /// primitive: the engine issues uploads for chunks N+1..N+k while
+    /// chunk N's map runs, gating each on its staging slot.
+    pub fn h2d_gated(&mut self, issue: SimTime, gate: SimTime, bytes: u64) -> Reservation {
+        self.h2d(issue.max(gate), bytes)
     }
 
     /// Reserve a device-to-host transfer of `bytes` on the PCI-e link.
@@ -251,6 +274,16 @@ impl Gpu {
         self.compute.busy_time()
     }
 
+    /// Instant after which the H2D copy engine is idle.
+    pub fn copy_free_at(&self) -> SimTime {
+        self.copy_engine.free_at()
+    }
+
+    /// Total time the H2D copy engine has been busy.
+    pub fn copy_busy(&self) -> SimDuration {
+        self.copy_engine.busy_time()
+    }
+
     /// The device's PCI-e link handle.
     pub fn link(&self) -> &SharedLink {
         &self.link
@@ -265,6 +298,7 @@ impl Gpu {
     /// allocations. Used between jobs on a persistent device.
     pub fn reset_clock(&mut self) {
         self.compute.reset();
+        self.copy_engine.reset();
         self.link.reset();
         self.stats = GpuStats::default();
     }
@@ -401,7 +435,45 @@ mod tests {
         g.h2d(SimTime::ZERO, 1 << 20);
         g.reset_clock();
         assert_eq!(g.compute_free_at(), SimTime::ZERO);
+        assert_eq!(g.copy_free_at(), SimTime::ZERO);
         assert_eq!(g.stats().h2d_bytes, 0);
         assert_eq!(g.mem.used(), 128);
+    }
+
+    #[test]
+    fn uploads_serialize_on_the_copy_engine() {
+        let mut g = gpu();
+        let r1 = g.h2d(SimTime::ZERO, 1 << 26);
+        // Second upload issued at t=0 queues behind the first on the copy
+        // engine (and on the link).
+        let r2 = g.h2d(SimTime::ZERO, 1 << 26);
+        assert_eq!(r2.start, r1.end);
+        assert_eq!(g.copy_free_at(), r2.end);
+        assert_eq!(
+            g.copy_busy().as_secs(),
+            r1.duration().as_secs() + r2.duration().as_secs()
+        );
+    }
+
+    #[test]
+    fn gated_upload_waits_for_the_later_of_issue_and_gate() {
+        let mut g = gpu();
+        let gate = SimTime::from_secs(2.0);
+        let r = g.h2d_gated(SimTime::from_secs(1.0), gate, 1 << 20);
+        assert_eq!(r.start, gate);
+        // With the gate in the past, the issue time wins.
+        let r2 = g.h2d_gated(SimTime::from_secs(5.0), SimTime::ZERO, 1 << 20);
+        assert_eq!(r2.start, SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    fn copy_engine_and_d2h_are_independent() {
+        // Downloads ride the other PCI-e direction and do not occupy the
+        // H2D copy engine.
+        let mut g = gpu();
+        let up = g.h2d(SimTime::ZERO, 1 << 26);
+        let down = g.d2h(SimTime::ZERO, 1 << 26);
+        assert_eq!(down.start, SimTime::ZERO);
+        assert_eq!(g.copy_free_at(), up.end);
     }
 }

@@ -137,7 +137,7 @@ impl BenchBaseline {
     }
 }
 
-/// A named collection of baselines, as stored in `BENCH_PR5.json`.
+/// A named collection of baselines, as stored in `BENCH_PR6.json`.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct BaselineSet {
     /// Inverse problem-size scale the scenarios were recorded at.

@@ -37,6 +37,36 @@ fn run_wo(workers: usize, backend: ExecBackend) -> (Vec<KvSet<u32, u32>>, gpmr::
     run_wo_faulted(workers, backend, None)
 }
 
+/// The same WO job under an explicit engine tuning (upload pipeline depth
+/// and transfer mode), for the tuning-matrix determinism tests.
+fn run_wo_tuned(
+    workers: usize,
+    backend: ExecBackend,
+    depth: u32,
+    gpu_direct: bool,
+    plan: Option<FaultPlan>,
+) -> (Vec<KvSet<u32, u32>>, gpmr::core::JobTimings) {
+    use gpmr::core::{run_job_tuned, EngineTuning};
+    set_exec_backend(backend);
+    let mut cluster = Cluster::new(Topology::new(2, 2, 2), GpuSpec::gt200());
+    cluster.set_fault_plan(plan);
+    for rank in 0..4 {
+        cluster.gpu(rank).worker_threads = workers;
+    }
+    let dict = Arc::new(Dictionary::generate(300, 11));
+    let text = generate_text(&dict, 120_000, 12);
+    let chunks = chunk_text(&text, 16 * 1024);
+    let job = WoJob::new(dict, 4);
+    let tuning = EngineTuning {
+        pipeline_depth: depth,
+        gpu_direct,
+        ..EngineTuning::default()
+    };
+    let result = run_job_tuned(&mut cluster, &job, chunks, &tuning).expect("job runs");
+    set_exec_backend(ExecBackend::Pool);
+    (result.outputs, result.timings)
+}
+
 #[test]
 fn outputs_and_times_are_independent_of_workers_and_backend() {
     let (base_out, base_times) = run_wo(1, ExecBackend::Pool);
@@ -99,5 +129,74 @@ fn fault_recovery_is_independent_of_workers_and_backend() {
                 "faulted times/recovery changed with {workers} workers on {backend:?}"
             );
         }
+    }
+}
+
+#[test]
+fn tuning_matrix_is_deterministic_and_output_invariant() {
+    // Pipeline depth and transfer mode reshape the schedule, never the
+    // answer: every tuning point must reproduce the default-tuning
+    // outputs bit-for-bit, and within a tuning point the simulated times
+    // must be identical across worker counts and execution backends.
+    let (base_out, _) = run_wo(1, ExecBackend::Pool);
+    for depth in [1u32, 2, 4] {
+        for gpu_direct in [false, true] {
+            let (out, times) = run_wo_tuned(1, ExecBackend::Pool, depth, gpu_direct, None);
+            assert_eq!(
+                out, base_out,
+                "outputs changed at depth {depth}, gpu_direct {gpu_direct}"
+            );
+            for (workers, backend) in [(2, ExecBackend::Pool), (8, ExecBackend::Spawn)] {
+                let (o, t) = run_wo_tuned(workers, backend, depth, gpu_direct, None);
+                assert_eq!(
+                    o, out,
+                    "outputs changed with {workers} workers on {backend:?} \
+                     at depth {depth}, gpu_direct {gpu_direct}"
+                );
+                assert_eq!(
+                    t, times,
+                    "times changed with {workers} workers on {backend:?} \
+                     at depth {depth}, gpu_direct {gpu_direct}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tuning_matrix_survives_faults_deterministically() {
+    // The corner tuning points (pipelining off / deep, host-staged /
+    // GPU-direct) under the all-paths fault plan: recovery must replay
+    // identically across workers and backends, and still compute the
+    // fault-free answer.
+    let (fault_free, fault_free_times) = run_wo(1, ExecBackend::Pool);
+    let horizon = fault_free_times.total.as_secs();
+    let plan = || {
+        Some(
+            FaultPlan::new()
+                .kill(2, horizon * 0.4)
+                .transfer_fail(Some(1), Some(0), 0.0, f64::INFINITY, 2)
+                .stall(3, horizon * 0.2, horizon * 0.15),
+        )
+    };
+    for (depth, gpu_direct) in [(1u32, false), (1, true), (4, false), (4, true)] {
+        let (out, times) = run_wo_tuned(1, ExecBackend::Pool, depth, gpu_direct, plan());
+        assert_eq!(
+            out, fault_free,
+            "faulted run must still compute the fault-free answer \
+             at depth {depth}, gpu_direct {gpu_direct}"
+        );
+        assert!(times.gpus_lost >= 1, "the kill must have landed");
+        let (o, t) = run_wo_tuned(8, ExecBackend::Spawn, depth, gpu_direct, plan());
+        assert_eq!(
+            o, out,
+            "faulted outputs changed across backends at depth {depth}, \
+             gpu_direct {gpu_direct}"
+        );
+        assert_eq!(
+            t, times,
+            "faulted times/recovery changed across backends at depth {depth}, \
+             gpu_direct {gpu_direct}"
+        );
     }
 }

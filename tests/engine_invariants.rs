@@ -196,10 +196,13 @@ fn dynamic_scheduling_beats_static_on_skewed_work() {
     use gpmr::core::{run_job_tuned, EngineTuning};
     // Adversarial queue skew: the round-robin distribution assigns chunk i
     // to rank i % 8, so placing every big chunk at positions = 0 (mod 8)
-    // piles all the heavy work onto rank 0's queue.
-    let data = generate_integers(600_000, 31);
-    let heavy = sio_chunks(&data[..480_000], 96 * 1024); // 20 big chunks
-    let light = sio_chunks(&data[480_000..], 2 * 1024); // many tiny chunks
+    // piles all the heavy work onto rank 0's queue. The big chunks are
+    // 128x the small ones, so rank 0 stays transfer-bound long after the
+    // light ranks drain — skew the deep upload pipeline cannot hide, so
+    // it must be stolen away.
+    let data = generate_integers(2_211_840, 31);
+    let heavy = sio_chunks(&data[..2_097_152], 256 * 1024); // 32 big chunks
+    let light = sio_chunks(&data[2_097_152..], 2 * 1024); // 224 tiny chunks
     let mut heavy = heavy.into_iter();
     let mut light = light.into_iter();
     let mut big: Vec<_> = Vec::new();

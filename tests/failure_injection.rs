@@ -14,21 +14,85 @@ use gpmr_apps::sio::sio_chunks;
 
 #[test]
 fn oversized_chunks_are_rejected_with_capacity_info() {
-    // A 16 MB device cannot double-buffer a 12 MB chunk.
+    // A 16 MB device cannot stage a 12 MB chunk even twice, let alone at
+    // the default pipeline depth.
     let spec = GpuSpec::gt200().with_mem_capacity(16 << 20);
     let mut cluster = Cluster::new(gpmr::sim_net::Topology::new(1, 2, 2), spec);
     let data = vec![7u32; 3 << 20];
     let chunks = sio_chunks(&data, 12 << 20);
     let err = run_job(&mut cluster, &SioJob::default(), chunks).unwrap_err();
     match err {
-        EngineError::ChunkTooLarge { bytes, capacity } => {
+        EngineError::ChunkTooLarge {
+            bytes,
+            capacity,
+            slots,
+        } => {
             assert_eq!(bytes, 12 << 20);
             assert_eq!(capacity, 16 << 20);
+            assert_eq!(slots, 4, "default pipeline depth, no gpu-direct slot");
         }
         other => panic!("expected ChunkTooLarge, got {other}"),
     }
     // ChunkTooLarge is a leaf diagnosis: nothing beneath it in the chain.
     assert!(err.source().is_none());
+}
+
+#[test]
+fn chunk_capacity_boundary_is_exact_per_staging_slot() {
+    use gpmr::core::{run_job_tuned, EngineTuning};
+    // Device capacity of exactly pipeline_depth × chunk bytes: every
+    // staging slot fits at once, so the job must run. One extra item per
+    // chunk tips it over.
+    let items = 65_536usize; // 256 KiB of u32 payload
+    let chunk_bytes = (items * 4) as u64;
+    let tuning = |depth: u32, gpu_direct: bool| EngineTuning {
+        pipeline_depth: depth,
+        gpu_direct,
+        ..EngineTuning::default()
+    };
+    let run = |n_items: usize, capacity: u64, depth: u32, direct: bool| {
+        let spec = GpuSpec::gt200().with_mem_capacity(capacity);
+        let mut cluster = Cluster::new(gpmr::sim_net::Topology::new(1, 2, 2), spec);
+        let data = vec![7u32; n_items];
+        let chunks = sio_chunks(&data, n_items * 4); // one chunk holding all items
+        run_job_tuned(
+            &mut cluster,
+            &SioJob::default(),
+            chunks,
+            &tuning(depth, direct),
+        )
+    };
+
+    for depth in [1u32, 2, 4] {
+        let capacity = chunk_bytes * u64::from(depth);
+        // Exact fit: depth slots of chunk_bytes fill the device exactly.
+        assert!(
+            run(items, capacity, depth, false).is_ok(),
+            "exact fit must pass at depth {depth}"
+        );
+        // One item over: the first chunk no longer fits per slot.
+        let err = run(items + 1, capacity, depth, false).unwrap_err();
+        match err {
+            EngineError::ChunkTooLarge { bytes, slots, .. } => {
+                assert_eq!(bytes, chunk_bytes + 4, "one u32 past the exact fit");
+                assert_eq!(slots, u64::from(depth));
+            }
+            other => panic!("expected ChunkTooLarge at depth {depth}, got {other}"),
+        }
+    }
+
+    // GPU-direct parks outbound pairs in device memory for the NIC, which
+    // costs one more staging slot: the depth-4 exact fit now fails...
+    let capacity = chunk_bytes * 4;
+    let err = run(items, capacity, 4, true).unwrap_err();
+    match err {
+        EngineError::ChunkTooLarge { slots, .. } => {
+            assert_eq!(slots, 5, "pipeline depth 4 plus the GPU-direct slot")
+        }
+        other => panic!("expected ChunkTooLarge with gpu-direct, got {other}"),
+    }
+    // ...and one more slot of capacity restores the exact fit.
+    assert!(run(items, chunk_bytes * 5, 4, true).is_ok());
 }
 
 #[test]
