@@ -185,6 +185,7 @@ pub fn run_mm_bench(gpus: u32, n: usize, scale: u64, seed: u64) -> RunOutcome {
         pairs_emitted: result.phase1.pairs_emitted + result.phase2.pairs_emitted,
         pairs_shuffled: result.phase1.pairs_shuffled + result.phase2.pairs_shuffled,
         gpus_lost: result.phase1.gpus_lost + result.phase2.gpus_lost,
+        gpus_added: result.phase1.gpus_added + result.phase2.gpus_added,
         chunks_requeued: result.phase1.chunks_requeued + result.phase2.chunks_requeued,
         transfer_retries: result.phase1.transfer_retries + result.phase2.transfer_retries,
         stalls_injected: result.phase1.stalls_injected + result.phase2.stalls_injected,

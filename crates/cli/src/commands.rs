@@ -10,7 +10,10 @@ use gpmr_apps::sio::{self, SioJob};
 use gpmr_apps::text::{chunk_text, generate_text, Dictionary};
 use gpmr_apps::wo::WoJob;
 use gpmr_bench::perf as perfsuite;
-use gpmr_core::{run_job_instrumented, EngineTuning, GpmrJob, JobResult, JobTrace};
+use gpmr_core::{
+    run_job_instrumented, run_job_journaled, EngineTuning, GpmrJob, JobResult, JobTrace, Journal,
+    Pod,
+};
 use gpmr_sim_gpu::{FaultPlan, GpuSpec, PcieLink};
 use gpmr_sim_net::{Cluster, CpuSpec, Nic, Topology};
 use gpmr_telemetry::analyze;
@@ -29,6 +32,7 @@ USAGE:
                 [--pipeline-depth K] [--gpu-direct]
                 [--metrics-out F] [--trace-out F] [--events-out F]
                 [--fault-plan SPEC | --fault-seed S]
+                [--journal F [--resume] [--checkpoint-every N]]
     gpmr kmeans [--points N] [--k K] [--gpus N] [--iterations I] [--seed S]
     gpmr analyze --events events.jsonl [--json]
     gpmr analyze --benchmark <sio|wo|kmc|lr> [run options] [--json]
@@ -60,6 +64,8 @@ RUN OPTIONS:
                   metrics) to F as JSONL; feed to `gpmr trace export`
     --fault-plan  inject faults from an explicit plan. `;`-separated:
                   kill:R@T (lose rank R's GPU at T seconds),
+                  add:R@T (rank R's GPU joins the running job at T;
+                  it steals map work but is not a reducer),
                   stall:R@T+D (freeze rank R at T for D seconds),
                   xfail:F->T@S..U*N (fail first N tries of F->T transfers
                   ready in [S,U); `*` = any rank, `..U` optional),
@@ -67,6 +73,15 @@ RUN OPTIONS:
                   Example: --fault-plan 'kill:1@2e-3; xfail:0->2@0..1e-2*2'
     --fault-seed  generate a random fault plan from seed S (deterministic;
                   always leaves at least one GPU alive)
+    --journal     write-ahead job journal: append every scheduling
+                  decision and stage commit (content-hashed) to F so an
+                  interrupted run can be resumed bit-identically
+    --resume      verify-replay the journal at F to its last consistent
+                  record, then run the rest of the job; torn tails are
+                  trimmed, a mismatched job aborts with a divergence error
+    --checkpoint-every
+                  flush the journal every N records (stage-barrier
+                  records always flush immediately)      [default: 1]
 
 ANALYZE:
     Performance diagnosis: critical-path extraction with per-stage
@@ -132,6 +147,8 @@ pub const VALUED: &[&str] = &[
     "iterations",
     "fault-plan",
     "fault-seed",
+    "journal",
+    "checkpoint-every",
     "pipeline-depth",
     "metrics-out",
     "trace-out",
@@ -139,7 +156,7 @@ pub const VALUED: &[&str] = &[
     "events",
 ];
 /// Boolean flags.
-pub const BOOLEAN: &[&str] = &["trace", "json", "gpu-direct"];
+pub const BOOLEAN: &[&str] = &["trace", "json", "gpu-direct", "resume"];
 
 /// Parse tokens and execute; returns the text to print.
 pub fn dispatch<I, S>(tokens: I) -> Result<String, CliError>
@@ -197,12 +214,17 @@ fn report(
         } else {
             String::new()
         };
+    let elastic = if tm.gpus_added > 0 {
+        format!("elasticity     : {} GPU(s) joined mid-job\n", tm.gpus_added)
+    } else {
+        String::new()
+    };
     format!(
         "{label} on {gpus} GPU(s)\n\
          simulated time : {t}\n\
          throughput     : {throughput:.1} M items/s\n\
          pairs          : {} emitted, {} shuffled, {} chunks stolen\n\
-         {recovery}breakdown      : map {:.1}%  bin {:.1}%  sort {:.1}%  reduce {:.1}%  sched {:.1}%\n",
+         {recovery}{elastic}breakdown      : map {:.1}%  bin {:.1}%  sort {:.1}%  reduce {:.1}%  sched {:.1}%\n",
         tm.pairs_emitted,
         tm.pairs_shuffled,
         tm.chunks_stolen,
@@ -258,15 +280,85 @@ fn run_with_tel<J: GpmrJob>(
     chunks: Vec<J::Chunk>,
     tuning: &EngineTuning,
     need_tel: bool,
-) -> Result<RunOutcome<J>, CliError> {
+    journal: Option<&mut Journal>,
+) -> Result<RunOutcome<J>, CliError>
+where
+    J::Key: Pod,
+    J::Value: Pod,
+{
     let tel = if need_tel {
         Telemetry::enabled()
     } else {
         Telemetry::disabled()
     };
-    let result = run_job_instrumented(cluster, job, chunks, tuning, &tel)
-        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    let result = match journal {
+        Some(j) => run_job_journaled(cluster, job, chunks, tuning, &tel, j),
+        None => run_job_instrumented(cluster, job, chunks, tuning, &tel),
+    }
+    .map_err(|e| CliError::Invalid(e.to_string()))?;
     Ok((result, tel))
+}
+
+/// `--journal`/`--resume`/`--checkpoint-every`, validated together.
+struct JournalOpts {
+    path: Option<String>,
+    resume: bool,
+    every: u32,
+}
+
+impl JournalOpts {
+    fn from_args(args: &Args) -> Result<JournalOpts, CliError> {
+        let path = args.get("journal").map(str::to_string);
+        let resume = args.flag("resume");
+        let every: u32 = args.get_or("checkpoint-every", 1)?;
+        if path.is_none() && (resume || args.get("checkpoint-every").is_some()) {
+            return Err(CliError::Invalid(
+                "--resume/--checkpoint-every need --journal <file>".into(),
+            ));
+        }
+        if every == 0 {
+            return Err(CliError::Invalid(
+                "--checkpoint-every must be positive".into(),
+            ));
+        }
+        Ok(JournalOpts {
+            path,
+            resume,
+            every,
+        })
+    }
+
+    /// Open the journal: truncate-and-create for a fresh run, scan and
+    /// trim the valid prefix for `--resume`.
+    fn open(&self) -> Result<Option<Journal>, CliError> {
+        let Some(p) = &self.path else { return Ok(None) };
+        let journal = if self.resume {
+            Journal::resume(p, self.every)
+        } else {
+            Journal::create(p, self.every)
+        };
+        journal
+            .map(Some)
+            .map_err(|e| CliError::Invalid(format!("cannot open journal {p}: {e}")))
+    }
+}
+
+/// Append the journal status line to the run report.
+fn journal_line(out: &mut String, journal: &Option<Journal>) {
+    if let Some(j) = journal {
+        let torn = if j.torn_bytes() > 0 {
+            format!(", {} torn byte(s) trimmed", j.torn_bytes())
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "journal        : {} record(s) replayed, {} appended, {} flush(es){torn} ({})\n",
+            j.replayed(),
+            j.appended(),
+            j.flushes(),
+            j.path().display(),
+        ));
+    }
 }
 
 /// Append the Gantt chart and write any requested output files from the
@@ -596,15 +688,31 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     let tuning = tuning_from_args(args)?;
     let depth = tuning.pipeline_depth;
     let chunk_items = |elem_bytes: u64, n: usize| chunk_items(elem_bytes, n, gpus, scale, depth);
+    let jopts = JournalOpts::from_args(args)?;
+    if jopts.path.is_some() && bench == "mm" {
+        return Err(CliError::Invalid(
+            "--journal/--resume are not supported for mm \
+             (it runs outside the journaled MapReduce engine)"
+                .into(),
+        ));
+    }
+    let mut journal = jopts.open()?;
 
     match bench.as_str() {
         "sio" => {
             let n: usize = args.get_or("size", 1_000_000)?;
             let data = sio::generate_integers(n, seed);
             let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(4, n));
-            let (result, tel) =
-                run_with_tel(&mut cluster, &SioJob::default(), chunks, &tuning, need_tel)?;
+            let (result, tel) = run_with_tel(
+                &mut cluster,
+                &SioJob::default(),
+                chunks,
+                &tuning,
+                need_tel,
+                journal.as_mut(),
+            )?;
             let mut out = report("Sparse Integer Occurrence", gpus, n as u64, &result);
+            journal_line(&mut out, &journal);
             finish_run(&mut out, &tel, want_trace, &outs, gpus)?;
             Ok(out)
         }
@@ -617,8 +725,16 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
             let text = generate_text(&dict, n, seed + 1);
             let chunks = chunk_text(&text, chunk_items(1, n));
             let job = WoJob::new(dict, gpus);
-            let (result, tel) = run_with_tel(&mut cluster, &job, chunks, &tuning, need_tel)?;
+            let (result, tel) = run_with_tel(
+                &mut cluster,
+                &job,
+                chunks,
+                &tuning,
+                need_tel,
+                journal.as_mut(),
+            )?;
             let mut out = report("Word Occurrence", gpus, n as u64, &result);
+            journal_line(&mut out, &journal);
             finish_run(&mut out, &tel, want_trace, &outs, gpus)?;
             Ok(out)
         }
@@ -633,6 +749,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
                 chunks,
                 &tuning,
                 need_tel,
+                journal.as_mut(),
             )?;
             let mut out = report(
                 "K-Means Clustering (one iteration)",
@@ -640,6 +757,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
                 n as u64,
                 &result,
             );
+            journal_line(&mut out, &journal);
             finish_run(&mut out, &tel, want_trace, &outs, gpus)?;
             Ok(out)
         }
@@ -647,8 +765,16 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
             let n: usize = args.get_or("size", 1_000_000)?;
             let data = lr::generate_samples(n, 2.0, -1.0, seed);
             let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(8, n));
-            let (result, tel) = run_with_tel(&mut cluster, &LrJob, chunks, &tuning, need_tel)?;
+            let (result, tel) = run_with_tel(
+                &mut cluster,
+                &LrJob,
+                chunks,
+                &tuning,
+                need_tel,
+                journal.as_mut(),
+            )?;
             let mut out = report("Linear Regression", gpus, n as u64, &result);
+            journal_line(&mut out, &journal);
             let model = lr::model_from_stats(&lr::stats_from_output(&result.into_merged_output()));
             out.push_str(&format!(
                 "model          : y = {:.4}x + {:.4} (r = {:.5})\n",
@@ -1277,5 +1403,112 @@ mod tests {
         assert!(run(&["run", "--benchmark", "kmc", "--size", "10000"])
             .unwrap()
             .contains("K-Means"));
+    }
+
+    #[test]
+    fn journaled_run_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join("gpmr_cli_journal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("job.gpj");
+        let jpath = journal.to_str().unwrap();
+        let base = [
+            "run",
+            "--benchmark",
+            "sio",
+            "--gpus",
+            "2",
+            "--size",
+            "20000",
+        ];
+        let plain = run(&base).unwrap();
+
+        let mut fresh_args = base.to_vec();
+        fresh_args.extend(["--journal", jpath]);
+        let fresh = run(&fresh_args).unwrap();
+        assert!(fresh.contains("journal        :"), "{fresh}");
+        assert!(fresh.contains("0 record(s) replayed"), "{fresh}");
+        // Journaling never charges simulated time.
+        let time = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("simulated time"))
+                .map(str::to_string)
+        };
+        assert_eq!(time(&plain), time(&fresh));
+        let bytes = std::fs::read(&journal).unwrap();
+        assert!(!bytes.is_empty());
+
+        // Truncate mid-journal (a crash), then --resume: verified replay
+        // re-runs the job and re-appends the identical suffix.
+        std::fs::write(&journal, &bytes[..bytes.len() / 2]).unwrap();
+        let mut resume_args = fresh_args.clone();
+        resume_args.push("--resume");
+        let resumed = run(&resume_args).unwrap();
+        assert_eq!(time(&fresh), time(&resumed));
+        assert!(!resumed.contains("0 record(s) replayed"), "{resumed}");
+        assert_eq!(std::fs::read(&journal).unwrap(), bytes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_flags_are_validated() {
+        let err = run(&["run", "--benchmark", "sio", "--size", "20000", "--resume"]).unwrap_err();
+        assert!(err.to_string().contains("--journal"), "{err}");
+        let err = run(&[
+            "run",
+            "--benchmark",
+            "sio",
+            "--size",
+            "20000",
+            "--checkpoint-every",
+            "4",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("--journal"), "{err}");
+        let err = run(&[
+            "run",
+            "--benchmark",
+            "sio",
+            "--size",
+            "20000",
+            "--journal",
+            "/tmp/j.gpj",
+            "--checkpoint-every",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("positive"), "{err}");
+        let err = run(&[
+            "run",
+            "--benchmark",
+            "mm",
+            "--size",
+            "64",
+            "--journal",
+            "/tmp/j.gpj",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("not supported for mm"), "{err}");
+    }
+
+    #[test]
+    fn elastic_add_plan_reports_joined_gpus() {
+        let out = run(&[
+            "run",
+            "--benchmark",
+            "sio",
+            "--gpus",
+            "3",
+            "--size",
+            "20000",
+            "--fault-plan",
+            "add:2@1e-4",
+        ])
+        .unwrap();
+        assert!(
+            out.contains("elasticity     : 1 GPU(s) joined mid-job"),
+            "{out}"
+        );
+        // The recovery line only reports losses; a pure add shows none.
+        assert!(!out.contains("recovery"), "{out}");
     }
 }

@@ -29,6 +29,8 @@ use gpmr_telemetry::{Counter, Registry, Telemetry};
 use crate::error::{EngineError, EngineResult};
 use crate::helpers::{charge_partition, combine_pairs, split_buckets_bounded};
 use crate::job::{GpmrJob, MapMode, PartitionMode, SortMode};
+use crate::journal::{fnv1a, hash_pairs, Fnv64, Journal, JournalRecord, RecordOutcome};
+use crate::pod::Pod;
 use crate::scheduler::WorkQueues;
 use crate::stats::{JobTimings, StageTimes};
 use crate::trace::{JobTrace, TraceKind};
@@ -154,6 +156,14 @@ struct RankState<K, V, C> {
     /// Earliest instant kernels may run (job setup done, and in accumulate
     /// mode the accumulator initialized). Uploads may start earlier.
     compute_ready: SimTime,
+    /// When this rank's setup charge ends (the cluster-wide setup for
+    /// initial ranks; join instant plus local setup for elastic adds).
+    /// Stage accounting measures Map from here.
+    setup_end: SimTime,
+    /// False for a rank with a scheduled elastic add that has not reached
+    /// its join instant yet; flipped (once) the first time the scheduler
+    /// picks the rank.
+    joined: bool,
     /// Map-end instants of chunks whose staging buffer is still occupied;
     /// an upload for a new chunk gates on the oldest entry once all
     /// `pipeline_depth` buffers are in flight.
@@ -184,6 +194,8 @@ impl<K: crate::types::Key, V: crate::types::Value, C> Default for RankState<K, V
         RankState {
             cursor: SimTime::ZERO,
             compute_ready: SimTime::ZERO,
+            setup_end: SimTime::ZERO,
+            joined: true,
             inflight: VecDeque::new(),
             last_map_end: SimTime::ZERO,
             last_d2h: SimTime::ZERO,
@@ -219,7 +231,8 @@ struct EngineTel {
     stalls: Counter,
     pairs_emitted: Counter,
     pairs_shuffled: Counter,
-    base: [u64; 8],
+    gpus_added: Counter,
+    base: [u64; 9],
 }
 
 impl EngineTel {
@@ -233,6 +246,7 @@ impl EngineTel {
         let stalls = reg.counter("engine.stalls_injected");
         let pairs_emitted = reg.counter("engine.pairs_emitted");
         let pairs_shuffled = reg.counter("engine.pairs_shuffled");
+        let gpus_added = reg.counter("engine.gpus_added");
         let base = [
             dispatched.get(),
             stolen.get(),
@@ -242,6 +256,7 @@ impl EngineTel {
             stalls.get(),
             pairs_emitted.get(),
             pairs_shuffled.get(),
+            gpus_added.get(),
         ];
         EngineTel {
             tel: tel.clone(),
@@ -253,6 +268,7 @@ impl EngineTel {
             stalls,
             pairs_emitted,
             pairs_shuffled,
+            gpus_added,
             base,
         }
     }
@@ -315,6 +331,51 @@ impl EngineTel {
     }
 }
 
+/// Journal hooks threaded through the engine for journaled runs. Plain
+/// runs pass `None` everywhere, so the disabled path does no hashing, no
+/// I/O, and no extra counter work — journal-less runs stay byte-identical
+/// in timing and output to an engine without the journal.
+struct JournalCtx<'j, K, V> {
+    journal: &'j mut Journal,
+    /// Content hash over an ordered pair buffer; instantiated at the
+    /// journaled entry point, where the `Pod` bounds live.
+    hash_pairs: fn(&[K], &[V]) -> u64,
+    /// `engine.journal_records` — records verified or appended.
+    records: Counter,
+    /// `engine.journal_replayed` — records verified against the prefix.
+    replayed: Counter,
+    /// `engine.journal_flushes` — disk flushes performed.
+    flushes: Counter,
+}
+
+/// Verify-or-append one journal record (no-op without a journal context).
+/// Journaling never charges simulated time; a flush is recorded as a
+/// zero-duration `JournalFlush` span at the commit instant.
+fn jrecord<K, V>(
+    jctx: &mut Option<JournalCtx<'_, K, V>>,
+    tel: &EngineTel,
+    rank: u32,
+    at: SimTime,
+    rec: JournalRecord,
+) -> EngineResult<()> {
+    let Some(ctx) = jctx.as_mut() else {
+        return Ok(());
+    };
+    match ctx.journal.record(&rec).map_err(EngineError::from)? {
+        RecordOutcome::Replayed => ctx.replayed.inc(),
+        RecordOutcome::Buffered => ctx.records.inc(),
+        RecordOutcome::Flushed => {
+            ctx.records.inc();
+            ctx.flushes.inc();
+            let on_disk = ctx.journal.replay_len() + ctx.journal.appended();
+            tel.event(rank, TraceKind::JournalFlush, at, at, || {
+                format!("{on_disk} record(s) durable")
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Time a transfer through the fabric, retrying plan-injected failures
 /// with capped exponential backoff. Returns the arrival instant at `to`,
 /// or [`EngineError::TransferFailed`] once the retry budget is exhausted.
@@ -366,9 +427,11 @@ fn kill_rank<K: crate::types::Key, V: crate::types::Value, C: Chunk>(
     cluster: &mut Cluster,
     tuning: &EngineTuning,
     tel: &EngineTel,
+    jctx: &mut Option<JournalCtx<'_, K, V>>,
 ) -> EngineResult<()> {
     let ri = r as usize;
     tel.gpus_lost.inc();
+    jrecord(jctx, tel, r, now, JournalRecord::GpuLost { rank: r })?;
     st[ri].alive = false;
     st[ri].active = false;
     st[ri].accum = None;
@@ -398,6 +461,17 @@ fn kill_rank<K: crate::types::Key, V: crate::types::Value, C: Chunk>(
         tel.event(r, TraceKind::Requeue, now, arrival, || {
             format!("chunk {id} -> rank {dest}")
         });
+        jrecord(
+            jctx,
+            tel,
+            r,
+            arrival,
+            JournalRecord::Requeue {
+                chunk_id: id,
+                from: r,
+                to: dest,
+            },
+        )?;
         queues.push_back(dest, (id, chunk));
         let d = dest as usize;
         st[d].cursor = st[d].cursor.max(arrival);
@@ -428,6 +502,7 @@ pub fn run_job<J: GpmrJob>(
         chunks,
         &EngineTuning::default(),
         &Telemetry::disabled(),
+        None,
     )
 }
 
@@ -439,7 +514,7 @@ pub fn run_job_tuned<J: GpmrJob>(
     chunks: Vec<J::Chunk>,
     tuning: &EngineTuning,
 ) -> EngineResult<JobResult<J::Key, J::Value>> {
-    run_job_impl(cluster, job, chunks, tuning, &Telemetry::disabled())
+    run_job_impl(cluster, job, chunks, tuning, &Telemetry::disabled(), None)
 }
 
 /// [`run_job`] recording into a caller-provided [`Telemetry`] handle:
@@ -455,7 +530,7 @@ pub fn run_job_instrumented<J: GpmrJob>(
     tuning: &EngineTuning,
     tel: &Telemetry,
 ) -> EngineResult<JobResult<J::Key, J::Value>> {
-    run_job_impl(cluster, job, chunks, tuning, tel)
+    run_job_impl(cluster, job, chunks, tuning, tel, None)
 }
 
 /// [`run_job`], additionally recording a full execution trace (every
@@ -468,7 +543,7 @@ pub fn run_job_traced<J: GpmrJob>(
     chunks: Vec<J::Chunk>,
 ) -> TracedRun<J::Key, J::Value> {
     let tel = Telemetry::enabled();
-    let result = run_job_impl(cluster, job, chunks, &EngineTuning::default(), &tel)?;
+    let result = run_job_impl(cluster, job, chunks, &EngineTuning::default(), &tel, None)?;
     Ok((result, JobTrace::from_telemetry(&tel.snapshot())))
 }
 
@@ -484,8 +559,39 @@ pub fn run_job_analyzed<J: GpmrJob>(
     tuning: &EngineTuning,
 ) -> AnalyzedRun<J::Key, J::Value> {
     let tel = Telemetry::enabled();
-    let result = run_job_impl(cluster, job, chunks, tuning, &tel)?;
+    let result = run_job_impl(cluster, job, chunks, tuning, &tel, None)?;
     Ok((result, analyze(&tel.snapshot())))
+}
+
+/// [`run_job_instrumented`] with a write-ahead [`Journal`]: every
+/// scheduling decision and stage commit is verified against (on resume) or
+/// appended to (fresh, or once past the replay prefix) the journal, so an
+/// interrupted run restarted with [`Journal::resume`] finishes
+/// bit-identically to an uninterrupted one. Requires `Pod` key/value types
+/// so commits can be content-hashed. Journaling charges no simulated time:
+/// a journaled run's outputs and timings equal the plain run's.
+pub fn run_job_journaled<J>(
+    cluster: &mut Cluster,
+    job: &J,
+    chunks: Vec<J::Chunk>,
+    tuning: &EngineTuning,
+    tel: &Telemetry,
+    journal: &mut Journal,
+) -> EngineResult<JobResult<J::Key, J::Value>>
+where
+    J: GpmrJob,
+    J::Key: Pod,
+    J::Value: Pod,
+{
+    let reg = tel.registry().cloned().unwrap_or_else(Registry::new);
+    let jctx = JournalCtx {
+        journal,
+        hash_pairs: hash_pairs::<J::Key, J::Value>,
+        records: reg.counter("engine.journal_records"),
+        replayed: reg.counter("engine.journal_replayed"),
+        flushes: reg.counter("engine.journal_flushes"),
+    };
+    run_job_impl(cluster, job, chunks, tuning, tel, Some(jctx))
 }
 
 fn run_job_impl<J: GpmrJob>(
@@ -494,6 +600,7 @@ fn run_job_impl<J: GpmrJob>(
     chunks: Vec<J::Chunk>,
     tuning: &EngineTuning,
     telemetry: &Telemetry,
+    mut jctx: Option<JournalCtx<'_, J::Key, J::Value>>,
 ) -> EngineResult<JobResult<J::Key, J::Value>> {
     let cfg = job.pipeline();
     cfg.validate().map_err(EngineError::InvalidPipeline)?;
@@ -533,6 +640,30 @@ fn run_job_impl<J: GpmrJob>(
         .map(|r| plan.as_ref().map_or_else(Vec::new, |p| p.stalls_for(r)))
         .collect();
 
+    // Elastic adds: ranks with a scheduled GPU-add event join mid-job.
+    // They take no part in the initial distribution and are excluded from
+    // the reducer set, so the shuffle destinations — and therefore the
+    // per-rank outputs — are identical to a run on the initial cluster
+    // alone; added GPUs contribute map throughput by stealing.
+    let join_at: Vec<Option<SimTime>> = (0..ranks)
+        .map(|r| plan.as_ref().and_then(|p| p.add_time(r)))
+        .collect();
+    if let Some(p) = plan.as_ref() {
+        if let Some(r) = p.added_ranks().into_iter().find(|&r| r >= ranks) {
+            return Err(EngineError::InvalidPipeline(format!(
+                "fault plan adds rank {r} but the cluster has only {ranks} GPUs"
+            )));
+        }
+    }
+    let reducers: Vec<u32> = (0..ranks)
+        .filter(|&r| join_at[r as usize].is_none())
+        .collect();
+    if reducers.is_empty() {
+        return Err(EngineError::InvalidPipeline(
+            "fault plan defers every GPU with an add event; no rank can start the job".into(),
+        ));
+    }
+
     // Chunks carry their original index as a canonical id: requeues and
     // steals change *which rank* processes a chunk, never its identity, so
     // receivers can order inbound buckets identically across fault plans.
@@ -542,7 +673,37 @@ fn run_job_impl<J: GpmrJob>(
         .enumerate()
         .map(|(i, c)| (i as u64, c))
         .collect();
-    let mut queues = WorkQueues::distribute(ids, ranks);
+    if jctx.is_some() {
+        // Job fingerprint: everything that shapes the schedule and the
+        // data. A resume against a journal written by a different job (or
+        // the same job on a different cluster shape) diverges on record 0
+        // instead of replaying garbage.
+        let mut fp = Fnv64::new();
+        fp.write_u64(u64::from(ranks));
+        fp.write_u64(reducers.len() as u64);
+        for &r in &reducers {
+            fp.write_u64(u64::from(r));
+        }
+        fp.write_u64(n_chunks);
+        fp.write_u64(depth as u64);
+        fp.write_u64(u64::from(gpu_direct));
+        fp.write_u64(cfg.map_mode as u64);
+        fp.write_u64(u64::from(cfg.combine));
+        fp.write_u64(cfg.partition as u64);
+        fp.write_u64(cfg.sort as u64);
+        fp.write_u64(u64::from(cfg.sort_and_reduce));
+        for (_, c) in &ids {
+            fp.write_u64(fnv1a(&c.serialize()));
+        }
+        let rec = JournalRecord::JobStart {
+            fingerprint: fp.finish(),
+            n_chunks,
+            ranks,
+            reducers: reducers.len() as u32,
+        };
+        jrecord(&mut jctx, &tel, 0, SimTime::ZERO, rec)?;
+    }
+    let mut queues = WorkQueues::distribute_on(ids, ranks, &reducers);
     let setup =
         SimTime::from_secs(tuning.setup_base_s + tuning.setup_per_rank_s * f64::from(ranks));
     // Uploads are host-driven DMA enqueues: with a pipelined engine they
@@ -555,13 +716,26 @@ fn run_job_impl<J: GpmrJob>(
         setup
     };
     let mut st: Vec<RankState<J::Key, J::Value, J::Chunk>> = (0..ranks)
-        .map(|_| RankState {
-            cursor: upload_ready,
-            compute_ready: setup,
-            ..RankState::default()
+        .map(|r| match join_at[r as usize] {
+            // Initial ranks pay the cluster-wide collective setup.
+            None => RankState {
+                cursor: upload_ready,
+                compute_ready: setup,
+                setup_end: setup,
+                ..RankState::default()
+            },
+            // Elastic adds pay only their local context creation, starting
+            // at the join instant; the collective already happened.
+            Some(join) => RankState {
+                cursor: join,
+                compute_ready: join + SimDuration::from_secs(tuning.setup_base_s),
+                setup_end: join + SimDuration::from_secs(tuning.setup_base_s),
+                joined: false,
+                ..RankState::default()
+            },
         })
         .collect();
-    for r in 0..ranks {
+    for &r in &reducers {
         tel.event(r, TraceKind::Setup, SimTime::ZERO, setup, || {
             "job setup".into()
         });
@@ -570,7 +744,7 @@ fn run_job_impl<J: GpmrJob>(
 
     // --- Map stage -------------------------------------------------------
     if cfg.map_mode == MapMode::Accumulate {
-        for r in 0..ranks {
+        for &r in &reducers {
             let gpu = cluster.gpu(r);
             let (state, t) = job.accumulate_init(gpu, setup)?;
             tel.event(r, TraceKind::AccumulateInit, setup, t, || {
@@ -622,8 +796,42 @@ fn run_job_impl<J: GpmrJob>(
                 cluster,
                 tuning,
                 &tel,
+                &mut jctx,
             )?;
             continue;
+        }
+
+        // Elastic add: a rank scheduled to join mid-job runs its local
+        // setup at its first scheduler pick. It owns no queued work (the
+        // initial distribution skipped it) and is not a reducer, so it
+        // contributes by stealing map work from loaded survivors.
+        if !st[ri].joined {
+            st[ri].joined = true;
+            let join = join_at[ri].expect("unjoined ranks have an add event");
+            tel.gpus_added.inc();
+            tel.event(r, TraceKind::GpuAdded, join, join, || {
+                "GPU joined the job mid-run".into()
+            });
+            tel.event(r, TraceKind::Setup, join, st[ri].compute_ready, || {
+                "late-join setup".into()
+            });
+            jrecord(
+                &mut jctx,
+                &tel,
+                r,
+                join,
+                JournalRecord::GpuAdded { rank: r },
+            )?;
+            if cfg.map_mode == MapMode::Accumulate {
+                let t0 = st[ri].compute_ready;
+                let gpu = cluster.gpu(r);
+                let (state, t) = job.accumulate_init(gpu, t0)?;
+                tel.event(r, TraceKind::AccumulateInit, t0, t, || {
+                    "accumulate init".into()
+                });
+                st[ri].accum = Some(state);
+                st[ri].compute_ready = st[ri].compute_ready.max(t);
+            }
         }
 
         // Obtain a chunk: own queue, else steal, else retire.
@@ -659,6 +867,17 @@ fn run_job_impl<J: GpmrJob>(
                         format!("stole chunk from rank {victim}")
                     });
                     st[ri].cursor = arrival;
+                    jrecord(
+                        &mut jctx,
+                        &tel,
+                        r,
+                        arrival,
+                        JournalRecord::Steal {
+                            chunk_id: c.0,
+                            victim,
+                            thief: r,
+                        },
+                    )?;
                     c
                 }
                 None => {
@@ -670,6 +889,13 @@ fn run_job_impl<J: GpmrJob>(
 
         st[ri].cursor += SimDuration::from_secs(tuning.sched_overhead_s);
         let cursor = st[ri].cursor;
+        jrecord(
+            &mut jctx,
+            &tel,
+            r,
+            cursor,
+            JournalRecord::ChunkDispatch { chunk_id, rank: r },
+        )?;
         let compute_ready = st[ri].compute_ready;
         // k-deep upload pipeline: the upload may only start once a staging
         // slot frees — i.e. when the map of the chunk `depth` dispatches
@@ -710,6 +936,7 @@ fn run_job_impl<J: GpmrJob>(
                         cluster,
                         tuning,
                         &tel,
+                        &mut jctx,
                     )?;
                     continue;
                 }
@@ -722,6 +949,23 @@ fn run_job_impl<J: GpmrJob>(
                     || "map+accumulate".into(),
                 );
                 tel.chunk_span(r, chunk_span, chunk_id, up.start, t);
+                // Accumulate folds emissions into device state, so the
+                // commit hashes the chunk itself: replay re-folds it.
+                if jctx.is_some() {
+                    let hash = fnv1a(&chunk.serialize());
+                    jrecord(
+                        &mut jctx,
+                        &tel,
+                        r,
+                        t,
+                        JournalRecord::ChunkCommit {
+                            chunk_id,
+                            rank: r,
+                            pairs: chunk.item_count() as u64,
+                            hash,
+                        },
+                    )?;
+                }
                 gpu.note_resident(staging_slots * chunk.size_bytes() + state.size_bytes());
                 let s = &mut st[ri];
                 s.accum = Some(state);
@@ -760,8 +1004,26 @@ fn run_job_impl<J: GpmrJob>(
                         cluster,
                         tuning,
                         &tel,
+                        &mut jctx,
                     )?;
                     continue;
+                }
+                let commit = jctx
+                    .as_ref()
+                    .map(|ctx| (ctx.hash_pairs)(&pairs.keys, &pairs.vals));
+                if let Some(hash) = commit {
+                    jrecord(
+                        &mut jctx,
+                        &tel,
+                        r,
+                        t,
+                        JournalRecord::ChunkCommit {
+                            chunk_id,
+                            rank: r,
+                            pairs: pairs.len() as u64,
+                            hash,
+                        },
+                    )?;
                 }
                 tel.child_event(
                     r,
@@ -819,7 +1081,7 @@ fn run_job_impl<J: GpmrJob>(
                         String::new()
                     });
                     tel.pairs_shuffled.add(pairs.len() as u64);
-                    let buckets = route_pairs(job, cfg.partition, pairs, ranks);
+                    let buckets = route_pairs(job, cfg.partition, pairs, &reducers, ranks);
                     let mut bin_done = st[ri].bin_done;
                     let mut chunk_end = send_ready;
                     for (dest, bucket) in buckets.into_iter().enumerate() {
@@ -887,7 +1149,7 @@ fn run_job_impl<J: GpmrJob>(
                 } else {
                     gpu.d2h(t_part, state.size_bytes()).end
                 };
-                let buckets = route_pairs(job, cfg.partition, state, ranks);
+                let buckets = route_pairs(job, cfg.partition, state, &reducers, ranks);
                 let mut bin_done = st[ri].bin_done;
                 for (dest, bucket) in buckets.into_iter().enumerate() {
                     if bucket.pairs.is_empty() {
@@ -947,7 +1209,7 @@ fn run_job_impl<J: GpmrJob>(
                 } else {
                     gpu.d2h(t_part, combined.size_bytes()).end
                 };
-                let buckets = route_pairs(job, cfg.partition, combined, ranks);
+                let buckets = route_pairs(job, cfg.partition, combined, &reducers, ranks);
                 let mut bin_done = st[ri].bin_done;
                 for (dest, bucket) in buckets.into_iter().enumerate() {
                     if bucket.pairs.is_empty() {
@@ -1021,6 +1283,13 @@ fn run_job_impl<J: GpmrJob>(
                 st[ri].sort_ready,
                 || "GPU lost before sort".to_string(),
             );
+            jrecord(
+                &mut jctx,
+                &tel,
+                r,
+                st[ri].sort_ready,
+                JournalRecord::GpuLost { rank: r },
+            )?;
         }
     }
     if st.iter().all(|s| !s.alive) {
@@ -1038,6 +1307,22 @@ fn run_job_impl<J: GpmrJob>(
         if !cfg.sort_and_reduce || incoming.is_empty() {
             st[ri].sort_done = sort_ready;
             st[ri].reduce_done = sort_ready;
+            let hash = jctx
+                .as_ref()
+                .map(|ctx| (ctx.hash_pairs)(&incoming.keys, &incoming.vals));
+            if let Some(hash) = hash {
+                jrecord(
+                    &mut jctx,
+                    &tel,
+                    r,
+                    sort_ready,
+                    JournalRecord::BinReduced {
+                        rank: r,
+                        pairs: incoming.len() as u64,
+                        hash,
+                    },
+                )?;
+            }
             outputs.push(incoming);
             continue;
         }
@@ -1141,6 +1426,21 @@ fn run_job_impl<J: GpmrJob>(
                 segs.len()
             )
         });
+        let sorted = jctx.as_ref().map(|ctx| (ctx.hash_pairs)(&skeys, &svals));
+        if let Some(hash) = sorted {
+            jrecord(
+                &mut jctx,
+                &tel,
+                r,
+                t2,
+                JournalRecord::BinSorted {
+                    rank: r,
+                    pairs: skeys.len() as u64,
+                    unique: segs.len() as u64,
+                    hash,
+                },
+            )?;
+        }
         st[ri].sort_done = t2;
         // Stage accounting: Bin absorbs the wait for arrivals and the
         // streamed input upload; Sort is kernel time only.
@@ -1182,6 +1482,22 @@ fn run_job_impl<J: GpmrJob>(
             format!("{} output pairs{exec_note}", out.len())
         });
         st[ri].reduce_done = down.end;
+        let reduced = jctx
+            .as_ref()
+            .map(|ctx| (ctx.hash_pairs)(&out.keys, &out.vals));
+        if let Some(hash) = reduced {
+            jrecord(
+                &mut jctx,
+                &tel,
+                r,
+                down.end,
+                JournalRecord::BinReduced {
+                    rank: r,
+                    pairs: out.len() as u64,
+                    hash,
+                },
+            )?;
+        }
         outputs.push(out);
     }
 
@@ -1194,15 +1510,31 @@ fn run_job_impl<J: GpmrJob>(
         .iter()
         .map(|s| s.reduce_done)
         .fold(SimTime::ZERO, SimTime::max);
+    if let Some(ctx) = jctx.as_ref() {
+        // Job-end manifest: a fold of every rank's output hash plus the
+        // exact makespan bits. A resumed run that reaches this record with
+        // the same values is bit-identical to the uninterrupted run.
+        let mut h = Fnv64::new();
+        for o in &outputs {
+            h.write_u64((ctx.hash_pairs)(&o.keys, &o.vals));
+        }
+        let rec = JournalRecord::JobEnd {
+            output_hash: h.finish(),
+            makespan_bits: makespan.since(SimTime::ZERO).as_secs().to_bits(),
+        };
+        jrecord(&mut jctx, &tel, 0, makespan, rec)?;
+    }
     let per_rank: Vec<StageTimes> = st
         .iter()
         .map(|s| StageTimes {
-            map: s.last_map_end.since(setup),
-            bin: s.sort_ready.since(s.last_map_end.max(setup)),
+            map: s.last_map_end.since(s.setup_end),
+            bin: s.sort_ready.since(s.last_map_end.max(s.setup_end)),
             sort: s.sort_done.since(s.sort_ready),
             reduce: s.reduce_done.since(s.sort_done),
-            // Job setup plus the end-of-job barrier wait.
-            scheduler: setup.since(SimTime::ZERO) + makespan.since(s.reduce_done),
+            // Job setup plus the end-of-job barrier wait. An elastic add's
+            // setup ends at its join instant plus local setup, so its idle
+            // pre-join span lands here, not in Map.
+            scheduler: s.setup_end.since(SimTime::ZERO) + makespan.since(s.reduce_done),
         })
         .collect();
 
@@ -1216,6 +1548,7 @@ fn run_job_impl<J: GpmrJob>(
             pairs_emitted: EngineTel::delta(&tel.pairs_emitted, tel.base[6]),
             pairs_shuffled: EngineTel::delta(&tel.pairs_shuffled, tel.base[7]),
             gpus_lost: EngineTel::delta(&tel.gpus_lost, tel.base[3]) as u32,
+            gpus_added: EngineTel::delta(&tel.gpus_added, tel.base[8]) as u32,
             chunks_requeued: EngineTel::delta(&tel.requeued, tel.base[2]) as u32,
             transfer_retries: EngineTel::delta(&tel.retries, tel.base[4]) as u32,
             stalls_injected: EngineTel::delta(&tel.stalls, tel.base[5]) as u32,
@@ -1241,18 +1574,35 @@ struct Inbound<K, V> {
     max_radix: u64,
 }
 
+/// Partition `pairs` over the `reducers` (the ranks that started the job;
+/// elastic adds are excluded so the destination set — and the output — is
+/// independent of mid-job joins), scattered into a `ranks`-wide bucket
+/// vector indexed by destination rank. With every rank a reducer this is
+/// the classic placement.
 fn route_pairs<J: GpmrJob>(
     job: &J,
     mode: PartitionMode,
     pairs: KvSet<J::Key, J::Value>,
+    reducers: &[u32],
     ranks: u32,
 ) -> Vec<ShuffleMsg<J::Key, J::Value>> {
-    fn wrap<K, V>(buckets: Vec<(KvSet<K, V>, u64)>) -> Vec<ShuffleMsg<K, V>> {
-        buckets
-            .into_iter()
-            .map(|(pairs, max_radix)| ShuffleMsg { pairs, max_radix })
-            .collect()
+    fn scatter<K: crate::types::Key, V: crate::types::Value>(
+        buckets: Vec<(KvSet<K, V>, u64)>,
+        reducers: &[u32],
+        ranks: u32,
+    ) -> Vec<ShuffleMsg<K, V>> {
+        let mut out: Vec<ShuffleMsg<K, V>> = (0..ranks)
+            .map(|_| ShuffleMsg {
+                pairs: KvSet::new(),
+                max_radix: 0,
+            })
+            .collect();
+        for (i, (pairs, max_radix)) in buckets.into_iter().enumerate() {
+            out[reducers[i] as usize] = ShuffleMsg { pairs, max_radix };
+        }
+        out
     }
+    let nred = reducers.len() as u32;
     match mode {
         PartitionMode::None => {
             let max_radix = pairs.keys.iter().map(|k| k.radix()).max().unwrap_or(0);
@@ -1262,15 +1612,19 @@ fn route_pairs<J: GpmrJob>(
                     max_radix: 0,
                 })
                 .collect();
-            buckets[0] = ShuffleMsg { pairs, max_radix };
+            buckets[reducers[0] as usize] = ShuffleMsg { pairs, max_radix };
             buckets
         }
-        PartitionMode::RoundRobin => wrap(split_buckets_bounded(pairs, ranks, |k| {
-            (k.radix() % u64::from(ranks)) as u32
-        })),
-        PartitionMode::Custom => wrap(split_buckets_bounded(pairs, ranks, |k| {
-            job.partition(k, ranks)
-        })),
+        PartitionMode::RoundRobin => scatter(
+            split_buckets_bounded(pairs, nred, |k| (k.radix() % u64::from(nred)) as u32),
+            reducers,
+            ranks,
+        ),
+        PartitionMode::Custom => scatter(
+            split_buckets_bounded(pairs, nred, |k| job.partition(k, nred)),
+            reducers,
+            ranks,
+        ),
     }
 }
 
@@ -1472,5 +1826,126 @@ mod tests {
             let total: u32 = result.merged_output().vals.iter().sum();
             assert_eq!(total, 3000, "{cfg:?}");
         }
+    }
+
+    #[test]
+    fn elastic_add_is_output_invariant_and_steals_work() {
+        // Reference: the initial four-GPU cluster, no fault plan. 20
+        // chunks land 5 per rank, deep enough for profitable steals.
+        let base = {
+            let mut cl = Cluster::accelerator(4, GpuSpec::gt200());
+            run_job(
+                &mut cl,
+                &TestJob::with(PipelineConfig::default()),
+                input(10_000),
+            )
+            .unwrap()
+        };
+        // Elastic run: a fifth GPU joins almost immediately. It is not a
+        // reducer and owns no initial queue, so the shuffle destinations —
+        // and the per-rank outputs — match the four-GPU run exactly; the
+        // new GPU contributes by stealing map work.
+        let mut cl = Cluster::accelerator(5, GpuSpec::gt200());
+        cl.set_fault_plan(Some(FaultPlan::new().add(4, 1e-4)));
+        let elastic = run_job(
+            &mut cl,
+            &TestJob::with(PipelineConfig::default()),
+            input(10_000),
+        )
+        .unwrap();
+        assert_eq!(elastic.timings.gpus_added, 1);
+        assert_eq!(&elastic.outputs[..4], &base.outputs[..]);
+        assert!(elastic.outputs[4].is_empty(), "added rank is not a reducer");
+        assert!(
+            elastic.timings.chunks_per_rank[4] >= 1,
+            "the added GPU must steal map work: {:?}",
+            elastic.timings.chunks_per_rank
+        );
+        assert_eq!(counts(&elastic), counts(&base));
+    }
+
+    #[test]
+    fn adding_every_rank_or_an_unknown_rank_is_rejected() {
+        let run_with = |plan: FaultPlan| {
+            let mut cl = Cluster::accelerator(2, GpuSpec::gt200());
+            cl.set_fault_plan(Some(plan));
+            run_job(
+                &mut cl,
+                &TestJob::with(PipelineConfig::default()),
+                input(1000),
+            )
+        };
+        let err = run_with(FaultPlan::new().add(7, 1e-4)).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidPipeline(_)), "{err}");
+        let err = run_with(FaultPlan::new().add(0, 1e-4).add(1, 2e-4)).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidPipeline(_)), "{err}");
+    }
+
+    #[test]
+    fn journaled_run_matches_plain_and_replays_verbatim() {
+        use crate::journal::JournalError;
+
+        let dir = std::env::temp_dir().join("gpmr_engine_journal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("job.gpj");
+        let job = TestJob::with(PipelineConfig::default());
+        let tuning = EngineTuning::default();
+        let tel = Telemetry::disabled();
+
+        let plain = {
+            let mut cl = Cluster::accelerator(4, GpuSpec::gt200());
+            run_job(&mut cl, &job, input(8000)).unwrap()
+        };
+
+        // A journaled run pays no simulated time: outputs AND timings
+        // match the plain engine bit for bit.
+        let mut journal = Journal::create(&path, 1).unwrap();
+        let first = {
+            let mut cl = Cluster::accelerator(4, GpuSpec::gt200());
+            run_job_journaled(&mut cl, &job, input(8000), &tuning, &tel, &mut journal).unwrap()
+        };
+        let written = journal.appended();
+        drop(journal);
+        assert_eq!(first.outputs, plain.outputs);
+        assert_eq!(first.timings, plain.timings);
+
+        let bytes = std::fs::read(&path).unwrap();
+        let (records, _) = crate::journal::scan_bytes(&bytes);
+        assert_eq!(records.len() as u64, written);
+        assert!(matches!(
+            records.first(),
+            Some(JournalRecord::JobStart { .. })
+        ));
+        assert!(matches!(records.last(), Some(JournalRecord::JobEnd { .. })));
+
+        // Resume over the complete journal: a pure verified replay that
+        // appends nothing and leaves the file byte-identical.
+        let mut journal = Journal::resume(&path, 1).unwrap();
+        let second = {
+            let mut cl = Cluster::accelerator(4, GpuSpec::gt200());
+            run_job_journaled(&mut cl, &job, input(8000), &tuning, &tel, &mut journal).unwrap()
+        };
+        assert_eq!(journal.replayed(), records.len() as u64);
+        assert_eq!(journal.appended(), 0);
+        drop(journal);
+        assert_eq!(second.outputs, first.outputs);
+        assert_eq!(second.timings, first.timings);
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+
+        // A different job shape diverges on the fingerprint record instead
+        // of silently replaying someone else's journal.
+        let mut journal = Journal::resume(&path, 1).unwrap();
+        let err = {
+            let mut cl = Cluster::accelerator(2, GpuSpec::gt200());
+            run_job_journaled(&mut cl, &job, input(8000), &tuning, &tel, &mut journal).unwrap_err()
+        };
+        assert!(
+            matches!(
+                err,
+                EngineError::Journal(JournalError::Diverged { index: 0, .. })
+            ),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -5,6 +5,8 @@ use std::fmt;
 use gpmr_sim_gpu::SimGpuError;
 use gpmr_sim_net::TransferFault;
 
+use crate::journal::JournalError;
+
 /// Errors raised while running a GPMR job.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EngineError {
@@ -41,6 +43,10 @@ pub enum EngineError {
         /// The underlying fabric fault (source of this error).
         fault: TransferFault,
     },
+    /// The write-ahead journal failed: an I/O error, or a resumed run
+    /// diverging from the journal's record prefix (see
+    /// [`JournalError::Diverged`]).
+    Journal(JournalError),
 }
 
 impl fmt::Display for EngineError {
@@ -66,6 +72,7 @@ impl fmt::Display for EngineError {
             EngineError::TransferFailed { attempt, fault } => {
                 write!(f, "transfer failed after {attempt} attempts: {fault}")
             }
+            EngineError::Journal(e) => write!(f, "journal error: {e}"),
         }
     }
 }
@@ -75,6 +82,7 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Gpu(e) => Some(e),
             EngineError::TransferFailed { fault, .. } => Some(fault),
+            EngineError::Journal(e) => Some(e),
             _ => None,
         }
     }
@@ -83,6 +91,12 @@ impl std::error::Error for EngineError {
 impl From<SimGpuError> for EngineError {
     fn from(e: SimGpuError) -> Self {
         EngineError::Gpu(e)
+    }
+}
+
+impl From<JournalError> for EngineError {
+    fn from(e: JournalError) -> Self {
+        EngineError::Journal(e)
     }
 }
 

@@ -1,0 +1,885 @@
+//! Write-ahead job journal: an append-only commit log of the scheduler's
+//! quantized touch-points (chunk dispatch, chunk commit, bin sorted, bin
+//! reduced, GPU loss/add, steal/requeue), with content hashes, plus the
+//! completed-bin manifest derived from it.
+//!
+//! The engine is a deterministic simulation, so recovery is *verified
+//! replay*: a resumed run re-executes the job from scratch and checks each
+//! commit record it would write against the journal's surviving prefix.
+//! A matching prefix proves the resumed schedule is bit-identical to the
+//! crashed run up to the last consistent point; from there the journal
+//! switches to append mode and the run finishes normally. A record that
+//! decodes but does not match raises [`JournalError::Diverged`] — the
+//! journal belongs to a different job, input, or cluster shape.
+//!
+//! On-disk format: a flat sequence of frames, each
+//! `[payload_len: u32 LE][checksum: u64 LE][payload]` where the checksum
+//! is FNV-1a over the payload and the payload is a tagged
+//! [`JournalRecord`] encoded with the same little-endian [`Pod`] codec the
+//! chunks use. A torn tail (truncated frame or checksum mismatch — the
+//! crash happened mid-write) is detected on open and trimmed back to the
+//! last whole record; it is never an error.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::pod::Pod;
+
+/// FNV-1a 64-bit over a byte slice: the journal's checksum and content
+/// hash. Stable, dependency-free, and fast enough for commit-sized
+/// payloads.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Incremental FNV-1a 64-bit hasher (see [`fnv1a`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Fold `bytes` into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Fold a little-endian `u64` into the state.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// Content hash of a key/value pair sequence, in order. This is the hash
+/// stored in [`JournalRecord::ChunkCommit`], [`JournalRecord::BinSorted`],
+/// and [`JournalRecord::BinReduced`]: since the engine's pair buffers are
+/// canonically ordered, equal hashes mean bit-identical data.
+pub fn hash_pairs<K: Pod, V: Pod>(keys: &[K], vals: &[V]) -> u64 {
+    let mut buf = Vec::with_capacity(keys.len() * K::SIZE + vals.len() * V::SIZE);
+    for k in keys {
+        k.write_le(&mut buf);
+    }
+    for v in vals {
+        v.write_le(&mut buf);
+    }
+    fnv1a(&buf)
+}
+
+/// One commit-log entry. Every variant is written at a scheduler
+/// touch-point the fault harness already quantizes on, so the log orders
+/// identically across runs of the same job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// Job admission: a fingerprint over the cluster shape, pipeline
+    /// configuration, tuning that affects the schedule, and every input
+    /// chunk's content. Always the first record; a resumed run whose
+    /// fingerprint differs diverges immediately instead of replaying
+    /// garbage.
+    JobStart {
+        /// FNV-1a over job configuration and input chunk contents.
+        fingerprint: u64,
+        /// Number of input chunks.
+        n_chunks: u64,
+        /// Cluster size (including GPUs that only join mid-job).
+        ranks: u32,
+        /// Reducer count: the ranks present at job start, which own the
+        /// partition space for the whole job.
+        reducers: u32,
+    },
+    /// A chunk left a queue for a rank's upload pipeline.
+    ChunkDispatch {
+        /// Canonical chunk id (original input index).
+        chunk_id: u64,
+        /// The rank that will map it.
+        rank: u32,
+    },
+    /// A chunk's map output was committed (it can never rerun).
+    ChunkCommit {
+        /// Canonical chunk id.
+        chunk_id: u64,
+        /// The rank that mapped it.
+        rank: u32,
+        /// Emitted pair count (chunk item count in accumulate mode, where
+        /// emissions fold into device state immediately).
+        pairs: u64,
+        /// Content hash: the emitted pairs ([`hash_pairs`]), or the chunk
+        /// bytes in accumulate mode.
+        hash: u64,
+    },
+    /// An idle rank stole a queued chunk.
+    Steal {
+        /// Canonical chunk id.
+        chunk_id: u64,
+        /// The rank it was stolen from.
+        victim: u32,
+        /// The rank that now owns it.
+        thief: u32,
+    },
+    /// A lost rank's chunk migrated to a survivor.
+    Requeue {
+        /// Canonical chunk id.
+        chunk_id: u64,
+        /// The dead rank.
+        from: u32,
+        /// The surviving rank that will rerun it.
+        to: u32,
+    },
+    /// A GPU failed fail-stop.
+    GpuLost {
+        /// The lost rank.
+        rank: u32,
+    },
+    /// A GPU joined the running job (elastic add).
+    GpuAdded {
+        /// The joining rank.
+        rank: u32,
+    },
+    /// A reducer's inbound bin finished sorting.
+    BinSorted {
+        /// The reducer rank.
+        rank: u32,
+        /// Sorted pair count.
+        pairs: u64,
+        /// Unique key count (segment count).
+        unique: u64,
+        /// [`hash_pairs`] over the sorted keys and values.
+        hash: u64,
+    },
+    /// A reducer's output was committed (downloaded to the host).
+    BinReduced {
+        /// The reducer rank.
+        rank: u32,
+        /// Output pair count.
+        pairs: u64,
+        /// [`hash_pairs`] over the output keys and values.
+        hash: u64,
+    },
+    /// The job finished.
+    JobEnd {
+        /// FNV-1a fold of every rank's output-pair hash, in rank order.
+        output_hash: u64,
+        /// `f64::to_bits` of the makespan in seconds (bit-exact).
+        makespan_bits: u64,
+    },
+}
+
+impl JournalRecord {
+    /// Stage and cluster-membership boundaries flush unconditionally —
+    /// these are the "last consistent point" markers recovery seeks to.
+    fn is_barrier(&self) -> bool {
+        matches!(
+            self,
+            JournalRecord::JobStart { .. }
+                | JournalRecord::GpuLost { .. }
+                | JournalRecord::GpuAdded { .. }
+                | JournalRecord::BinSorted { .. }
+                | JournalRecord::BinReduced { .. }
+                | JournalRecord::JobEnd { .. }
+        )
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            JournalRecord::JobStart { .. } => 1,
+            JournalRecord::ChunkDispatch { .. } => 2,
+            JournalRecord::ChunkCommit { .. } => 3,
+            JournalRecord::Steal { .. } => 4,
+            JournalRecord::Requeue { .. } => 5,
+            JournalRecord::GpuLost { .. } => 6,
+            JournalRecord::GpuAdded { .. } => 7,
+            JournalRecord::BinSorted { .. } => 8,
+            JournalRecord::BinReduced { .. } => 9,
+            JournalRecord::JobEnd { .. } => 10,
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.tag());
+        match *self {
+            JournalRecord::JobStart {
+                fingerprint,
+                n_chunks,
+                ranks,
+                reducers,
+            } => {
+                fingerprint.write_le(out);
+                n_chunks.write_le(out);
+                ranks.write_le(out);
+                reducers.write_le(out);
+            }
+            JournalRecord::ChunkDispatch { chunk_id, rank } => {
+                chunk_id.write_le(out);
+                rank.write_le(out);
+            }
+            JournalRecord::ChunkCommit {
+                chunk_id,
+                rank,
+                pairs,
+                hash,
+            } => {
+                chunk_id.write_le(out);
+                rank.write_le(out);
+                pairs.write_le(out);
+                hash.write_le(out);
+            }
+            JournalRecord::Steal {
+                chunk_id,
+                victim,
+                thief,
+            } => {
+                chunk_id.write_le(out);
+                victim.write_le(out);
+                thief.write_le(out);
+            }
+            JournalRecord::Requeue { chunk_id, from, to } => {
+                chunk_id.write_le(out);
+                from.write_le(out);
+                to.write_le(out);
+            }
+            JournalRecord::GpuLost { rank } | JournalRecord::GpuAdded { rank } => {
+                rank.write_le(out);
+            }
+            JournalRecord::BinSorted {
+                rank,
+                pairs,
+                unique,
+                hash,
+            } => {
+                rank.write_le(out);
+                pairs.write_le(out);
+                unique.write_le(out);
+                hash.write_le(out);
+            }
+            JournalRecord::BinReduced { rank, pairs, hash } => {
+                rank.write_le(out);
+                pairs.write_le(out);
+                hash.write_le(out);
+            }
+            JournalRecord::JobEnd {
+                output_hash,
+                makespan_bits,
+            } => {
+                output_hash.write_le(out);
+                makespan_bits.write_le(out);
+            }
+        }
+    }
+
+    fn decode(payload: &[u8]) -> Option<JournalRecord> {
+        let (&tag, _) = payload.split_first()?;
+        let mut off = 0usize;
+        let body = &payload[1..];
+        let next_u64 = |off: &mut usize| -> Option<u64> {
+            let v = u64::read_le(body.get(*off..*off + 8)?);
+            *off += 8;
+            Some(v)
+        };
+        let next_u32 = |off: &mut usize| -> Option<u32> {
+            let v = u32::read_le(body.get(*off..*off + 4)?);
+            *off += 4;
+            Some(v)
+        };
+        let rec = match tag {
+            1 => JournalRecord::JobStart {
+                fingerprint: next_u64(&mut off)?,
+                n_chunks: next_u64(&mut off)?,
+                ranks: next_u32(&mut off)?,
+                reducers: next_u32(&mut off)?,
+            },
+            2 => JournalRecord::ChunkDispatch {
+                chunk_id: next_u64(&mut off)?,
+                rank: next_u32(&mut off)?,
+            },
+            3 => JournalRecord::ChunkCommit {
+                chunk_id: next_u64(&mut off)?,
+                rank: next_u32(&mut off)?,
+                pairs: next_u64(&mut off)?,
+                hash: next_u64(&mut off)?,
+            },
+            4 => JournalRecord::Steal {
+                chunk_id: next_u64(&mut off)?,
+                victim: next_u32(&mut off)?,
+                thief: next_u32(&mut off)?,
+            },
+            5 => JournalRecord::Requeue {
+                chunk_id: next_u64(&mut off)?,
+                from: next_u32(&mut off)?,
+                to: next_u32(&mut off)?,
+            },
+            6 => JournalRecord::GpuLost {
+                rank: next_u32(&mut off)?,
+            },
+            7 => JournalRecord::GpuAdded {
+                rank: next_u32(&mut off)?,
+            },
+            8 => JournalRecord::BinSorted {
+                rank: next_u32(&mut off)?,
+                pairs: next_u64(&mut off)?,
+                unique: next_u64(&mut off)?,
+                hash: next_u64(&mut off)?,
+            },
+            9 => JournalRecord::BinReduced {
+                rank: next_u32(&mut off)?,
+                pairs: next_u64(&mut off)?,
+                hash: next_u64(&mut off)?,
+            },
+            10 => JournalRecord::JobEnd {
+                output_hash: next_u64(&mut off)?,
+                makespan_bits: next_u64(&mut off)?,
+            },
+            _ => return None,
+        };
+        if off != body.len() {
+            return None;
+        }
+        Some(rec)
+    }
+}
+
+/// Errors raised by journal operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalError {
+    /// The journal file could not be read or written.
+    Io(String),
+    /// During replay, the run produced a record that disagrees with the
+    /// journal: the journal belongs to a different job, input, cluster
+    /// shape, or fault plan, and replaying further would corrupt it.
+    Diverged {
+        /// Zero-based index of the mismatching record.
+        index: u64,
+        /// What the journal holds.
+        expected: JournalRecord,
+        /// What the resumed run produced.
+        got: JournalRecord,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(msg) => write!(f, "journal I/O failed: {msg}"),
+            JournalError::Diverged {
+                index,
+                expected,
+                got,
+            } => write!(
+                f,
+                "resume diverged from the journal at record {index}: journal has {expected:?}, \
+                 the run produced {got:?} (different job, input, or cluster?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e.to_string())
+    }
+}
+
+/// Convenience result alias for journal operations.
+pub type JournalResult<T> = Result<T, JournalError>;
+
+/// What [`Journal::record`] did with a record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordOutcome {
+    /// The record matched the journal's replay prefix; nothing written.
+    Replayed,
+    /// The record was appended to the in-memory tail (not yet on disk).
+    Buffered,
+    /// The record was appended and the tail was flushed to disk.
+    Flushed,
+}
+
+const FRAME_HEADER: usize = 4 + 8; // payload_len: u32 + checksum: u64
+
+/// The write-ahead journal: a verified-replay prefix (on resume) followed
+/// by an append tail, flushed every `checkpoint_every` records and at
+/// every stage barrier.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    replay: Vec<JournalRecord>,
+    replay_idx: usize,
+    pending: Vec<u8>,
+    pending_records: u64,
+    checkpoint_every: u64,
+    appended: u64,
+    flushes: u64,
+    torn_bytes: u64,
+}
+
+impl Journal {
+    /// Start a fresh journal at `path` (truncating any existing file),
+    /// flushing at least every `checkpoint_every` records (clamped to 1).
+    pub fn create(path: impl AsRef<Path>, checkpoint_every: u32) -> JournalResult<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(Journal {
+            path,
+            file,
+            replay: Vec::new(),
+            replay_idx: 0,
+            pending: Vec::new(),
+            pending_records: 0,
+            checkpoint_every: u64::from(checkpoint_every.max(1)),
+            appended: 0,
+            flushes: 0,
+            torn_bytes: 0,
+        })
+    }
+
+    /// Open an existing journal at `path` for resumption: load the valid
+    /// record prefix, trim any torn tail off the file, and enter replay
+    /// mode. The next [`Journal::record`] calls verify against the prefix
+    /// and switch to appending once it is exhausted.
+    pub fn resume(path: impl AsRef<Path>, checkpoint_every: u32) -> JournalResult<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let bytes = std::fs::read(&path)?;
+        let (replay, offsets) = scan_bytes(&bytes);
+        let valid = *offsets.last().expect("offsets always start at 0");
+        let torn_bytes = bytes.len() as u64 - valid;
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        file.set_len(valid)?;
+        file.seek(SeekFrom::Start(valid))?;
+        Ok(Journal {
+            path,
+            file,
+            replay,
+            replay_idx: 0,
+            pending: Vec::new(),
+            pending_records: 0,
+            checkpoint_every: u64::from(checkpoint_every.max(1)),
+            appended: 0,
+            flushes: 0,
+            torn_bytes,
+        })
+    }
+
+    /// Decode the valid record prefix of the journal at `path`, returning
+    /// the records and the byte offset of every record boundary (starting
+    /// at 0, ending at the valid prefix length). The crash-point test
+    /// matrix truncates at exactly these offsets.
+    pub fn scan(path: impl AsRef<Path>) -> JournalResult<(Vec<JournalRecord>, Vec<u64>)> {
+        let bytes = std::fs::read(path.as_ref())?;
+        Ok(scan_bytes(&bytes))
+    }
+
+    /// Verify (in replay mode) or append one record. Appends are buffered;
+    /// the buffer is flushed every `checkpoint_every` records and at every
+    /// stage barrier (job start/end, bin sorted/reduced, GPU lost/added).
+    pub fn record(&mut self, rec: &JournalRecord) -> JournalResult<RecordOutcome> {
+        if self.replay_idx < self.replay.len() {
+            let expected = self.replay[self.replay_idx];
+            if expected != *rec {
+                return Err(JournalError::Diverged {
+                    index: self.replay_idx as u64,
+                    expected,
+                    got: *rec,
+                });
+            }
+            self.replay_idx += 1;
+            return Ok(RecordOutcome::Replayed);
+        }
+        let mut payload = Vec::with_capacity(48);
+        rec.encode(&mut payload);
+        self.pending
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.pending
+            .extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        self.pending.extend_from_slice(&payload);
+        self.appended += 1;
+        self.pending_records += 1;
+        if rec.is_barrier() || self.pending_records >= self.checkpoint_every {
+            self.flush()?;
+            Ok(RecordOutcome::Flushed)
+        } else {
+            Ok(RecordOutcome::Buffered)
+        }
+    }
+
+    /// Write any buffered records to disk.
+    pub fn flush(&mut self) -> JournalResult<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(&self.pending)?;
+        self.file.flush()?;
+        self.pending.clear();
+        self.pending_records = 0;
+        self.flushes += 1;
+        Ok(())
+    }
+
+    /// Records verified against the replay prefix so far.
+    pub fn replayed(&self) -> u64 {
+        self.replay_idx as u64
+    }
+
+    /// Records loaded into the replay prefix on open (0 for a fresh
+    /// journal).
+    pub fn replay_len(&self) -> u64 {
+        self.replay.len() as u64
+    }
+
+    /// Records appended past the replay prefix.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Disk flushes performed.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Bytes of torn tail trimmed when the journal was opened for resume.
+    pub fn torn_bytes(&self) -> u64 {
+        self.torn_bytes
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The completed-bin manifest derived from the records seen so far
+    /// (replay prefix; appended records are folded in as they are
+    /// written). Call after a run for the final manifest.
+    pub fn summary(&self) -> JournalSummary {
+        JournalSummary::from_records(&self.replay)
+    }
+}
+
+/// Decode the longest valid record prefix of raw journal bytes. Returns
+/// the records plus every record-boundary offset (length `records + 1`,
+/// starting at 0). Bytes past the last whole, checksummed, decodable
+/// record are a torn tail and are excluded.
+pub fn scan_bytes(bytes: &[u8]) -> (Vec<JournalRecord>, Vec<u64>) {
+    let mut records = Vec::new();
+    let mut offsets = vec![0u64];
+    let mut pos = 0usize;
+    while bytes.len() - pos >= FRAME_HEADER {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let Some(end) = pos.checked_add(FRAME_HEADER + len) else {
+            break;
+        };
+        if end > bytes.len() {
+            break;
+        }
+        let checksum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+        let payload = &bytes[pos + FRAME_HEADER..end];
+        if fnv1a(payload) != checksum {
+            break;
+        }
+        let Some(rec) = JournalRecord::decode(payload) else {
+            break;
+        };
+        records.push(rec);
+        pos = end;
+        offsets.push(pos as u64);
+    }
+    (records, offsets)
+}
+
+/// The completed-bin manifest: a summary view of a journal's records
+/// answering "what had durably finished when the run stopped".
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JournalSummary {
+    /// The job admission record, if the journal got that far.
+    pub started: Option<JournalRecord>,
+    /// Chunk ids with a committed map output, sorted and deduplicated
+    /// (a chunk can legitimately commit twice when its first commit died
+    /// with a GPU's accumulate state).
+    pub committed_chunks: Vec<u64>,
+    /// Dispatch records seen.
+    pub dispatches: u64,
+    /// Steal records seen.
+    pub steals: u64,
+    /// Requeue records seen.
+    pub requeues: u64,
+    /// Ranks recorded as lost.
+    pub gpus_lost: Vec<u32>,
+    /// Ranks recorded as joining mid-job.
+    pub gpus_added: Vec<u32>,
+    /// Reducer ranks whose bin finished sorting.
+    pub bins_sorted: Vec<u32>,
+    /// Reducer ranks whose output was committed.
+    pub bins_reduced: Vec<u32>,
+    /// The job-end record, if the run completed.
+    pub ended: Option<JournalRecord>,
+}
+
+impl JournalSummary {
+    /// Fold a record sequence into the manifest.
+    pub fn from_records(records: &[JournalRecord]) -> JournalSummary {
+        let mut s = JournalSummary::default();
+        for &rec in records {
+            match rec {
+                JournalRecord::JobStart { .. } => s.started = Some(rec),
+                JournalRecord::ChunkDispatch { .. } => s.dispatches += 1,
+                JournalRecord::ChunkCommit { chunk_id, .. } => s.committed_chunks.push(chunk_id),
+                JournalRecord::Steal { .. } => s.steals += 1,
+                JournalRecord::Requeue { .. } => s.requeues += 1,
+                JournalRecord::GpuLost { rank } => s.gpus_lost.push(rank),
+                JournalRecord::GpuAdded { rank } => s.gpus_added.push(rank),
+                JournalRecord::BinSorted { rank, .. } => s.bins_sorted.push(rank),
+                JournalRecord::BinReduced { rank, .. } => s.bins_reduced.push(rank),
+                JournalRecord::JobEnd { .. } => s.ended = Some(rec),
+            }
+        }
+        s.committed_chunks.sort_unstable();
+        s.committed_chunks.dedup();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::JobStart {
+                fingerprint: 0xdead_beef,
+                n_chunks: 4,
+                ranks: 3,
+                reducers: 2,
+            },
+            JournalRecord::ChunkDispatch {
+                chunk_id: 0,
+                rank: 0,
+            },
+            JournalRecord::Steal {
+                chunk_id: 3,
+                victim: 1,
+                thief: 2,
+            },
+            JournalRecord::ChunkCommit {
+                chunk_id: 0,
+                rank: 0,
+                pairs: 17,
+                hash: 42,
+            },
+            JournalRecord::GpuLost { rank: 1 },
+            JournalRecord::Requeue {
+                chunk_id: 1,
+                from: 1,
+                to: 2,
+            },
+            JournalRecord::GpuAdded { rank: 2 },
+            JournalRecord::BinSorted {
+                rank: 0,
+                pairs: 17,
+                unique: 5,
+                hash: 7,
+            },
+            JournalRecord::BinReduced {
+                rank: 0,
+                pairs: 5,
+                hash: 9,
+            },
+            JournalRecord::JobEnd {
+                output_hash: 11,
+                makespan_bits: 2.5f64.to_bits(),
+            },
+        ]
+    }
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("gpmr_journal_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn every_record_kind_round_trips_through_the_codec() {
+        for rec in sample_records() {
+            let mut payload = Vec::new();
+            rec.encode(&mut payload);
+            assert_eq!(JournalRecord::decode(&payload), Some(rec), "{rec:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_tags_and_truncated_or_oversized_payloads() {
+        assert_eq!(JournalRecord::decode(&[]), None);
+        assert_eq!(JournalRecord::decode(&[99, 0, 0, 0, 0]), None);
+        let mut payload = Vec::new();
+        JournalRecord::GpuLost { rank: 1 }.encode(&mut payload);
+        assert_eq!(JournalRecord::decode(&payload[..payload.len() - 1]), None);
+        payload.push(0); // trailing garbage must not decode
+        assert_eq!(JournalRecord::decode(&payload), None);
+    }
+
+    #[test]
+    fn create_write_scan_round_trips_every_record() {
+        let path = temp("roundtrip");
+        let mut j = Journal::create(&path, 1).unwrap();
+        for rec in sample_records() {
+            j.record(&rec).unwrap();
+        }
+        j.flush().unwrap();
+        let (records, offsets) = Journal::scan(&path).unwrap();
+        assert_eq!(records, sample_records());
+        assert_eq!(offsets.len(), records.len() + 1);
+        assert_eq!(offsets[0], 0);
+        assert_eq!(
+            *offsets.last().unwrap(),
+            std::fs::metadata(&path).unwrap().len()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_every_buffers_non_barrier_records() {
+        let path = temp("buffering");
+        let mut j = Journal::create(&path, 100).unwrap();
+        let d = JournalRecord::ChunkDispatch {
+            chunk_id: 0,
+            rank: 0,
+        };
+        assert_eq!(j.record(&d).unwrap(), RecordOutcome::Buffered);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        // A barrier record forces everything buffered onto disk.
+        assert_eq!(
+            j.record(&JournalRecord::GpuLost { rank: 0 }).unwrap(),
+            RecordOutcome::Flushed
+        );
+        let (records, _) = Journal::scan(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(j.flushes(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_trimmed_on_resume_at_any_truncation_point() {
+        let path = temp("torn");
+        let mut j = Journal::create(&path, 1).unwrap();
+        for rec in sample_records() {
+            j.record(&rec).unwrap();
+        }
+        j.flush().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let (_, offsets) = scan_bytes(&bytes);
+        // Mid-record cut: one byte past the 4th record boundary.
+        let cut = offsets[4] + 1;
+        std::fs::write(&path, &bytes[..cut as usize]).unwrap();
+        let j2 = Journal::resume(&path, 1).unwrap();
+        assert_eq!(j2.replay_len(), 4);
+        assert_eq!(j2.torn_bytes(), 1);
+        // The file itself was trimmed back to the boundary.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), offsets[4]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_checksum_cuts_the_valid_prefix_there() {
+        let path = temp("corrupt");
+        let mut j = Journal::create(&path, 1).unwrap();
+        for rec in sample_records() {
+            j.record(&rec).unwrap();
+        }
+        j.flush().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let (_, offsets) = scan_bytes(&bytes);
+        // Flip a payload byte inside record 2.
+        bytes[offsets[2] as usize + FRAME_HEADER] ^= 0xff;
+        let (records, offs) = scan_bytes(&bytes);
+        assert_eq!(records.len(), 2);
+        assert_eq!(*offs.last().unwrap(), offsets[2]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_verifies_then_appends_and_diverges_on_mismatch() {
+        let path = temp("replay");
+        let recs = sample_records();
+        let mut j = Journal::create(&path, 1).unwrap();
+        for rec in &recs[..3] {
+            j.record(rec).unwrap();
+        }
+        j.flush().unwrap();
+
+        let mut j2 = Journal::resume(&path, 1).unwrap();
+        assert_eq!(j2.record(&recs[0]).unwrap(), RecordOutcome::Replayed);
+        assert_eq!(j2.record(&recs[1]).unwrap(), RecordOutcome::Replayed);
+        // Divergence in the middle of the prefix is a typed error.
+        let wrong = JournalRecord::GpuLost { rank: 9 };
+        match j2.record(&wrong) {
+            Err(JournalError::Diverged {
+                index,
+                expected,
+                got,
+            }) => {
+                assert_eq!(index, 2);
+                assert_eq!(expected, recs[2]);
+                assert_eq!(got, wrong);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+        // A correct record still replays, then the tail appends.
+        assert_eq!(j2.record(&recs[2]).unwrap(), RecordOutcome::Replayed);
+        assert_eq!(j2.record(&recs[3]).unwrap(), RecordOutcome::Flushed);
+        assert_eq!(j2.replayed(), 3);
+        assert_eq!(j2.appended(), 1);
+        let (records, _) = Journal::scan(&path).unwrap();
+        assert_eq!(records, recs[..4].to_vec());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn summary_builds_the_completed_bin_manifest() {
+        let s = JournalSummary::from_records(&sample_records());
+        assert!(s.started.is_some());
+        assert_eq!(s.committed_chunks, vec![0]);
+        assert_eq!(s.dispatches, 1);
+        assert_eq!(s.steals, 1);
+        assert_eq!(s.requeues, 1);
+        assert_eq!(s.gpus_lost, vec![1]);
+        assert_eq!(s.gpus_added, vec![2]);
+        assert_eq!(s.bins_sorted, vec![0]);
+        assert_eq!(s.bins_reduced, vec![0]);
+        assert!(s.ended.is_some());
+    }
+
+    #[test]
+    fn hash_pairs_is_order_sensitive_and_stable() {
+        let a = hash_pairs(&[1u32, 2, 3], &[10u32, 20, 30]);
+        let b = hash_pairs(&[1u32, 2, 3], &[10u32, 20, 30]);
+        let c = hash_pairs(&[3u32, 2, 1], &[10u32, 20, 30]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Published FNV-1a 64 test vector.
+        assert_eq!(fnv1a(b"hello"), 0xa430_d846_80aa_bd0b);
+    }
+}

@@ -87,6 +87,7 @@ pub mod engine;
 pub mod error;
 pub mod helpers;
 pub mod job;
+pub mod journal;
 pub mod pod;
 pub mod scheduler;
 pub mod stats;
@@ -95,11 +96,14 @@ pub mod types;
 
 pub use chunk::{Chunk, SliceChunk};
 pub use engine::{
-    run_job, run_job_analyzed, run_job_instrumented, run_job_traced, run_job_tuned, EngineTuning,
-    JobResult,
+    run_job, run_job_analyzed, run_job_instrumented, run_job_journaled, run_job_traced,
+    run_job_tuned, EngineTuning, JobResult,
 };
 pub use error::{EngineError, EngineResult};
 pub use job::{block_partition, GpmrJob, MapMode, PartitionMode, PipelineConfig, SortMode};
+pub use journal::{
+    scan_bytes, Journal, JournalError, JournalRecord, JournalResult, JournalSummary, RecordOutcome,
+};
 pub use pod::Pod;
 pub use scheduler::WorkQueues;
 pub use stats::{efficiency, speedup, JobTimings, StageTimes};

@@ -19,10 +19,30 @@ impl<C> WorkQueues<C> {
     /// initial static assignment; chunks are streamed from rank-local
     /// storage).
     pub fn distribute(chunks: Vec<C>, ranks: u32) -> Self {
+        let targets: Vec<u32> = (0..ranks.max(1)).collect();
+        Self::distribute_on(chunks, ranks, &targets)
+    }
+
+    /// [`WorkQueues::distribute`] restricted to a target subset: chunks go
+    /// round-robin over `targets` only, while `ranks` queues exist in
+    /// total. Queues outside `targets` start empty — this is how GPUs that
+    /// only *join* the job mid-run (elastic adds) get a seat at the
+    /// stealing table without a share of the initial assignment. Targets
+    /// out of range are clamped; an empty target list falls back to every
+    /// rank.
+    pub fn distribute_on(chunks: Vec<C>, ranks: u32, targets: &[u32]) -> Self {
         let ranks = ranks.max(1) as usize;
         let mut queues: Vec<VecDeque<C>> = (0..ranks).map(|_| VecDeque::new()).collect();
+        let targets: Vec<usize> = if targets.is_empty() {
+            (0..ranks).collect()
+        } else {
+            targets
+                .iter()
+                .map(|&t| (t as usize).min(ranks - 1))
+                .collect()
+        };
         for (i, c) in chunks.into_iter().enumerate() {
-            queues[i % ranks].push_back(c);
+            queues[targets[i % targets.len()]].push_back(c);
         }
         WorkQueues { queues }
     }
@@ -154,6 +174,30 @@ mod tests {
         assert_eq!(q.remaining(3), 2);
         assert_eq!(q.total_remaining(), 10);
         assert_eq!(q.ranks(), 4);
+    }
+
+    #[test]
+    fn distribute_on_leaves_non_target_queues_empty() {
+        let q = WorkQueues::distribute_on((0..10).collect(), 5, &[0, 1, 2, 3]);
+        assert_eq!(q.ranks(), 5);
+        assert_eq!(q.remaining(0), 3); // 0, 4, 8
+        assert_eq!(q.remaining(1), 3); // 1, 5, 9
+        assert_eq!(q.remaining(2), 2);
+        assert_eq!(q.remaining(3), 2);
+        assert_eq!(q.remaining(4), 0); // joins later; steals only
+        assert_eq!(q.total_remaining(), 10);
+        // Full-target distribution matches the classic round-robin.
+        let a = WorkQueues::distribute_on((0..10).collect::<Vec<u32>>(), 4, &[0, 1, 2, 3]);
+        let b = WorkQueues::distribute((0..10).collect::<Vec<u32>>(), 4);
+        for r in 0..4 {
+            assert_eq!(a.remaining(r), b.remaining(r));
+        }
+        // Degenerate inputs: empty targets fall back, out-of-range clamps.
+        let fallback = WorkQueues::distribute_on((0..4).collect::<Vec<u32>>(), 2, &[]);
+        assert_eq!(fallback.remaining(0), 2);
+        assert_eq!(fallback.remaining(1), 2);
+        let clamped = WorkQueues::distribute_on((0..4).collect::<Vec<u32>>(), 2, &[9]);
+        assert_eq!(clamped.remaining(1), 4);
     }
 
     #[test]

@@ -67,6 +67,8 @@ pub struct JobTimings {
     pub pairs_shuffled: u64,
     /// GPUs lost to injected fail-stop faults during the job.
     pub gpus_lost: u32,
+    /// GPUs that joined the job mid-run via elastic add events.
+    pub gpus_added: u32,
     /// Chunks migrated off lost ranks and rerun on survivors.
     pub chunks_requeued: u32,
     /// Fabric transfer attempts that failed and were retried with backoff.

@@ -46,13 +46,18 @@ pub enum TraceKind {
     Retry,
     /// Injected straggler stall (fault injection).
     Stall,
+    /// A GPU joined the running job (elastic add).
+    GpuAdded,
+    /// Write-ahead journal flush (zero simulated duration; host-side I/O
+    /// is never charged to the schedule).
+    JournalFlush,
 }
 
 impl TraceKind {
     /// Every kind, in pipeline order. Extending the enum without updating
     /// this list is a compile error (see `exhaustive_all` test), which is
     /// what keeps the Gantt legend and exporters complete.
-    pub const ALL: [TraceKind; 16] = [
+    pub const ALL: [TraceKind; 18] = [
         TraceKind::Setup,
         TraceKind::Upload,
         TraceKind::Map,
@@ -69,6 +74,8 @@ impl TraceKind {
         TraceKind::Requeue,
         TraceKind::Retry,
         TraceKind::Stall,
+        TraceKind::GpuAdded,
+        TraceKind::JournalFlush,
     ];
 
     /// One-letter tag used by the Gantt renderer.
@@ -90,6 +97,8 @@ impl TraceKind {
             TraceKind::Requeue => 'q',
             TraceKind::Retry => 'r',
             TraceKind::Stall => 'z',
+            TraceKind::GpuAdded => '+',
+            TraceKind::JournalFlush => 'J',
         }
     }
 
@@ -112,6 +121,8 @@ impl TraceKind {
             TraceKind::Requeue => "Requeue",
             TraceKind::Retry => "Retry",
             TraceKind::Stall => "Stall",
+            TraceKind::GpuAdded => "GpuAdded",
+            TraceKind::JournalFlush => "JournalFlush",
         }
     }
 
@@ -134,6 +145,8 @@ impl TraceKind {
             TraceKind::Requeue => "requeue",
             TraceKind::Retry => "retry",
             TraceKind::Stall => "stall",
+            TraceKind::GpuAdded => "gpu-added",
+            TraceKind::JournalFlush => "journal-flush",
         }
     }
 
@@ -422,6 +435,8 @@ mod tests {
                 Requeue => 13,
                 Retry => 14,
                 Stall => 15,
+                GpuAdded => 16,
+                JournalFlush => 17,
             }
         }
         for (i, k) in TraceKind::ALL.iter().enumerate() {
@@ -441,7 +456,14 @@ mod tests {
         }
         // The fault-injection tags from the fault-tolerance scheduler must
         // be documented in every rendered Gantt header.
-        for tag in ["X gpu-lost", "q requeue", "r retry", "z stall"] {
+        for tag in [
+            "X gpu-lost",
+            "q requeue",
+            "r retry",
+            "z stall",
+            "+ gpu-added",
+            "J journal-flush",
+        ] {
             assert!(legend.contains(tag), "legend missing {tag}");
         }
         let mut tr = JobTrace::new();

@@ -53,6 +53,16 @@ pub enum FaultEvent {
         /// Number of attempts that fail before the link heals.
         fails: u32,
     },
+    /// Elastic GPU *add*: `rank`'s device does not exist until `at`, then
+    /// joins the running job. An added rank takes no part in the initial
+    /// chunk distribution or the reducer set (fixed at job start); it
+    /// acquires work exclusively through the scheduler's work stealing.
+    GpuAdd {
+        /// Joining rank (must be below the cluster size).
+        rank: u32,
+        /// Simulated instant the device becomes available.
+        at: SimTime,
+    },
     /// Transfers matching `(from, to)` whose payload is ready inside
     /// `[start, until)` are delayed by `extra` before entering the wire.
     TransferDelay {
@@ -134,6 +144,13 @@ impl FaultPlan {
             .any(|e| matches!(e, FaultEvent::GpuKill { .. }))
     }
 
+    /// Whether the plan adds any GPU mid-job.
+    pub fn has_adds(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::GpuAdd { .. }))
+    }
+
     /// Append an event.
     pub fn push(&mut self, event: FaultEvent) {
         self.events.push(event);
@@ -142,6 +159,16 @@ impl FaultPlan {
     /// Builder: kill `rank` at `at_s` simulated seconds.
     pub fn kill(mut self, rank: u32, at_s: f64) -> Self {
         self.push(FaultEvent::GpuKill {
+            rank,
+            at: SimTime::from_secs(at_s),
+        });
+        self
+    }
+
+    /// Builder: add `rank`'s GPU to the running job at `at_s` simulated
+    /// seconds (elastic scale-out; see [`FaultEvent::GpuAdd`]).
+    pub fn add(mut self, rank: u32, at_s: f64) -> Self {
+        self.push(FaultEvent::GpuAdd {
             rank,
             at: SimTime::from_secs(at_s),
         });
@@ -207,6 +234,33 @@ impl FaultPlan {
                 _ => None,
             })
             .reduce(SimTime::min)
+    }
+
+    /// The earliest add instant scheduled for `rank`, if any. A rank with
+    /// an add event starts the job dormant and joins at this instant.
+    pub fn add_time(&self, rank: u32) -> Option<SimTime> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::GpuAdd { rank: r, at } if *r == rank => Some(*at),
+                _ => None,
+            })
+            .reduce(SimTime::min)
+    }
+
+    /// Ranks with a scheduled add event, sorted and deduplicated.
+    pub fn added_ranks(&self) -> Vec<u32> {
+        let mut ranks: Vec<u32> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::GpuAdd { rank, .. } => Some(*rank),
+                _ => None,
+            })
+            .collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        ranks
     }
 
     /// All stalls scheduled for `rank`, sorted by start instant.
@@ -344,10 +398,31 @@ impl FaultPlan {
         plan
     }
 
+    /// [`FaultPlan::generate`] for an elastic cluster: the chaos schedule
+    /// of `generate(seed, ranks, horizon_s)` (kills, stalls, transfer
+    /// faults confined to the first `ranks` ranks), plus one add event for
+    /// each of the `extra` trailing ranks `ranks..ranks + extra`, at
+    /// seed-deterministic instants inside the horizon. `generate` itself
+    /// never emits adds, so existing chaos comparisons against same-size
+    /// clean runs stay valid.
+    pub fn generate_elastic(seed: u64, ranks: u32, extra: u32, horizon_s: f64) -> Self {
+        let mut plan = Self::generate(seed, ranks, horizon_s);
+        // A separate stream keeps the base schedule identical to the
+        // inelastic plan for the same seed.
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let horizon = horizon_s.max(1e-6);
+        for r in ranks..ranks.saturating_add(extra) {
+            let at = rng.gen_range(0.0..0.6 * horizon);
+            plan = plan.add(r, at);
+        }
+        plan
+    }
+
     /// Parse a plan from its textual form: `;`-separated events, times in
     /// (fractional) simulated seconds.
     ///
     /// * `kill:R@T` — kill rank `R` at time `T`;
+    /// * `add:R@T` — add rank `R`'s GPU to the running job at time `T`;
     /// * `stall:R@T+D` — stall rank `R` at `T` for `D` seconds;
     /// * `xfail:F->T@S..U*N` — fail the first `N` attempts of transfers
     ///   `F -> T` ready inside `[S, U)` (`*N` defaults to 1, `..U` to an
@@ -371,6 +446,14 @@ impl FaultPlan {
                     let rank = parse_rank(target, part)?;
                     let at = parse_secs(timing, part)?;
                     plan.push(FaultEvent::GpuKill {
+                        rank,
+                        at: SimTime::from_secs(at),
+                    });
+                }
+                "add" => {
+                    let rank = parse_rank(target, part)?;
+                    let at = parse_secs(timing, part)?;
+                    plan.push(FaultEvent::GpuAdd {
                         rank,
                         at: SimTime::from_secs(at),
                     });
@@ -422,7 +505,7 @@ impl FaultPlan {
                 }
                 other => {
                     return Err(FaultPlanParseError(format!(
-                        "unknown fault kind {other:?} (expected kill, stall, xfail, or delay)"
+                        "unknown fault kind {other:?} (expected kill, add, stall, xfail, or delay)"
                     )));
                 }
             }
@@ -548,6 +631,46 @@ mod tests {
             FaultPlan::generate(1, 4, 5e-3),
             FaultPlan::generate(2, 4, 5e-3)
         );
+    }
+
+    #[test]
+    fn add_events_are_recorded_parsed_and_queried() {
+        let plan = FaultPlan::new().add(4, 2e-3).add(5, 1e-3).add(4, 1.5e-3);
+        assert!(plan.has_adds());
+        assert!(!plan.has_kills());
+        assert_eq!(plan.add_time(4), Some(SimTime::from_secs(1.5e-3)));
+        assert_eq!(plan.add_time(5), Some(SimTime::from_secs(1e-3)));
+        assert_eq!(plan.add_time(0), None);
+        assert_eq!(plan.added_ranks(), vec![4, 5]);
+
+        let parsed = FaultPlan::parse("add:4@2e-3; kill:1@1e-3").unwrap();
+        assert_eq!(parsed.add_time(4), Some(SimTime::from_secs(2e-3)));
+        assert_eq!(parsed.added_ranks(), vec![4]);
+        assert!(parsed.has_kills());
+        for bad in ["add:4", "add:x@0", "add:4@-1"] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn elastic_plans_extend_the_base_schedule_deterministically() {
+        for seed in 0..16u64 {
+            let base = FaultPlan::generate(seed, 4, 5e-3);
+            let elastic = FaultPlan::generate_elastic(seed, 4, 2, 5e-3);
+            assert_eq!(
+                elastic,
+                FaultPlan::generate_elastic(seed, 4, 2, 5e-3),
+                "seed {seed} not reproducible"
+            );
+            // The base chaos schedule is untouched; only adds are appended.
+            assert_eq!(&elastic.events()[..base.events().len()], base.events());
+            assert_eq!(elastic.added_ranks(), vec![4, 5]);
+            assert!(!base.has_adds(), "generate must never emit adds");
+            for r in elastic.added_ranks() {
+                let at = elastic.add_time(r).unwrap();
+                assert!(at >= SimTime::ZERO && at < SimTime::from_secs(5e-3));
+            }
+        }
     }
 
     #[test]

@@ -67,6 +67,38 @@ fn run_wo_tuned(
     (result.outputs, result.timings)
 }
 
+/// The WO job journaled to `path`: same cluster/workload as
+/// [`run_wo_faulted`], but every scheduling decision is written to (or
+/// replayed against) the write-ahead journal.
+fn run_wo_journaled(
+    workers: usize,
+    backend: ExecBackend,
+    journal: &mut gpmr::core::Journal,
+) -> (Vec<KvSet<u32, u32>>, gpmr::core::JobTimings) {
+    use gpmr::core::{run_job_journaled, EngineTuning};
+    set_exec_backend(backend);
+    let mut cluster = Cluster::new(Topology::new(2, 2, 2), GpuSpec::gt200());
+    cluster.set_fault_plan(None);
+    for rank in 0..4 {
+        cluster.gpu(rank).worker_threads = workers;
+    }
+    let dict = Arc::new(Dictionary::generate(300, 11));
+    let text = generate_text(&dict, 120_000, 12);
+    let chunks = chunk_text(&text, 16 * 1024);
+    let job = WoJob::new(dict, 4);
+    let result = run_job_journaled(
+        &mut cluster,
+        &job,
+        chunks,
+        &EngineTuning::default(),
+        &gpmr::telemetry::Telemetry::disabled(),
+        journal,
+    )
+    .expect("journaled job runs");
+    set_exec_backend(ExecBackend::Pool);
+    (result.outputs, result.timings)
+}
+
 #[test]
 fn outputs_and_times_are_independent_of_workers_and_backend() {
     let (base_out, base_times) = run_wo(1, ExecBackend::Pool);
@@ -198,5 +230,60 @@ fn tuning_matrix_survives_faults_deterministically() {
             "faulted times/recovery changed across backends at depth {depth}, \
              gpu_direct {gpu_direct}"
         );
+    }
+}
+
+#[test]
+fn interrupted_and_resumed_runs_match_uninterrupted_across_workers_and_backends() {
+    // The resumed-run determinism axis: for every worker-count x backend
+    // combination, a journaled run interrupted halfway (journal truncated
+    // at a record boundary) and resumed must match the uninterrupted run
+    // bit-for-bit — outputs, simulated times, and the final journal.
+    use gpmr::core::{scan_bytes, Journal};
+
+    let dir = std::env::temp_dir().join(format!("gpmr_det_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (base_out, base_times) = run_wo(1, ExecBackend::Pool);
+
+    for workers in [1usize, 2, 8] {
+        for backend in [ExecBackend::Pool, ExecBackend::Spawn] {
+            let path = dir.join(format!("wo_w{workers}_{backend:?}.gpj"));
+
+            // Uninterrupted journaled run: zero behavior change vs plain.
+            let mut journal = Journal::create(&path, 1).expect("create journal");
+            let (out, times) = run_wo_journaled(workers, backend, &mut journal);
+            drop(journal);
+            assert_eq!(
+                out, base_out,
+                "journaling changed outputs with {workers} workers on {backend:?}"
+            );
+            assert_eq!(
+                times, base_times,
+                "journaling changed times with {workers} workers on {backend:?}"
+            );
+            let reference = std::fs::read(&path).unwrap();
+            let (_, offsets) = scan_bytes(&reference);
+
+            // Interrupt halfway, resume, and demand bit-identity.
+            let cut = offsets[offsets.len() / 2] as usize;
+            std::fs::write(&path, &reference[..cut]).unwrap();
+            let mut journal = Journal::resume(&path, 1).expect("resume journal");
+            let (out, times) = run_wo_journaled(workers, backend, &mut journal);
+            assert!(journal.replayed() > 0, "half the journal must replay");
+            drop(journal);
+            assert_eq!(
+                out, base_out,
+                "resumed outputs diverged with {workers} workers on {backend:?}"
+            );
+            assert_eq!(
+                times, base_times,
+                "resumed times diverged with {workers} workers on {backend:?}"
+            );
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                reference,
+                "resumed journal bytes diverged with {workers} workers on {backend:?}"
+            );
+        }
     }
 }

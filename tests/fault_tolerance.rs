@@ -34,8 +34,15 @@ fn cluster_with(plan: Option<FaultPlan>) -> Cluster {
 
 /// Run the (integer-exact) SIO job under `plan`.
 fn run_sio(plan: Option<FaultPlan>) -> (Vec<KvSet<u32, u32>>, JobTimings) {
+    run_sio_on(RANKS, plan)
+}
+
+/// The same SIO job on a cluster of `ranks` GPUs (elasticity tests start
+/// with spare, not-yet-joined GPUs beyond rank `RANKS`).
+fn run_sio_on(ranks: u32, plan: Option<FaultPlan>) -> (Vec<KvSet<u32, u32>>, JobTimings) {
     let data = sio_data();
-    let mut cluster = cluster_with(plan);
+    let mut cluster = Cluster::accelerator(ranks, GpuSpec::gt200());
+    cluster.set_fault_plan(plan);
     let result = run_job(
         &mut cluster,
         &SioJob::default(),
@@ -240,6 +247,137 @@ fn identical_seeds_reproduce_identical_plans_traces_and_timings() {
         trace_b.to_csv(),
         "identical seeds must replay identical schedules"
     );
+}
+
+#[test]
+fn mid_job_gpu_add_steals_work_and_preserves_output() {
+    // A 5th GPU joins a 4-reducer job early: it must absorb map work by
+    // stealing, never hold reduce output, and leave the answer bit-equal
+    // to the plain 4-GPU run.
+    let (base_out, base_t) = run_sio(None);
+    let join_at = base_t.total.as_secs() * 0.05;
+
+    let data = sio_data();
+    let mut cluster = Cluster::accelerator(RANKS + 1, GpuSpec::gt200());
+    cluster.set_fault_plan(Some(FaultPlan::new().add(RANKS, join_at)));
+    let (result, trace) = run_job_traced(
+        &mut cluster,
+        &SioJob::default(),
+        sio_chunks(&data, 16 * 1024),
+    )
+    .expect("elastic run survives");
+    let (out, t) = (result.outputs, result.timings);
+
+    assert_eq!(t.gpus_added, 1, "the join must be counted");
+    assert_eq!(
+        trace.events_of(TraceKind::GpuAdded).count(),
+        1,
+        "the join must appear in the trace"
+    );
+    assert_eq!(
+        &out[..RANKS as usize],
+        &base_out[..],
+        "outputs diverged after a mid-job GPU add"
+    );
+    assert!(
+        out[RANKS as usize].is_empty(),
+        "an added GPU is not a reducer and must hold no output"
+    );
+    assert!(
+        t.chunks_per_rank[RANKS as usize] >= 1,
+        "the added GPU must steal at least one chunk (got {:?})",
+        t.chunks_per_rank
+    );
+    assert!(t.chunks_stolen >= 1, "elastic absorption works by stealing");
+    // Steal-only absorption: every chunk is still mapped exactly once.
+    let total: u32 = t.chunks_per_rank.iter().sum();
+    assert_eq!(
+        total, 20,
+        "chunks lost or duplicated: {:?}",
+        t.chunks_per_rank
+    );
+}
+
+#[test]
+fn gpu_add_interleaved_with_kill_and_stall_preserves_output() {
+    let (base_out, base_t) = run_sio(None);
+    let horizon = base_t.total.as_secs();
+    let plan = FaultPlan::new()
+        .add(RANKS, horizon * 0.05)
+        .kill(1, horizon * 0.30)
+        .stall(0, horizon * 0.20, horizon * 0.25);
+
+    let (out, t) = run_sio_on(RANKS + 1, Some(plan));
+    assert_eq!(t.gpus_added, 1);
+    assert_eq!(t.gpus_lost, 1);
+    assert!(t.stalls_injected >= 1);
+    assert_eq!(
+        &out[..RANKS as usize],
+        &base_out[..],
+        "outputs diverged when a join raced kills and stalls"
+    );
+    assert!(out[RANKS as usize].is_empty());
+}
+
+#[test]
+fn accumulate_mode_absorbs_a_mid_job_add() {
+    // WO runs in Accumulation mode: the late joiner must get its own
+    // accumulation state initialised at join time, and its partial counts
+    // must merge back without loss or duplication.
+    let dict = Arc::new(Dictionary::generate(300, 11));
+    let corpus = text::generate_text(&dict, 120_000, 12);
+    let expect = wo::cpu_reference(&dict, &corpus);
+    let job = WoJob::new(dict.clone(), RANKS);
+
+    let base = run_job(
+        &mut cluster_with(None),
+        &job,
+        text::chunk_text(&corpus, 16 * 1024),
+    )
+    .expect("fault-free run");
+    let join_at = base.timings.total.as_secs() * 0.05;
+
+    let mut cluster = Cluster::accelerator(RANKS + 1, GpuSpec::gt200());
+    cluster.set_fault_plan(Some(FaultPlan::new().add(RANKS, join_at)));
+    let elastic = run_job(&mut cluster, &job, text::chunk_text(&corpus, 16 * 1024))
+        .expect("elastic run survives");
+
+    assert_eq!(elastic.timings.gpus_added, 1);
+    assert_eq!(
+        &elastic.outputs[..RANKS as usize],
+        &base.outputs[..],
+        "accumulate-mode outputs diverged after a mid-job add"
+    );
+    assert!(elastic.outputs[RANKS as usize].is_empty());
+    assert_eq!(
+        wo::counts_from_output(&dict, &elastic.merged_output()),
+        expect,
+        "word counts no longer match the CPU reference"
+    );
+}
+
+#[test]
+fn elastic_chaos_sweep_preserves_output_across_seeds() {
+    // Kills, stalls, transfer faults AND joins, all at once, across
+    // seeds: the answer never moves.
+    let (base_out, base_t) = run_sio(None);
+    let horizon = base_t.total.as_secs();
+    for seed in 0..6u64 {
+        let plan = FaultPlan::generate_elastic(seed, RANKS, 2, horizon);
+        let (out, t) = run_sio_on(RANKS + 2, Some(plan.clone()));
+        assert_eq!(
+            &out[..RANKS as usize],
+            &base_out[..],
+            "seed {seed} diverged (plan: {plan:?}, lost {}, added {}, requeued {})",
+            t.gpus_lost,
+            t.gpus_added,
+            t.chunks_requeued
+        );
+        for (r, o) in out.iter().enumerate().skip(RANKS as usize) {
+            assert!(o.is_empty(), "seed {seed}: joiner {r} held output");
+        }
+        assert_eq!(t.gpus_added, 2, "seed {seed}: both joins must register");
+    }
 }
 
 #[test]

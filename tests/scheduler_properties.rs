@@ -125,6 +125,87 @@ proptest! {
     }
 
     #[test]
+    fn distribute_on_targets_only_and_conserves_chunks(
+        n_chunks in 0usize..64,
+        ranks in 1u32..9,
+        target_mask in any::<u32>(),
+        ops in prop::collection::vec(any::<u32>(), 0..80),
+    ) {
+        // Elastic jobs distribute the initial chunks over the reducer
+        // subset only (GPUs with a pending `add` join later, empty).
+        let targets: Vec<u32> = (0..ranks).filter(|r| target_mask & (1 << r) != 0).collect();
+        let mut q = WorkQueues::distribute_on((0..n_chunks as u32).collect(), ranks, &targets);
+        prop_assert_eq!(q.ranks(), ranks, "every rank gets a queue, target or not");
+        prop_assert_eq!(q.total_remaining(), n_chunks, "distribution dropped chunks");
+
+        // Empty target set falls back to all ranks; otherwise non-targets
+        // start empty and targets are balanced round-robin (within 1).
+        if targets.is_empty() {
+            let loaded = (0..ranks).filter(|&r| q.remaining(r) > 0).count();
+            prop_assert!(n_chunks == 0 || loaded > 0);
+        } else {
+            for r in 0..ranks {
+                if !targets.contains(&r) {
+                    prop_assert_eq!(
+                        q.remaining(r), 0,
+                        "non-target rank {} was seeded with work", r
+                    );
+                }
+            }
+            let per: Vec<usize> = targets.iter().map(|&r| q.remaining(r)).collect();
+            let (min, max) = (per.iter().min().unwrap(), per.iter().max().unwrap());
+            prop_assert!(max - min <= 1, "unbalanced target loads: {:?}", per);
+        }
+
+        // A late joiner (non-target) can still acquire work by stealing,
+        // and the usual pop/steal interleavings conserve every chunk.
+        let mut popped: Vec<u32> = Vec::new();
+        for sel in ops {
+            let r = sel % ranks;
+            if sel % 2 == 0 {
+                if let Some(c) = q.pop_local(r) {
+                    popped.push(c);
+                }
+            } else if let Some(v) = q.steal_victim(r) {
+                prop_assert_ne!(v, r);
+                let c = q.steal_from(v);
+                prop_assert!(c.is_some());
+                q.push_back(r, c.unwrap());
+            }
+            prop_assert_eq!(popped.len() + q.total_remaining(), n_chunks);
+        }
+        let mut seen = popped;
+        for r in 0..ranks {
+            while let Some(c) = q.pop_local(r) {
+                seen.push(c);
+            }
+        }
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n_chunks as u32).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn joiner_outside_targets_can_be_fed_by_steals(
+        n_chunks in 8usize..64,
+        ranks in 2u32..9,
+    ) {
+        // The elastic scheduler's core move: all work sits on ranks
+        // 0..ranks-1, the joiner (last rank) holds nothing, and a steal
+        // lands it real work without disturbing conservation.
+        let targets: Vec<u32> = (0..ranks - 1).collect();
+        let mut q = WorkQueues::distribute_on((0..n_chunks as u32).collect(), ranks, &targets);
+        let joiner = ranks - 1;
+        prop_assert_eq!(q.remaining(joiner), 0);
+        // 8+ chunks over <= 8 target ranks leaves some queue with >= 2.
+        let v = q.steal_victim(joiner);
+        prop_assert!(v.is_some(), "profitable victim must exist for the joiner");
+        let c = q.steal_from(v.unwrap()).unwrap();
+        q.push_back(joiner, c);
+        prop_assert_eq!(q.remaining(joiner), 1);
+        prop_assert_eq!(q.total_remaining(), n_chunks);
+    }
+
+    #[test]
     fn pops_and_steals_preserve_fifo_order_per_rank(
         n_chunks in 1usize..40,
         ranks in 1u32..6,
