@@ -41,6 +41,9 @@ USAGE:
     gpmr trace  summary --in events.jsonl
     gpmr perf   record [--out F] [--scale N]
     gpmr perf   diff --baseline F [--against F] [--tolerance T] [--json]
+    gpmr serve  --workload FILE [--gpus N] [--engines N] [--queue-depth N]
+                [--batch-window S] [--batch-max N]
+                [--metrics-out F] [--trace-out F] [--events-out F]
     gpmr info   [--gpus N]
     gpmr help
 
@@ -96,6 +99,23 @@ TRACE SUBCOMMAND:
     export        convert a --events-out JSONL stream to Perfetto JSON
     check         validate a Perfetto JSON file (structure, monotonic ts)
     summary       print per-track busy-time/utilization from a JSONL stream
+
+SERVE:
+    Multi-tenant job service over a scripted workload in simulated time.
+    The workload file declares tenants with quotas and timed actions:
+        tenant alice max_concurrent=2 gpu_seconds=1.5 mem_share=0.5
+        at 0.000 submit alice sio n=20000 seed=1 chunk_kb=16 batch
+        at 0.002 submit bob   wo  bytes=65536 dict=512 seed=3 chunk_kb=16 deadline=0.004
+        at 0.004 cancel job1
+    Submit flags: batch (small-job batching), journal (write-ahead
+    journal), kill=R@T (fail-stop GPU R at T seconds into the job),
+    deadline=D (cancel D seconds after submission), priority=P.
+    --gpus GPUs per engine slot [default: 4]; --engines concurrent jobs
+    [default: 2]; --queue-depth admission limit [default: 64];
+    --batch-window seconds [default: 0.05]; --batch-max members
+    [default: 4]. Prints one line per action and per job, then tenant
+    and service summaries; per-tenant activity exports as separate
+    Perfetto tracks via --trace-out/--events-out.
 
 PERF SUBCOMMAND:
     record        run the WO+SIO gate suite — 1/4/8 ranks plus the
@@ -154,6 +174,11 @@ pub const VALUED: &[&str] = &[
     "trace-out",
     "events-out",
     "events",
+    "workload",
+    "engines",
+    "queue-depth",
+    "batch-window",
+    "batch-max",
 ];
 /// Boolean flags.
 pub const BOOLEAN: &[&str] = &["trace", "json", "gpu-direct", "resume"];
@@ -183,6 +208,7 @@ where
         "run" => cmd_run(&args),
         "kmeans" => cmd_kmeans(&args),
         "analyze" => cmd_analyze(&args),
+        "serve" => cmd_serve(&args),
         "info" => cmd_info(&args),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
         other => Err(CliError::Invalid(format!(
@@ -856,6 +882,40 @@ fn cmd_kmeans(args: &Args) -> Result<String, CliError> {
 ",
             c[0], c[1], c[2], c[3]
         ));
+    }
+    Ok(out)
+}
+
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    use gpmr_service::{run_script, ServiceConfig};
+    let path = args
+        .get("workload")
+        .ok_or_else(|| CliError::Invalid("serve needs --workload <file>".into()))?;
+    let script = read_file(path)?;
+    let cfg = ServiceConfig {
+        gpus: args.get_or("gpus", 4u32)?,
+        engines: args.get_or("engines", 2usize)?,
+        max_queue_depth: args.get_or("queue-depth", 64usize)?,
+        batch_window_s: args.get_or("batch-window", 0.05f64)?,
+        batch_max: args.get_or("batch-max", 4usize)?,
+        tuning: EngineTuning::default(),
+    };
+    let outs = OutFiles::from_args(args);
+    let tel = if outs.any() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let (svc, lines) =
+        run_script(&script, cfg, tel).map_err(|e| CliError::Invalid(e.to_string()))?;
+    let mut out = String::new();
+    for line in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    if outs.any() {
+        let snap = svc.telemetry().snapshot();
+        write_outputs(&mut out, &snap, &outs)?;
     }
     Ok(out)
 }

@@ -107,6 +107,45 @@ impl Default for EngineTuning {
     }
 }
 
+impl EngineTuning {
+    /// Staging slots a chunk must fit into device memory simultaneously:
+    /// the upload pipeline depth, plus one GPU-direct staging slot when
+    /// that mode is on (pass the cluster's own gpu-direct flag — either
+    /// switch enables it). This is the [`EngineError::ChunkTooLarge`]
+    /// admission formula; the job service reuses it for memory admission
+    /// control before a job ever reaches the engine.
+    pub fn staging_slots(&self, cluster_gpu_direct: bool) -> u64 {
+        u64::from(self.pipeline_depth.max(1)) + u64::from(self.gpu_direct || cluster_gpu_direct)
+    }
+}
+
+/// Caller-side control over a running job, threaded through the poolable
+/// entry points ([`run_job_controlled`]). The default is unrestricted: the
+/// engine behaves bit-identically to the classic `run_job*` family (which
+/// are thin wrappers passing exactly this default).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunControl {
+    /// Stop the job at this simulated instant (cancellation, deadline).
+    /// Ranks whose scheduler cursor reaches the instant take no more
+    /// chunks; in-flight chunks finish at their chunk boundary; then the
+    /// engine drains every queue, releases device state, and returns
+    /// [`EngineError::Cancelled`] with conservation accounting instead of
+    /// running Bin/Sort/Reduce.
+    pub stop_at: Option<SimTime>,
+}
+
+impl RunControl {
+    /// Unrestricted control: run to completion (what `run_job` passes).
+    pub fn unrestricted() -> Self {
+        RunControl::default()
+    }
+
+    /// Stop (cancel) the job at simulated instant `t`.
+    pub fn stop_at(t: SimTime) -> Self {
+        RunControl { stop_at: Some(t) }
+    }
+}
+
 /// The outcome of one GPMR job.
 #[derive(Debug)]
 pub struct JobResult<K, V> {
@@ -496,13 +535,13 @@ pub fn run_job<J: GpmrJob>(
     job: &J,
     chunks: Vec<J::Chunk>,
 ) -> EngineResult<JobResult<J::Key, J::Value>> {
-    run_job_impl(
+    run_job_controlled(
         cluster,
         job,
         chunks,
         &EngineTuning::default(),
         &Telemetry::disabled(),
-        None,
+        &RunControl::unrestricted(),
     )
 }
 
@@ -514,7 +553,32 @@ pub fn run_job_tuned<J: GpmrJob>(
     chunks: Vec<J::Chunk>,
     tuning: &EngineTuning,
 ) -> EngineResult<JobResult<J::Key, J::Value>> {
-    run_job_impl(cluster, job, chunks, tuning, &Telemetry::disabled(), None)
+    run_job_controlled(
+        cluster,
+        job,
+        chunks,
+        tuning,
+        &Telemetry::disabled(),
+        &RunControl::unrestricted(),
+    )
+}
+
+/// The poolable, cancellable entry point the job service multiplexes onto
+/// a shared engine pool: [`run_job_instrumented`] plus a caller-side
+/// [`RunControl`]. With an unrestricted control this is bit-identical —
+/// outputs and simulated timings — to the classic entry points, which are
+/// thin wrappers over this path. With `stop_at` set the run is aborted at
+/// that instant and surfaces as [`EngineError::Cancelled`] carrying
+/// chunk-conservation accounting.
+pub fn run_job_controlled<J: GpmrJob>(
+    cluster: &mut Cluster,
+    job: &J,
+    chunks: Vec<J::Chunk>,
+    tuning: &EngineTuning,
+    tel: &Telemetry,
+    control: &RunControl,
+) -> EngineResult<JobResult<J::Key, J::Value>> {
+    run_job_impl(cluster, job, chunks, tuning, tel, None, control)
 }
 
 /// [`run_job`] recording into a caller-provided [`Telemetry`] handle:
@@ -530,7 +594,14 @@ pub fn run_job_instrumented<J: GpmrJob>(
     tuning: &EngineTuning,
     tel: &Telemetry,
 ) -> EngineResult<JobResult<J::Key, J::Value>> {
-    run_job_impl(cluster, job, chunks, tuning, tel, None)
+    run_job_controlled(
+        cluster,
+        job,
+        chunks,
+        tuning,
+        tel,
+        &RunControl::unrestricted(),
+    )
 }
 
 /// [`run_job`], additionally recording a full execution trace (every
@@ -543,7 +614,14 @@ pub fn run_job_traced<J: GpmrJob>(
     chunks: Vec<J::Chunk>,
 ) -> TracedRun<J::Key, J::Value> {
     let tel = Telemetry::enabled();
-    let result = run_job_impl(cluster, job, chunks, &EngineTuning::default(), &tel, None)?;
+    let result = run_job_controlled(
+        cluster,
+        job,
+        chunks,
+        &EngineTuning::default(),
+        &tel,
+        &RunControl::unrestricted(),
+    )?;
     Ok((result, JobTrace::from_telemetry(&tel.snapshot())))
 }
 
@@ -559,7 +637,14 @@ pub fn run_job_analyzed<J: GpmrJob>(
     tuning: &EngineTuning,
 ) -> AnalyzedRun<J::Key, J::Value> {
     let tel = Telemetry::enabled();
-    let result = run_job_impl(cluster, job, chunks, tuning, &tel, None)?;
+    let result = run_job_controlled(
+        cluster,
+        job,
+        chunks,
+        tuning,
+        &tel,
+        &RunControl::unrestricted(),
+    )?;
     Ok((result, analyze(&tel.snapshot())))
 }
 
@@ -583,6 +668,36 @@ where
     J::Key: Pod,
     J::Value: Pod,
 {
+    run_job_controlled_journaled(
+        cluster,
+        job,
+        chunks,
+        tuning,
+        tel,
+        journal,
+        &RunControl::unrestricted(),
+    )
+}
+
+/// [`run_job_controlled`] with a write-ahead [`Journal`] (the service's
+/// journaled path). A stopped run leaves the journal holding a consistent
+/// prefix of the full run's records: resuming the same job without the
+/// stop replays that prefix and finishes bit-identically.
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_controlled_journaled<J>(
+    cluster: &mut Cluster,
+    job: &J,
+    chunks: Vec<J::Chunk>,
+    tuning: &EngineTuning,
+    tel: &Telemetry,
+    journal: &mut Journal,
+    control: &RunControl,
+) -> EngineResult<JobResult<J::Key, J::Value>>
+where
+    J: GpmrJob,
+    J::Key: Pod,
+    J::Value: Pod,
+{
     let reg = tel.registry().cloned().unwrap_or_else(Registry::new);
     let jctx = JournalCtx {
         journal,
@@ -591,7 +706,7 @@ where
         replayed: reg.counter("engine.journal_replayed"),
         flushes: reg.counter("engine.journal_flushes"),
     };
-    run_job_impl(cluster, job, chunks, tuning, tel, Some(jctx))
+    run_job_impl(cluster, job, chunks, tuning, tel, Some(jctx), control)
 }
 
 fn run_job_impl<J: GpmrJob>(
@@ -601,6 +716,7 @@ fn run_job_impl<J: GpmrJob>(
     tuning: &EngineTuning,
     telemetry: &Telemetry,
     mut jctx: Option<JournalCtx<'_, J::Key, J::Value>>,
+    control: &RunControl,
 ) -> EngineResult<JobResult<J::Key, J::Value>> {
     let cfg = job.pipeline();
     cfg.validate().map_err(EngineError::InvalidPipeline)?;
@@ -769,6 +885,16 @@ fn run_job_impl<J: GpmrJob>(
         })
     {
         let ri = r as usize;
+
+        // Caller-requested stop: a rank whose clock has reached the stop
+        // instant dequeues no more work. Its in-flight chunks already
+        // committed (dispatch is synchronous per chunk), so stopping here
+        // is a clean chunk boundary; the leftover queue is drained and
+        // accounted for after the loop.
+        if control.stop_at.is_some_and(|stop| st[ri].cursor >= stop) {
+            st[ri].active = false;
+            continue;
+        }
 
         // Straggler injection: a stall due at or before this dispatch
         // freezes the rank before it takes more work.
@@ -1120,6 +1246,30 @@ fn run_job_impl<J: GpmrJob>(
                 }
             }
         }
+    }
+
+    // --- Caller-requested stop ------------------------------------------
+    // Every rank halted at a chunk boundary at or after `stop_at`. Drain
+    // the leftover queues so no chunk stays parked in scheduler state, and
+    // account for the whole input: chunks committed by maps plus chunks
+    // released here cover every dispatched chunk (fault-plan kills may
+    // rerun chunks, which only raises the committed count). Device memory
+    // holds no engine allocations across chunks (working sets are modeled
+    // via `note_resident`), so dropping per-rank state releases everything.
+    if let Some(stop) = control.stop_at {
+        let chunks_committed: u32 = st.iter().map(|s| s.chunks_done).sum();
+        let chunks_released = queues.drain_all().len() as u32;
+        tel.event(0, TraceKind::Cancelled, stop, stop, || {
+            format!(
+                "run stopped: {chunks_committed} chunk(s) committed, {chunks_released} released"
+            )
+        });
+        cluster.flush_telemetry();
+        return Err(EngineError::Cancelled {
+            at_ns: (stop.as_secs() * 1e9).round() as u64,
+            chunks_committed,
+            chunks_released,
+        });
     }
 
     // --- Deferred binning (Accumulate / Combine) -------------------------

@@ -47,6 +47,20 @@ pub enum EngineError {
     /// diverging from the journal's record prefix (see
     /// [`JournalError::Diverged`]).
     Journal(JournalError),
+    /// The run was stopped by its caller (`RunControl::stop_at`): service
+    /// cancellation or a missed deadline. Ranks stop dequeuing at the stop
+    /// instant, in-flight chunks finish at their chunk boundary, every
+    /// queued chunk is drained back out of the work queues, and device
+    /// memory is released. Committed plus released chunks account for the
+    /// whole input (absent fault-plan kills, which may rerun chunks).
+    Cancelled {
+        /// Stop instant in integer nanoseconds of simulated time.
+        at_ns: u64,
+        /// Chunks whose map work committed before the engine stopped.
+        chunks_committed: u32,
+        /// Chunks drained from the work queues when the engine stopped.
+        chunks_released: u32,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -73,6 +87,16 @@ impl fmt::Display for EngineError {
                 write!(f, "transfer failed after {attempt} attempts: {fault}")
             }
             EngineError::Journal(e) => write!(f, "journal error: {e}"),
+            EngineError::Cancelled {
+                at_ns,
+                chunks_committed,
+                chunks_released,
+            } => write!(
+                f,
+                "job cancelled at {:.6}s: {chunks_committed} chunk(s) committed, \
+                 {chunks_released} released",
+                *at_ns as f64 / 1e9
+            ),
         }
     }
 }

@@ -96,8 +96,9 @@ pub mod types;
 
 pub use chunk::{Chunk, SliceChunk};
 pub use engine::{
-    run_job, run_job_analyzed, run_job_instrumented, run_job_journaled, run_job_traced,
-    run_job_tuned, EngineTuning, JobResult,
+    run_job, run_job_analyzed, run_job_controlled, run_job_controlled_journaled,
+    run_job_instrumented, run_job_journaled, run_job_traced, run_job_tuned, EngineTuning,
+    JobResult, RunControl,
 };
 pub use error::{EngineError, EngineResult};
 pub use job::{block_partition, GpmrJob, MapMode, PartitionMode, PipelineConfig, SortMode};

@@ -149,6 +149,15 @@ impl<C> WorkQueues<C> {
         self.queues[rank as usize].drain(..).collect()
     }
 
+    /// Take everything still queued on *every* rank, in rank order then
+    /// queue order. Used when a run is cancelled: the engine hands the
+    /// undone chunks back so its caller can account for them (no chunk may
+    /// stay parked in scheduler state after a cancel).
+    pub fn drain_all(&mut self) -> Vec<C> {
+        let ranks = self.ranks();
+        (0..ranks).flat_map(|r| self.drain_rank(r)).collect()
+    }
+
     /// Append a chunk to the tail of `rank`'s queue (requeue after a
     /// migration; the rank finishes its original head-of-queue work first).
     pub fn push_back(&mut self, rank: u32, chunk: C) {

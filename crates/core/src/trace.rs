@@ -51,13 +51,16 @@ pub enum TraceKind {
     /// Write-ahead journal flush (zero simulated duration; host-side I/O
     /// is never charged to the schedule).
     JournalFlush,
+    /// Caller-requested stop (service cancellation or missed deadline):
+    /// the engine halted at a chunk boundary and drained its queues.
+    Cancelled,
 }
 
 impl TraceKind {
     /// Every kind, in pipeline order. Extending the enum without updating
     /// this list is a compile error (see `exhaustive_all` test), which is
     /// what keeps the Gantt legend and exporters complete.
-    pub const ALL: [TraceKind; 18] = [
+    pub const ALL: [TraceKind; 19] = [
         TraceKind::Setup,
         TraceKind::Upload,
         TraceKind::Map,
@@ -76,6 +79,7 @@ impl TraceKind {
         TraceKind::Stall,
         TraceKind::GpuAdded,
         TraceKind::JournalFlush,
+        TraceKind::Cancelled,
     ];
 
     /// One-letter tag used by the Gantt renderer.
@@ -99,6 +103,7 @@ impl TraceKind {
             TraceKind::Stall => 'z',
             TraceKind::GpuAdded => '+',
             TraceKind::JournalFlush => 'J',
+            TraceKind::Cancelled => 'c',
         }
     }
 
@@ -123,6 +128,7 @@ impl TraceKind {
             TraceKind::Stall => "Stall",
             TraceKind::GpuAdded => "GpuAdded",
             TraceKind::JournalFlush => "JournalFlush",
+            TraceKind::Cancelled => "Cancelled",
         }
     }
 
@@ -147,6 +153,7 @@ impl TraceKind {
             TraceKind::Stall => "stall",
             TraceKind::GpuAdded => "gpu-added",
             TraceKind::JournalFlush => "journal-flush",
+            TraceKind::Cancelled => "cancelled",
         }
     }
 
@@ -437,6 +444,7 @@ mod tests {
                 Stall => 15,
                 GpuAdded => 16,
                 JournalFlush => 17,
+                Cancelled => 18,
             }
         }
         for (i, k) in TraceKind::ALL.iter().enumerate() {

@@ -1,0 +1,880 @@
+//! The job service: a virtual-time front end multiplexing many tenants'
+//! jobs onto a pool of simulated clusters.
+//!
+//! ## Execution model
+//!
+//! The service owns a clock in simulated seconds (`now`) and a pool of
+//! engine slots, each with its own [`Cluster`] — per-slot isolation is
+//! what keeps a killed or journaled job from corrupting its neighbors.
+//! `submit` admits (or rejects) a job and queues it; dispatch runs the
+//! job's engine pass eagerly through the deterministic simulator to learn
+//! its makespan, then hides the result until the clock passes the finish
+//! instant. `advance_to`/`drain` replay completion and deadline events in
+//! time order, so polling at any instant observes exactly the state a
+//! real service would expose at that moment.
+//!
+//! Cancellation and deadlines stop a running job *mid-flight*: the
+//! engine pass is re-run deterministically with
+//! [`RunControl::stop_at`] at the cancel instant, which halts every rank
+//! at a chunk boundary, drains the work queues, and returns
+//! [`EngineError::Cancelled`] carrying conservation accounting
+//! (committed + released chunks cover the whole input).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gpmr_apps::sio::{generate_integers, sio_chunks};
+use gpmr_apps::text::{chunk_text, generate_text, Dictionary};
+use gpmr_apps::{SioJob, WoJob};
+use gpmr_core::{
+    run_job_controlled, run_job_controlled_journaled, EngineError, EngineResult, EngineTuning,
+    GpmrJob, JobResult, Journal, KvSet, Pod, RunControl,
+};
+use gpmr_sim_gpu::{FaultPlan, GpuSpec, SimTime};
+use gpmr_sim_net::Cluster;
+use gpmr_telemetry::{Counter, Telemetry};
+
+use crate::batch::{split_outputs, tag_chunks, SioBatchJob};
+use crate::spec::{JobId, JobKind, JobSpec, JobStatus, RejectReason, ServiceError, TenantConfig};
+
+/// Histogram bucket bounds for `service.queue_wait_s` (seconds).
+pub const QUEUE_WAIT_BOUNDS: &[f64] = &[
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+];
+
+/// Service-wide configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceConfig {
+    /// GPUs per engine slot (every job sees a cluster of this size).
+    pub gpus: u32,
+    /// Engine-pool size: jobs running concurrently.
+    pub engines: usize,
+    /// Maximum queued (admitted, not yet running) jobs; submissions
+    /// beyond this are rejected with [`RejectReason::QueueFull`].
+    pub max_queue_depth: usize,
+    /// Batching window: queued batchable jobs submitted within this many
+    /// seconds of each other may share one cluster pass.
+    pub batch_window_s: f64,
+    /// Maximum members in one batched pass.
+    pub batch_max: usize,
+    /// Engine tuning shared by every pass.
+    pub tuning: EngineTuning,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            gpus: 4,
+            engines: 2,
+            max_queue_depth: 64,
+            batch_window_s: 0.05,
+            batch_max: 4,
+            tuning: EngineTuning::default(),
+        }
+    }
+}
+
+struct TenantState {
+    cfg: TenantConfig,
+    track: u32,
+    running: u32,
+    gpu_seconds_spent: f64,
+}
+
+struct JobRecord {
+    spec: JobSpec,
+    submit_s: f64,
+    status: JobStatus,
+    outputs: Option<Vec<KvSet<u32, u32>>>,
+}
+
+/// One occupied engine slot: a (possibly batched) cluster pass whose
+/// result is known to the simulator but hidden from the API until the
+/// clock reaches `finish_s`.
+struct Pass {
+    members: Vec<JobId>,
+    started_s: f64,
+    finish_s: f64,
+    batched: bool,
+    /// Speculative per-member, per-rank outputs, aligned with `members`.
+    results: Vec<Vec<KvSet<u32, u32>>>,
+}
+
+/// Plain pass/batch tallies, kept independently of telemetry so reports
+/// work with a disabled registry too.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Cluster passes dispatched (a batch counts once).
+    pub cluster_passes: u64,
+    /// Batched passes among them.
+    pub batches_formed: u64,
+    /// Jobs that rode in a batched pass.
+    pub batched_jobs: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Event {
+    /// A pass on slot `.0` completes.
+    Finish(usize),
+    /// A live job's deadline passes.
+    Deadline(JobId),
+}
+
+/// The multi-tenant job service. See the module docs for the model.
+pub struct JobService {
+    cfg: ServiceConfig,
+    tel: Telemetry,
+    now: f64,
+    tenants: Vec<TenantState>,
+    tenant_ix: HashMap<String, usize>,
+    jobs: Vec<JobRecord>,
+    /// Admitted jobs awaiting dispatch, in submission order.
+    queue: Vec<JobId>,
+    clusters: Vec<Cluster>,
+    running: Vec<Option<Pass>>,
+    service_track: u32,
+    stats: ServiceStats,
+}
+
+impl JobService {
+    /// Build a service with its tenant set. Tenant `i` owns telemetry
+    /// track `i` (named `tenant <name>`); the service's own samples go to
+    /// the track after the last tenant.
+    pub fn new(cfg: ServiceConfig, tenants: Vec<TenantConfig>, tel: Telemetry) -> Self {
+        let engines = cfg.engines.max(1);
+        let clusters = (0..engines)
+            .map(|_| Cluster::accelerator(cfg.gpus.max(1), GpuSpec::gt200()))
+            .collect();
+        let mut tenant_ix = HashMap::new();
+        let tenants: Vec<TenantState> = tenants
+            .into_iter()
+            .enumerate()
+            .map(|(i, cfg)| {
+                tel.set_track_name(i as u32, &format!("tenant {}", cfg.name));
+                tenant_ix.insert(cfg.name.clone(), i);
+                TenantState {
+                    cfg,
+                    track: i as u32,
+                    running: 0,
+                    gpu_seconds_spent: 0.0,
+                }
+            })
+            .collect();
+        let service_track = tenants.len() as u32;
+        tel.set_track_name(service_track, "service");
+        JobService {
+            cfg,
+            tel,
+            now: 0.0,
+            tenants,
+            tenant_ix,
+            jobs: Vec::new(),
+            queue: Vec::new(),
+            clusters,
+            running: (0..engines).map(|_| None).collect(),
+            service_track,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Pass and batching tallies.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// The service clock, in simulated seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Jobs admitted but not yet running.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// A tenant's currently-running job count (for quota tests).
+    pub fn tenant_running(&self, name: &str) -> Option<u32> {
+        self.tenant_ix.get(name).map(|&i| self.tenants[i].running)
+    }
+
+    /// GPU-seconds charged to a tenant so far.
+    pub fn tenant_spent(&self, name: &str) -> Option<f64> {
+        self.tenant_ix
+            .get(name)
+            .map(|&i| self.tenants[i].gpu_seconds_spent)
+    }
+
+    /// The service's telemetry handle (counters, spans, tracks).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Submit a job. Always returns an id; rejected submissions surface
+    /// through [`JobService::poll`] as [`JobStatus::Rejected`].
+    pub fn submit(&mut self, spec: JobSpec) -> JobId {
+        let id = JobId(self.jobs.len() as u64 + 1);
+        let status = match self.admit(&spec) {
+            Ok(()) => JobStatus::Queued,
+            Err(reason) => JobStatus::Rejected(reason),
+        };
+        let admitted = status == JobStatus::Queued;
+        self.jobs.push(JobRecord {
+            spec,
+            submit_s: self.now,
+            status,
+            outputs: None,
+        });
+        if let Some(t) = self.tenant_of(id) {
+            let track = self.tenants[t].track;
+            if admitted {
+                self.counter(&format!("service.tenant{track}.jobs_admitted"))
+                    .inc();
+            } else {
+                self.counter(&format!("service.tenant{track}.jobs_rejected"))
+                    .inc();
+            }
+        }
+        if admitted {
+            self.queue.push(id);
+            self.sample_queue_depth();
+            self.try_dispatch();
+        } else {
+            self.counter("service.jobs_rejected").inc();
+        }
+        id
+    }
+
+    /// Current status of a job.
+    pub fn poll(&self, id: JobId) -> Result<JobStatus, ServiceError> {
+        self.record(id)
+            .map(|r| r.status.clone())
+            .ok_or(ServiceError::UnknownJob(id))
+    }
+
+    /// Cancel a queued or running job at the current instant. A running
+    /// solo job is stopped mid-flight (its engine pass re-runs
+    /// deterministically with `stop_at`, releasing queued chunks and
+    /// device memory); a batched member is discarded while its pass
+    /// continues for the other members.
+    pub fn cancel(&mut self, id: JobId) -> Result<(), ServiceError> {
+        let rec = self.record(id).ok_or(ServiceError::UnknownJob(id))?;
+        if !rec.status.is_live() {
+            return Err(ServiceError::NotCancellable(id));
+        }
+        let at = self.now;
+        match rec.status.clone() {
+            JobStatus::Queued => {
+                self.remove_queued(id);
+                self.finalize(
+                    id,
+                    JobStatus::Cancelled {
+                        at_s: at,
+                        chunks_committed: 0,
+                        chunks_released: 0,
+                    },
+                    None,
+                    0.0,
+                );
+            }
+            JobStatus::Running { started_s } => {
+                let (committed, released, cost) = self.stop_running(id, started_s, at);
+                self.finalize(
+                    id,
+                    JobStatus::Cancelled {
+                        at_s: at,
+                        chunks_committed: committed,
+                        chunks_released: released,
+                    },
+                    Some(started_s),
+                    cost,
+                );
+                self.try_dispatch();
+            }
+            _ => unreachable!("is_live checked above"),
+        }
+        self.counter("service.jobs_cancelled").inc();
+        Ok(())
+    }
+
+    /// Per-rank outputs of a completed job.
+    pub fn outputs(&self, id: JobId) -> Option<&[KvSet<u32, u32>]> {
+        self.record(id)?.outputs.as_deref()
+    }
+
+    /// All output pairs of a completed job, concatenated in rank order.
+    pub fn merged_output(&self, id: JobId) -> Option<KvSet<u32, u32>> {
+        let outs = self.outputs(id)?;
+        let mut merged = KvSet::new();
+        for o in outs {
+            merged.extend_from_set(o);
+        }
+        Some(merged)
+    }
+
+    /// When a job was submitted (service seconds).
+    pub fn submitted_at(&self, id: JobId) -> Option<f64> {
+        self.record(id).map(|r| r.submit_s)
+    }
+
+    /// The job's spec, as submitted.
+    pub fn spec(&self, id: JobId) -> Option<&JobSpec> {
+        self.record(id).map(|r| &r.spec)
+    }
+
+    /// Ids of every job ever submitted, in submission order.
+    pub fn job_ids(&self) -> impl Iterator<Item = JobId> + '_ {
+        (1..=self.jobs.len() as u64).map(JobId)
+    }
+
+    /// Advance the clock to `t`, replaying completion and deadline events
+    /// in time order.
+    pub fn advance_to(&mut self, t: f64) {
+        while let Some((te, ev)) = self.next_event_at_or_before(t) {
+            self.now = self.now.max(te);
+            self.handle(ev);
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Run the clock forward until no completion or deadline event
+    /// remains. Jobs blocked behind an exhausted budget or concurrency
+    /// cap stay `Queued` (they are reported, not dropped). Returns the
+    /// final clock.
+    pub fn drain(&mut self) -> f64 {
+        while let Some((te, ev)) = self.next_event_at_or_before(f64::INFINITY) {
+            self.now = self.now.max(te);
+            self.handle(ev);
+        }
+        self.now
+    }
+
+    // --- admission -------------------------------------------------------
+
+    fn admit(&self, spec: &JobSpec) -> Result<(), RejectReason> {
+        let Some(&tix) = self.tenant_ix.get(&spec.tenant) else {
+            return Err(RejectReason::UnknownTenant);
+        };
+        let tenant = &self.tenants[tix];
+        if self.queue.len() >= self.cfg.max_queue_depth {
+            return Err(RejectReason::QueueFull {
+                depth: self.queue.len(),
+                max: self.cfg.max_queue_depth,
+            });
+        }
+        // The engine's ChunkTooLarge staging formula, against the
+        // tenant's memory share instead of raw capacity.
+        let slots = self.cfg.tuning.staging_slots(false);
+        let budget_bytes =
+            (GpuSpec::gt200().mem_capacity as f64 * tenant.cfg.mem_share.clamp(0.0, 1.0)) as u64;
+        let chunk_bytes = spec.kind.chunk_bytes();
+        if chunk_bytes.saturating_mul(slots) > budget_bytes {
+            return Err(RejectReason::MemoryExceeded {
+                chunk_bytes,
+                slots,
+                budget_bytes,
+            });
+        }
+        if tenant.gpu_seconds_spent >= tenant.cfg.gpu_seconds {
+            return Err(RejectReason::BudgetExhausted {
+                spent_s: tenant.gpu_seconds_spent,
+                budget_s: tenant.cfg.gpu_seconds,
+            });
+        }
+        Ok(())
+    }
+
+    // --- event loop ------------------------------------------------------
+
+    /// Earliest pending event at or before `t`. Ties break finish before
+    /// deadline (a job finishing exactly at its deadline met it), then by
+    /// slot/job id — fully deterministic.
+    fn next_event_at_or_before(&self, t: f64) -> Option<(f64, Event)> {
+        let mut best: Option<(f64, u8, u64, Event)> = None;
+        let mut consider = |time: f64, rank: u8, id: u64, ev: Event| {
+            if time > t {
+                return;
+            }
+            let key = (time, rank, id);
+            if best.is_none_or(|(bt, br, bi, _)| key < (bt, br, bi)) {
+                best = Some((time, rank, id, ev));
+            }
+        };
+        for (slot, pass) in self.running.iter().enumerate() {
+            if let Some(p) = pass {
+                consider(p.finish_s, 0, slot as u64, Event::Finish(slot));
+            }
+        }
+        for (ix, rec) in self.jobs.iter().enumerate() {
+            if !rec.status.is_live() {
+                continue;
+            }
+            if let Some(d) = rec.spec.deadline_s {
+                let id = JobId(ix as u64 + 1);
+                consider(rec.submit_s + d, 1, id.0, Event::Deadline(id));
+            }
+        }
+        best.map(|(time, _, _, ev)| (time, ev))
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Finish(slot) => self.finish_pass(slot),
+            Event::Deadline(id) => self.miss_deadline(id),
+        }
+        self.try_dispatch();
+    }
+
+    fn finish_pass(&mut self, slot: usize) {
+        let pass = self.running[slot]
+            .take()
+            .expect("finish event for empty slot");
+        let n = pass.members.len() as f64;
+        let pass_cost = (pass.finish_s - pass.started_s) * f64::from(self.cfg.gpus);
+        for (member, outputs) in pass.members.iter().zip(pass.results) {
+            let rec = self.record(*member).expect("pass member exists");
+            // A member cancelled or deadline-missed mid-pass is already
+            // terminal; its share of the pass is discarded.
+            if !matches!(rec.status, JobStatus::Running { .. }) {
+                continue;
+            }
+            let submit_s = rec.submit_s;
+            self.jobs[(member.0 - 1) as usize].outputs = Some(outputs);
+            self.finalize(
+                *member,
+                JobStatus::Completed {
+                    started_s: pass.started_s,
+                    finished_s: pass.finish_s,
+                    wait_s: pass.started_s - submit_s,
+                    batched: pass.batched,
+                },
+                Some(pass.started_s),
+                pass_cost / n,
+            );
+            self.counter("service.jobs_completed").inc();
+        }
+    }
+
+    fn miss_deadline(&mut self, id: JobId) {
+        let rec = self.record(id).expect("deadline event for known job");
+        let deadline_s = rec.submit_s + rec.spec.deadline_s.expect("deadline event needs deadline");
+        let track = self.tenant_of(id).map(|t| self.tenants[t].track);
+        match rec.status.clone() {
+            JobStatus::Queued => {
+                self.remove_queued(id);
+                self.finalize(
+                    id,
+                    JobStatus::DeadlineMissed {
+                        deadline_s,
+                        chunks_committed: 0,
+                        chunks_released: 0,
+                    },
+                    None,
+                    0.0,
+                );
+            }
+            JobStatus::Running { started_s } => {
+                let (committed, released, cost) = self.stop_running(id, started_s, deadline_s);
+                self.finalize(
+                    id,
+                    JobStatus::DeadlineMissed {
+                        deadline_s,
+                        chunks_committed: committed,
+                        chunks_released: released,
+                    },
+                    Some(started_s),
+                    cost,
+                );
+            }
+            _ => return,
+        }
+        if let Some(track) = track {
+            self.counter(&format!("service.tenant{track}.deadline_missed"))
+                .inc();
+        }
+    }
+
+    /// Stop a running job at `at` (absolute service seconds). For a solo
+    /// pass the engine re-runs deterministically with `stop_at` and the
+    /// slot frees at the stop instant; a batched member is discarded from
+    /// its pass (which keeps running for the other members). Returns the
+    /// engine's conservation accounting plus the GPU-seconds to charge.
+    fn stop_running(&mut self, id: JobId, started_s: f64, at: f64) -> (u32, u32, f64) {
+        let slot = self
+            .running
+            .iter()
+            .position(|p| p.as_ref().is_some_and(|p| p.members.contains(&id)))
+            .expect("running job has a slot");
+        let elapsed = (at - started_s).max(0.0);
+        let members = self.running[slot].as_ref().map_or(1, |p| p.members.len());
+        if members > 1 {
+            let pass = self.running[slot].as_mut().expect("slot occupied");
+            let ix = pass.members.iter().position(|m| *m == id).expect("member");
+            pass.results[ix] = Vec::new();
+            let cost = elapsed * f64::from(self.cfg.gpus) / members as f64;
+            return (0, 0, cost);
+        }
+        self.running[slot] = None;
+        let spec = self.jobs[(id.0 - 1) as usize].spec.clone();
+        let control = RunControl::stop_at(SimTime::from_secs(elapsed));
+        let cost = elapsed * f64::from(self.cfg.gpus);
+        match run_solo(
+            &mut self.clusters[slot],
+            &spec,
+            self.cfg.gpus,
+            &self.cfg.tuning,
+            &control,
+        ) {
+            Err(EngineError::Cancelled {
+                chunks_committed,
+                chunks_released,
+                ..
+            }) => (chunks_committed, chunks_released, cost),
+            // The stop instant landed after the job's own completion or
+            // the job failed before reaching it; nothing left to release.
+            Ok(result) => (result.timings.chunks_per_rank.iter().sum(), 0, cost),
+            Err(_) => (0, 0, cost),
+        }
+    }
+
+    // --- dispatch --------------------------------------------------------
+
+    /// A queued job is dispatchable when its tenant is under its
+    /// concurrency cap and still has budget.
+    fn dispatchable(&self, id: JobId, extra_running: &HashMap<usize, u32>) -> bool {
+        let Some(tix) = self.tenant_of(id) else {
+            return false;
+        };
+        let t = &self.tenants[tix];
+        let running = t.running + extra_running.get(&tix).copied().unwrap_or(0);
+        running < t.cfg.max_concurrent && t.gpu_seconds_spent < t.cfg.gpu_seconds
+    }
+
+    fn try_dispatch(&mut self) {
+        loop {
+            let Some(slot) = self.running.iter().position(Option::is_none) else {
+                return;
+            };
+            let none = HashMap::new();
+            // Highest priority first; submission order breaks ties.
+            let Some(&lead) = self
+                .queue
+                .iter()
+                .filter(|&&id| self.dispatchable(id, &none))
+                .max_by_key(|&&id| {
+                    (
+                        self.jobs[(id.0 - 1) as usize].spec.priority,
+                        std::cmp::Reverse(id.0),
+                    )
+                })
+            else {
+                return;
+            };
+            let members = self.gather_batch(lead);
+            self.dispatch_pass(slot, members);
+        }
+    }
+
+    /// Starting from the chosen lead job, gather queued batchable jobs
+    /// submitted within the batching window (respecting every tenant's
+    /// concurrency cap as members accumulate), up to `batch_max`.
+    fn gather_batch(&self, lead: JobId) -> Vec<JobId> {
+        let lead_rec = &self.jobs[(lead.0 - 1) as usize];
+        if !lead_rec.spec.can_batch() || self.cfg.batch_max < 2 {
+            return vec![lead];
+        }
+        let window = self.cfg.batch_window_s;
+        let lead_submit = lead_rec.submit_s;
+        let mut members = vec![lead];
+        let mut extra: HashMap<usize, u32> = HashMap::new();
+        if let Some(t) = self.tenant_of(lead) {
+            *extra.entry(t).or_default() += 1;
+        }
+        for &id in &self.queue {
+            if members.len() >= self.cfg.batch_max {
+                break;
+            }
+            if id == lead {
+                continue;
+            }
+            let rec = &self.jobs[(id.0 - 1) as usize];
+            if !rec.spec.can_batch()
+                || (rec.submit_s - lead_submit).abs() > window
+                || !self.dispatchable(id, &extra)
+            {
+                continue;
+            }
+            members.push(id);
+            if let Some(t) = self.tenant_of(id) {
+                *extra.entry(t).or_default() += 1;
+            }
+        }
+        members
+    }
+
+    fn dispatch_pass(&mut self, slot: usize, members: Vec<JobId>) {
+        let started_s = self.now;
+        for &id in &members {
+            self.remove_queued(id);
+        }
+        let batched = members.len() > 1;
+        let outcome = if batched {
+            let specs: Vec<JobSpec> = members
+                .iter()
+                .map(|id| self.jobs[(id.0 - 1) as usize].spec.clone())
+                .collect();
+            run_batch(&mut self.clusters[slot], &specs, &self.cfg.tuning)
+        } else {
+            let spec = self.jobs[(members[0].0 - 1) as usize].spec.clone();
+            run_solo(
+                &mut self.clusters[slot],
+                &spec,
+                self.cfg.gpus,
+                &self.cfg.tuning,
+                &RunControl::unrestricted(),
+            )
+            .map(|r| {
+                let makespan = r.timings.total.as_secs();
+                (vec![r.outputs], makespan)
+            })
+        };
+        match outcome {
+            Ok((results, makespan_s)) => {
+                for &id in &members {
+                    self.jobs[(id.0 - 1) as usize].status = JobStatus::Running { started_s };
+                    if let Some(t) = self.tenant_of(id) {
+                        self.tenants[t].running += 1;
+                    }
+                    let wait = started_s - self.jobs[(id.0 - 1) as usize].submit_s;
+                    self.tel
+                        .histogram("service.queue_wait_s", QUEUE_WAIT_BOUNDS)
+                        .observe(wait);
+                }
+                self.stats.cluster_passes += 1;
+                self.counter("service.cluster_passes").inc();
+                if batched {
+                    self.stats.batches_formed += 1;
+                    self.stats.batched_jobs += members.len() as u64;
+                    self.counter("service.batches_formed").inc();
+                    self.counter("service.batched_jobs")
+                        .add(members.len() as u64);
+                }
+                self.running[slot] = Some(Pass {
+                    members,
+                    started_s,
+                    finish_s: started_s + makespan_s,
+                    batched,
+                    results,
+                });
+            }
+            Err(e) => {
+                for &id in &members {
+                    self.finalize(
+                        id,
+                        JobStatus::Failed {
+                            error: e.to_string(),
+                        },
+                        Some(started_s),
+                        0.0,
+                    );
+                    self.counter("service.jobs_failed").inc();
+                }
+            }
+        }
+    }
+
+    // --- bookkeeping -----------------------------------------------------
+
+    /// Move a job to a terminal state: set the status, emit its queue-wait
+    /// and execution spans, release its tenant concurrency slot if it was
+    /// running, and charge `gpu_seconds` to the tenant's budget.
+    /// `started_s` is the dispatch instant for jobs that ran (None for
+    /// jobs that never left the queue).
+    fn finalize(&mut self, id: JobId, status: JobStatus, started_s: Option<f64>, gpu_seconds: f64) {
+        let ix = (id.0 - 1) as usize;
+        let was_running = matches!(self.jobs[ix].status, JobStatus::Running { .. });
+        let submit_s = self.jobs[ix].submit_s;
+        let kind = self.jobs[ix].spec.kind.name();
+        self.jobs[ix].status = status.clone();
+        let Some(t) = self.tenant_of(id) else {
+            return;
+        };
+        if was_running {
+            self.tenants[t].running = self.tenants[t].running.saturating_sub(1);
+        }
+        self.tenants[t].gpu_seconds_spent += gpu_seconds;
+        let track = self.tenants[t].track;
+        let end_s = match status {
+            JobStatus::Completed { finished_s, .. } => finished_s,
+            JobStatus::Cancelled { at_s, .. } => at_s,
+            JobStatus::DeadlineMissed { deadline_s, .. } => deadline_s,
+            _ => self.now,
+        };
+        // Queue wait is a first-class stage: `gpmr analyze` attributes it
+        // separately from engine execution time.
+        let wait_end = started_s.unwrap_or(end_s).max(submit_s);
+        self.tel
+            .span(track, "QueueWait", submit_s, wait_end)
+            .name(format!("{id} wait"))
+            .attr("job", id.to_string())
+            .attr("kind", kind)
+            .record();
+        if let Some(s) = started_s {
+            self.tel
+                .span(track, "Job", s.min(end_s), end_s)
+                .name(id.to_string())
+                .attr("job", id.to_string())
+                .attr("kind", kind)
+                .attr("outcome", status.word())
+                .record();
+        }
+    }
+
+    fn remove_queued(&mut self, id: JobId) {
+        self.queue.retain(|&q| q != id);
+        self.sample_queue_depth();
+    }
+
+    fn sample_queue_depth(&self) {
+        let depth = self.queue.len() as f64;
+        self.tel.gauge("service.queue_depth").set(depth);
+        self.tel
+            .sample(self.service_track, "service.queue_depth", self.now, depth);
+    }
+
+    fn counter(&self, name: &str) -> Counter {
+        self.tel.counter(name)
+    }
+
+    fn record(&self, id: JobId) -> Option<&JobRecord> {
+        if id.0 == 0 {
+            return None;
+        }
+        self.jobs.get((id.0 - 1) as usize)
+    }
+
+    fn tenant_of(&self, id: JobId) -> Option<usize> {
+        self.record(id)
+            .and_then(|r| self.tenant_ix.get(&r.spec.tenant).copied())
+    }
+}
+
+// --- engine pass helpers -------------------------------------------------
+
+static JOURNAL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn journal_temp_path() -> PathBuf {
+    let seq = JOURNAL_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("gpmr-service-{}-{}.jnl", std::process::id(), seq))
+}
+
+fn run_engine<J>(
+    cluster: &mut Cluster,
+    job: &J,
+    chunks: Vec<J::Chunk>,
+    tuning: &EngineTuning,
+    journaled: bool,
+    control: &RunControl,
+) -> EngineResult<JobResult<J::Key, J::Value>>
+where
+    J: GpmrJob,
+    J::Key: Pod,
+    J::Value: Pod,
+{
+    let tel = Telemetry::disabled();
+    if journaled {
+        // The journal layer is file-based; service-managed jobs journal
+        // into a throwaway path that lives only for the pass.
+        let path = journal_temp_path();
+        let mut journal = Journal::create(&path, 1)?;
+        let result =
+            run_job_controlled_journaled(cluster, job, chunks, tuning, &tel, &mut journal, control);
+        drop(journal);
+        let _ = std::fs::remove_file(&path);
+        result
+    } else {
+        run_job_controlled(cluster, job, chunks, tuning, &tel, control)
+    }
+}
+
+/// Run one job's engine pass on `cluster`, regenerating its input from
+/// the spec (deterministic: a rerun sees bit-identical chunks).
+fn run_solo(
+    cluster: &mut Cluster,
+    spec: &JobSpec,
+    gpus: u32,
+    tuning: &EngineTuning,
+    control: &RunControl,
+) -> EngineResult<JobResult<u32, u32>> {
+    let mut plan: Option<FaultPlan> = None;
+    if let Some((rank, at_s)) = spec.kill.filter(|&(rank, _)| rank < gpus) {
+        plan = Some(plan.unwrap_or_default().kill(rank, at_s));
+    }
+    if let Some((rank, at_s, dur_s)) = spec.stall.filter(|&(rank, _, _)| rank < gpus) {
+        plan = Some(plan.unwrap_or_default().stall(rank, at_s, dur_s));
+    }
+    cluster.set_fault_plan(plan);
+    let result = match spec.kind {
+        JobKind::Sio { n, seed, chunk_kb } => {
+            let data = generate_integers(n, seed);
+            let chunks = sio_chunks(&data, chunk_kb * 1024);
+            run_engine(
+                cluster,
+                &SioJob::default(),
+                chunks,
+                tuning,
+                spec.journal,
+                control,
+            )
+        }
+        JobKind::Wo {
+            bytes,
+            dict_words,
+            seed,
+            chunk_kb,
+        } => {
+            let dict = Arc::new(Dictionary::generate(dict_words, seed));
+            let text = generate_text(&dict, bytes, seed + 1);
+            let chunks = chunk_text(&text, chunk_kb * 1024);
+            let job = WoJob::new(dict, gpus);
+            run_engine(cluster, &job, chunks, tuning, spec.journal, control)
+        }
+    };
+    cluster.set_fault_plan(None);
+    result
+}
+
+/// Run a batched pass: tag every member's chunks with its batch slot,
+/// run one merged SIO pipeline, and split the outputs back per member.
+/// Returns per-member, per-rank outputs plus the shared makespan.
+#[allow(clippy::type_complexity)]
+fn run_batch(
+    cluster: &mut Cluster,
+    specs: &[JobSpec],
+    tuning: &EngineTuning,
+) -> EngineResult<(Vec<Vec<KvSet<u32, u32>>>, f64)> {
+    let mut all = Vec::new();
+    let mut id_base = 0u32;
+    for (slot, spec) in specs.iter().enumerate() {
+        let JobKind::Sio { n, seed, chunk_kb } = spec.kind else {
+            unreachable!("only SIO jobs are batchable");
+        };
+        let data = generate_integers(n, seed);
+        let chunks = sio_chunks(&data, chunk_kb * 1024);
+        let count = chunks.len() as u32;
+        all.extend(tag_chunks(slot as u32, id_base, chunks));
+        id_base += count;
+    }
+    cluster.set_fault_plan(None);
+    let result = run_engine(
+        cluster,
+        &SioBatchJob,
+        all,
+        tuning,
+        false,
+        &RunControl::unrestricted(),
+    )?;
+    let makespan = result.timings.total.as_secs();
+    Ok((split_outputs(&result.outputs, specs.len()), makespan))
+}

@@ -48,6 +48,9 @@ pub enum Stage {
     Reduce,
     /// Fault handling: retries, stalls, requeues, steals, losses.
     Recovery,
+    /// Time a submitted job sat in the service queue before dispatch
+    /// (multi-tenant job service; see the `gpmr-service` crate).
+    QueueWait,
     /// Anything not recognised above.
     Other,
 }
@@ -63,7 +66,8 @@ impl Stage {
             "Partition" | "Download" | "Send" | "Combine" | "NetSend" => Stage::Bin,
             "Sort" => Stage::Sort,
             "Reduce" => Stage::Reduce,
-            "Retry" | "Stall" | "Requeue" | "Steal" | "GpuLost" => Stage::Recovery,
+            "Retry" | "Stall" | "Requeue" | "Steal" | "GpuLost" | "Cancelled" => Stage::Recovery,
+            "QueueWait" => Stage::QueueWait,
             _ => Stage::Other,
         }
     }
@@ -79,6 +83,7 @@ impl Stage {
             Stage::Sort => "Sort",
             Stage::Reduce => "Reduce",
             Stage::Recovery => "Recovery",
+            Stage::QueueWait => "QueueWait",
             Stage::Other => "Other",
         }
     }

@@ -20,6 +20,9 @@
 //!   Integer Occurrence, Word Occurrence, K-Means, Linear Regression;
 //! * [`baselines`] — Phoenix-style CPU MapReduce and Mars-style
 //!   single-GPU MapReduce;
+//! * [`service`] — the multi-tenant job service: submit/poll/cancel,
+//!   admission control, per-tenant quotas, deadlines, and small-job
+//!   batching on a shared engine pool;
 //! * [`telemetry`] — metrics registry, structured spans, and trace
 //!   exporters (Perfetto/Chrome `trace.json`, JSONL, text summaries).
 //!
@@ -47,6 +50,7 @@ pub use gpmr_apps as apps;
 pub use gpmr_baselines as baselines;
 pub use gpmr_core as core;
 pub use gpmr_primitives as primitives;
+pub use gpmr_service as service;
 pub use gpmr_sim_gpu as sim_gpu;
 pub use gpmr_sim_net as sim_net;
 pub use gpmr_telemetry as telemetry;

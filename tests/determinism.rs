@@ -287,3 +287,141 @@ fn interrupted_and_resumed_runs_match_uninterrupted_across_workers_and_backends(
         }
     }
 }
+
+#[test]
+fn classic_wrappers_match_the_controlled_entry_point() {
+    // run_job (and friends) are now thin wrappers over the controlled
+    // engine entry: calling the controlled path with an unrestricted
+    // control must be indistinguishable — outputs AND simulated times.
+    use gpmr::core::{run_job_controlled, EngineTuning, RunControl};
+    use gpmr::telemetry::Telemetry;
+
+    let (base_out, base_times) = run_wo(1, ExecBackend::Pool);
+
+    let mut cluster = Cluster::new(Topology::new(2, 2, 2), GpuSpec::gt200());
+    let dict = Arc::new(Dictionary::generate(300, 11));
+    let text = generate_text(&dict, 120_000, 12);
+    let chunks = chunk_text(&text, 16 * 1024);
+    let result = run_job_controlled(
+        &mut cluster,
+        &WoJob::new(dict, 4),
+        chunks,
+        &EngineTuning::default(),
+        &Telemetry::disabled(),
+        &RunControl::unrestricted(),
+    )
+    .expect("controlled run completes");
+    assert_eq!(result.outputs, base_out, "controlled path changed outputs");
+    assert_eq!(result.timings, base_times, "controlled path changed times");
+}
+
+#[test]
+fn service_solo_jobs_match_standalone_runs_bit_for_bit() {
+    // A job routed through the multi-tenant service — queueing, admission,
+    // per-slot cluster, virtual-time dispatch — must produce the same
+    // outputs AND the same simulated makespan as a standalone run_job.
+    use gpmr::apps::sio::{generate_integers, sio_chunks};
+    use gpmr::core::run_job;
+    use gpmr::service::{JobKind, JobService, JobSpec, JobStatus, ServiceConfig, TenantConfig};
+    use gpmr::telemetry::Telemetry;
+
+    let cfg = ServiceConfig {
+        engines: 1,
+        ..ServiceConfig::default()
+    };
+    let mut svc = JobService::new(
+        cfg,
+        vec![TenantConfig::unlimited("solo")],
+        Telemetry::disabled(),
+    );
+    let sio = svc.submit(JobSpec::new(
+        "solo",
+        JobKind::Sio {
+            n: 40_000,
+            seed: 3,
+            chunk_kb: 16,
+        },
+    ));
+    let wo = svc.submit(JobSpec::new(
+        "solo",
+        JobKind::Wo {
+            bytes: 65_536,
+            dict_words: 256,
+            seed: 9,
+            chunk_kb: 16,
+        },
+    ));
+    svc.drain();
+
+    // SIO: outputs and makespan match the standalone engine exactly.
+    let mut cluster = Cluster::accelerator(4, GpuSpec::gt200());
+    let data = generate_integers(40_000, 3);
+    let standalone = run_job(
+        &mut cluster,
+        &SioJob::default(),
+        sio_chunks(&data, 16 * 1024),
+    )
+    .expect("standalone sio");
+    assert_eq!(svc.outputs(sio).unwrap(), &standalone.outputs[..]);
+    let JobStatus::Completed {
+        started_s,
+        finished_s,
+        ..
+    } = svc.poll(sio).unwrap()
+    else {
+        panic!("sio job should complete");
+    };
+    assert_eq!(
+        finished_s - started_s,
+        standalone.timings.total.as_secs(),
+        "service must report the engine's exact simulated makespan"
+    );
+
+    // WO: same, through the text pipeline.
+    let mut cluster = Cluster::accelerator(4, GpuSpec::gt200());
+    let dict = Arc::new(Dictionary::generate(256, 9));
+    let text = generate_text(&dict, 65_536, 10);
+    let standalone = run_job(
+        &mut cluster,
+        &WoJob::new(dict, 4),
+        chunk_text(&text, 16 * 1024),
+    )
+    .expect("standalone wo");
+    assert_eq!(svc.outputs(wo).unwrap(), &standalone.outputs[..]);
+    let JobStatus::Completed {
+        started_s,
+        finished_s,
+        ..
+    } = svc.poll(wo).unwrap()
+    else {
+        panic!("wo job should complete");
+    };
+    // The service computes finish = start + makespan; assert that exact
+    // operation (subtraction would round off the last ulp).
+    assert_eq!(
+        finished_s,
+        started_s + standalone.timings.total.as_secs(),
+        "service must carry the engine's exact simulated makespan"
+    );
+
+    // And the whole service run is replay-deterministic.
+    let mut svc2 = JobService::new(
+        ServiceConfig {
+            engines: 1,
+            ..ServiceConfig::default()
+        },
+        vec![TenantConfig::unlimited("solo")],
+        Telemetry::disabled(),
+    );
+    let sio2 = svc2.submit(JobSpec::new(
+        "solo",
+        JobKind::Sio {
+            n: 40_000,
+            seed: 3,
+            chunk_kb: 16,
+        },
+    ));
+    svc2.drain();
+    assert_eq!(svc.outputs(sio), svc2.outputs(sio2));
+    assert_eq!(svc.poll(sio).unwrap(), svc2.poll(sio2).unwrap());
+}

@@ -2,8 +2,16 @@
 //! of local pops, steals, and kill-style drains, no chunk is ever lost or
 //! duplicated, `total_remaining` stays conserved, and `steal_victim`
 //! never picks the thief or a queue too light to be worth robbing.
+//! Plus the engine-level corollary the job service relies on: stopping a
+//! run mid-flight (`RunControl::stop_at`) accounts for every input chunk
+//! as either committed or released, and leaves no device memory resident.
 
-use gpmr::core::WorkQueues;
+use gpmr::apps::sio::{generate_integers, sio_chunks};
+use gpmr::apps::SioJob;
+use gpmr::core::{run_job_controlled, EngineError, RunControl, WorkQueues};
+use gpmr::sim_gpu::{GpuSpec, SimTime};
+use gpmr::sim_net::Cluster;
+use gpmr::telemetry::Telemetry;
 use proptest::prelude::*;
 
 proptest! {
@@ -235,6 +243,71 @@ proptest! {
                 }
                 last_popped[r as usize] = Some(c);
             }
+        }
+    }
+
+    /// Mid-flight cancellation conserves chunks and releases device
+    /// memory: for *any* stop instant, `committed + released` covers the
+    /// whole input and every GPU ends with zero bytes resident.
+    #[test]
+    fn cancellation_conserves_chunks_and_frees_memory(
+        n in 10_000usize..50_000,
+        seed in 0u64..100,
+        stop_frac in 0.05f64..1.5,
+    ) {
+        let data = generate_integers(n, seed);
+        let chunks = sio_chunks(&data, 8 * 1024);
+        let n_chunks = chunks.len() as u32;
+
+        // Learn the fault-free makespan, then stop at a fraction of it.
+        let mut cluster = Cluster::accelerator(4, GpuSpec::gt200());
+        let full = run_job_controlled(
+            &mut cluster,
+            &SioJob::default(),
+            chunks.clone(),
+            &Default::default(),
+            &Telemetry::disabled(),
+            &RunControl::unrestricted(),
+        ).expect("unrestricted run completes");
+        let makespan = full.timings.total.as_secs();
+        let stop = SimTime::from_secs(makespan * stop_frac);
+
+        let mut cluster = Cluster::accelerator(4, GpuSpec::gt200());
+        let out = run_job_controlled(
+            &mut cluster,
+            &SioJob::default(),
+            chunks,
+            &Default::default(),
+            &Telemetry::disabled(),
+            &RunControl::stop_at(stop),
+        );
+        match out {
+            Err(EngineError::Cancelled { chunks_committed, chunks_released, .. }) => {
+                prop_assert_eq!(
+                    chunks_committed + chunks_released,
+                    n_chunks,
+                    "cancel must account for every chunk"
+                );
+                for r in 0..4 {
+                    prop_assert_eq!(
+                        cluster.gpu(r).mem.used(),
+                        0,
+                        "rank {} holds device memory after cancel",
+                        r
+                    );
+                }
+            }
+            Ok(done) => {
+                // Stopping at or past the makespan legitimately completes.
+                prop_assert!(
+                    makespan * stop_frac >= makespan - 1e-12,
+                    "run completed despite stop at {} < makespan {}",
+                    makespan * stop_frac,
+                    makespan
+                );
+                prop_assert_eq!(done.outputs, full.outputs);
+            }
+            Err(e) => prop_assert!(false, "unexpected engine error: {}", e),
         }
     }
 }

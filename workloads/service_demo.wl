@@ -1,0 +1,23 @@
+# Three-tenant demo workload for `gpmr serve` (times in simulated seconds).
+#
+# Exercises, in one run: mixed WO/SIO jobs, an explicit mid-flight cancel,
+# a mid-job GPU kill with fault-tolerant recovery, small-job batching, a
+# budget-exhausted tenant whose queued job stays queued (not run), a
+# deadline miss with the typed DeadlineMissed error, and admission
+# rejections (unknown tenant, memory share exceeded).
+
+tenant alice max_concurrent=2
+tenant bob   max_concurrent=1 gpu_seconds=0.005
+tenant carol max_concurrent=2 mem_share=0.5
+
+at 0.0000 submit alice sio n=60000 seed=11 chunk_kb=16            # long; cancelled below
+at 0.0000 submit bob   wo  bytes=131072 dict=512 seed=22 chunk_kb=16  # exhausts bob's budget
+at 0.0002 submit carol sio n=20000 seed=33 chunk_kb=16 batch      # batch pair, same window
+at 0.0002 submit alice sio n=20000 seed=44 chunk_kb=16 batch
+at 0.0004 submit bob   sio n=20000 seed=55 chunk_kb=16            # stays queued: budget spent
+at 0.0006 submit carol wo  bytes=65536 dict=512 seed=66 chunk_kb=16 deadline=0.0020
+at 0.0008 submit alice sio n=40000 seed=77 chunk_kb=16 kill=1@0.0005  # GPU 1 dies mid-job
+at 0.0010 submit alice wo  bytes=32768 dict=512 seed=88 chunk_kb=16
+at 0.0012 submit dave  sio n=1000 seed=99 chunk_kb=16             # unknown tenant -> rejected
+at 0.0014 submit carol sio n=1000 seed=100 chunk_kb=262144        # chunk too large for mem share
+at 0.0005 cancel job1                                             # mid-flight cancel
