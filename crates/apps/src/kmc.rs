@@ -259,6 +259,14 @@ pub fn sums_from_output(k: usize, output: &KvSet<u32, f64>) -> Vec<f64> {
 }
 
 /// New centers from accumulated sums (the k-means update step).
+///
+/// An *empty cluster* (no point mapped to the center this iteration) has
+/// `count == 0`; dividing by it would turn the center into `[NaN; 4]`,
+/// and NaN centers are absorbing — every later distance comparison
+/// against NaN is false, so the center can never win a point back and the
+/// poison spreads into the movement metric (and, journaled, into the
+/// round's control hash). The guard keeps the previous center instead,
+/// the standard Lloyd's fallback.
 pub fn centers_from_sums(old: &[Point], sums: &[f64]) -> Vec<Point> {
     old.iter()
         .enumerate()
@@ -356,5 +364,27 @@ mod tests {
     #[should_panic(expected = "at least one center")]
     fn empty_centers_rejected() {
         let _ = KmcJob::new(Vec::new());
+    }
+
+    #[test]
+    fn empty_cluster_keeps_previous_center_not_nan() {
+        // Regression: a center that captures no points must survive the
+        // update unchanged — a 0/0 here would poison it to NaN forever.
+        let old = vec![[0.0f32; DIMS], [100.0; DIMS]];
+        // All ten points sit at the origin; center 1 is empty.
+        let points = vec![[0.0f32; DIMS]; 10];
+        let sums = cpu_reference(&old, &points);
+        assert_eq!(sums[(DIMS + 1) + DIMS], 0.0, "cluster 1 is empty");
+        let updated = centers_from_sums(&old, &sums);
+        assert_eq!(updated[0], [0.0; DIMS]);
+        assert_eq!(updated[1], [100.0; DIMS], "empty cluster keeps its center");
+        for c in &updated {
+            assert!(c.iter().all(|x| x.is_finite()), "no NaN/inf centers");
+        }
+        // And the iterative driver stays finite end-to-end with an
+        // unlucky initial center far outside the data.
+        let far = vec![[0.5f32; DIMS], [1e6; DIMS]];
+        let updated = centers_from_sums(&far, &cpu_reference(&far, &points));
+        assert!(updated.iter().flatten().all(|x| x.is_finite()));
     }
 }

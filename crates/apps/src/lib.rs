@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cpair;
 pub mod datasets;
 pub mod iterative;
 pub mod kmc;
@@ -25,15 +26,18 @@ pub mod lr;
 pub mod mm;
 pub mod mph;
 pub mod sio;
+pub mod ssort;
 pub mod text;
 pub mod wo;
 
+pub use cpair::{CpairJob, CpairRounds};
 pub use datasets::{strong_workload, Benchmark, Workload};
-pub use iterative::{run_kmeans, KmeansResult};
+pub use iterative::{run_kmeans, run_kmeans_journaled, KmcRounds, KmeansResult};
 pub use kmc::KmcJob;
 pub use lr::LrJob;
 pub use mm::{run_mm, run_mm_default, Matrix, MmMapJob, MmResult, MmSumJob};
 pub use mph::MinimalPerfectHash;
 pub use sio::SioJob;
+pub use ssort::{SsortJob, SsortRounds};
 pub use text::Dictionary;
 pub use wo::WoJob;

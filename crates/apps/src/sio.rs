@@ -37,10 +37,11 @@ pub enum SioMode {
 
 /// The SIO job. Pipeline: plain map, round-robin partition, radix sort,
 /// thread-per-key reduce.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SioJob {
     mode: SioMode,
     block_keyspace: Option<u64>,
+    splitters: Option<Vec<u64>>,
     reduce_sets: Option<usize>,
     bitonic_sort: bool,
 }
@@ -51,9 +52,7 @@ impl SioJob {
     pub fn with_mode(mode: SioMode) -> Self {
         SioJob {
             mode,
-            block_keyspace: None,
-            reduce_sets: None,
-            bitonic_sort: false,
+            ..SioJob::default()
         }
     }
 
@@ -78,6 +77,17 @@ impl SioJob {
     /// sequence is processed). Default: all remaining sets in one kernel.
     pub fn with_reduce_chunk(mut self, sets: usize) -> Self {
         self.reduce_sets = Some(sets.max(1));
+        self
+    }
+
+    /// Partition by key range using sampled `splitters` (ascending;
+    /// reducer `r` owns keys in `[splitters[r-1], splitters[r])`) instead
+    /// of round-robin. This is the skew-aware shuffle: under a Zipf key
+    /// distribution round-robin lets hot keys collide on `k % R`, while
+    /// sampled splitters equalize pair *mass* per reducer. Derive the
+    /// splitters with [`gpmr_core::derive_splitters`] from a key sample.
+    pub fn with_range_partition(mut self, splitters: Vec<u64>) -> Self {
+        self.splitters = Some(splitters);
         self
     }
 }
@@ -105,6 +115,11 @@ impl GpmrJob for SioJob {
         };
         if self.block_keyspace.is_some() {
             cfg.partition = gpmr_core::PartitionMode::Custom;
+        }
+        if let Some(splitters) = &self.splitters {
+            cfg.partition = gpmr_core::PartitionMode::Range {
+                splitters: splitters.clone(),
+            };
         }
         if self.bitonic_sort {
             cfg.sort = gpmr_core::SortMode::Bitonic;
@@ -212,6 +227,31 @@ pub fn generate_integers(n: usize, seed: u64) -> Vec<u32> {
 /// Split input into chunks of `chunk_bytes` bytes each.
 pub fn sio_chunks(data: &[u32], chunk_bytes: usize) -> Vec<SliceChunk<u32>> {
     SliceChunk::split(data, (chunk_bytes / 4).max(1))
+}
+
+/// Generate `n` Zipf(`s`)-distributed integers over `[0, space)`: rank-1
+/// is the hottest key, rank-`space` the coldest — the skewed workload the
+/// range partitioner exists for. Inverse-CDF sampling against the exact
+/// (finite) harmonic normalizer, deterministic in `seed`.
+pub fn generate_zipf_integers(n: usize, space: u32, s: f64, seed: u64) -> Vec<u32> {
+    let space = space.max(2);
+    // CDF over ranks 1..=space: cdf[k] = H_{k,s} / H_{space,s}.
+    let mut cdf = Vec::with_capacity(space as usize);
+    let mut acc = 0.0f64;
+    for k in 1..=space {
+        acc += 1.0 / f64::from(k).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5a49_5046);
+    (0..n)
+        .map(|_| {
+            let u = rng.gen_range(0.0..total);
+            // First rank whose cumulative mass covers u; the rank (minus
+            // one) is the emitted key, so key 0 is the hottest.
+            cdf.partition_point(|&c| c < u) as u32
+        })
+        .collect()
 }
 
 /// Sequential reference: occurrence counts per integer.

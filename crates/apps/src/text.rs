@@ -101,6 +101,41 @@ pub fn generate_text(dict: &Dictionary, total_bytes: usize, seed: u64) -> Vec<u8
     out
 }
 
+/// Generate roughly `total_bytes` of *skewed* text: words drawn from the
+/// dictionary with Zipf(`s`) frequencies (dictionary order is rank order
+/// — word 0 is the hottest). The workload the skew-aware shuffle exists
+/// for: a handful of words dominate the corpus, so their keys dominate
+/// the pair stream.
+pub fn generate_zipf_text(dict: &Dictionary, total_bytes: usize, s: f64, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7a69_7066);
+    // Inverse-CDF table over word ranks.
+    let mut cdf = Vec::with_capacity(dict.words.len());
+    let mut acc = 0.0f64;
+    for k in 1..=dict.words.len() {
+        acc += 1.0 / (k as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    let mut out = Vec::with_capacity(total_bytes + 16);
+    let mut line = 0usize;
+    while out.len() < total_bytes {
+        let u = rng.gen_range(0.0..total);
+        let w = &dict.words[cdf.partition_point(|&c| c < u)];
+        out.extend_from_slice(w);
+        line += w.len() + 1;
+        if line >= 64 {
+            out.push(b'\n');
+            line = 0;
+        } else {
+            out.push(b' ');
+        }
+    }
+    if *out.last().unwrap_or(&b'\n') != b'\n' {
+        out.push(b'\n');
+    }
+    out
+}
+
 /// Split text into chunks of roughly `chunk_bytes`, cut at line
 /// boundaries so words never straddle chunks.
 pub fn chunk_text(text: &[u8], chunk_bytes: usize) -> Vec<SliceChunk<u8>> {

@@ -36,6 +36,7 @@ pub struct WoJob {
     gpus: u32,
     crossover: u32,
     accumulate: bool,
+    partition_override: Option<PartitionMode>,
 }
 
 impl WoJob {
@@ -46,6 +47,7 @@ impl WoJob {
             gpus,
             crossover: DEFAULT_PARTITION_CROSSOVER,
             accumulate: true,
+            partition_override: None,
         }
     }
 
@@ -62,6 +64,15 @@ impl WoJob {
     /// Accumulation.
     pub fn with_accumulation(mut self, accumulate: bool) -> Self {
         self.accumulate = accumulate;
+        self
+    }
+
+    /// Force a specific partition mode instead of the crossover rule —
+    /// how the skew bench pins round-robin vs sampled range splitters on
+    /// the same Zipf corpus. Derive splitters from
+    /// [`sample_word_keys`] + [`gpmr_core::derive_splitters`].
+    pub fn with_partition(mut self, mode: PartitionMode) -> Self {
+        self.partition_override = Some(mode);
         self
     }
 
@@ -115,10 +126,10 @@ impl GpmrJob for WoJob {
                 MapMode::Plain
             },
             combine: false,
-            partition: if self.gpus > self.crossover {
-                PartitionMode::RoundRobin
-            } else {
-                PartitionMode::None
+            partition: match &self.partition_override {
+                Some(mode) => mode.clone(),
+                None if self.gpus > self.crossover => PartitionMode::RoundRobin,
+                None => PartitionMode::None,
             },
             ..PipelineConfig::default()
         }
@@ -244,6 +255,17 @@ pub fn cpu_reference(dict: &Dictionary, text: &[u8]) -> Vec<u32> {
     counts
 }
 
+/// Host-side sampling pass for the skew-aware shuffle: the minimal
+/// perfect hash key of every `stride`-th word of `text`. Feed the result
+/// to [`gpmr_core::derive_splitters`] and pin the splitters with
+/// [`WoJob::with_partition`].
+pub fn sample_word_keys(dict: &Dictionary, text: &[u8], stride: usize) -> Vec<u64> {
+    words_of(text)
+        .step_by(stride.max(1))
+        .map(|w| u64::from(dict.mph.index(w)))
+        .collect()
+}
+
 /// Fold a WO job result back into dense per-word counts.
 pub fn counts_from_output(dict: &Dictionary, output: &KvSet<u32, u32>) -> Vec<u32> {
     let mut counts = vec![0u32; dict.len()];
@@ -361,5 +383,70 @@ mod tests {
         let job = WoJob::new(dict, 4).with_crossover(2);
         assert_eq!(job.pipeline().partition, PartitionMode::RoundRobin);
         assert_eq!(job.dictionary().len(), 10);
+    }
+
+    #[test]
+    fn range_partition_balances_zipf_corpus() {
+        // Plain-mode WO on a Zipf corpus: one pair per word occurrence,
+        // so hot words translate directly into reducer load. Round-robin
+        // scatters the hot keys wherever `mph(word) % R` lands them;
+        // sampled splitters equalize pair mass.
+        // s = 1.05 over 5k words keeps the hottest word near 13% of the
+        // corpus — heavy enough to unbalance round-robin, but still small
+        // enough that key-granularity splitters *can* reach balance. (At
+        // s >= 1.2 the hot key alone exceeds the 1/8 fair share and no
+        // key-level partitioner can bound the ratio; ssort's test covers
+        // that regime.)
+        let dict = Arc::new(Dictionary::generate(5_000, 21));
+        let text = crate::text::generate_zipf_text(&dict, 200_000, 1.05, 22);
+        let expect = cpu_reference(&dict, &text);
+        let gpus = 8u32;
+
+        let loads = |outputs: &[KvSet<u32, u32>]| -> Vec<u64> {
+            outputs
+                .iter()
+                .map(|o| o.vals.iter().map(|&v| u64::from(v)).sum())
+                .collect()
+        };
+        let ratio = |loads: &[u64]| -> f64 {
+            let max = *loads.iter().max().unwrap() as f64;
+            let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+            max / mean
+        };
+
+        let mut c1 = Cluster::accelerator(gpus, GpuSpec::gt200());
+        let rr = run_job(
+            &mut c1,
+            &WoJob::new(dict.clone(), gpus)
+                .with_accumulation(false)
+                .with_partition(PartitionMode::RoundRobin),
+            chunk_text(&text, 16_000),
+        )
+        .unwrap();
+
+        let splitters = gpmr_core::derive_splitters(&sample_word_keys(&dict, &text, 13), gpus);
+        let mut c2 = Cluster::accelerator(gpus, GpuSpec::gt200());
+        let range = run_job(
+            &mut c2,
+            &WoJob::new(dict.clone(), gpus)
+                .with_accumulation(false)
+                .with_partition(PartitionMode::Range { splitters }),
+            chunk_text(&text, 16_000),
+        )
+        .unwrap();
+
+        assert_eq!(counts_from_output(&dict, &rr.merged_output()), expect);
+        assert_eq!(counts_from_output(&dict, &range.merged_output()), expect);
+
+        let rr_ratio = ratio(&loads(&rr.outputs));
+        let range_ratio = ratio(&loads(&range.outputs));
+        assert!(
+            range_ratio <= 1.5,
+            "range partition must bound skew: {range_ratio:.3} (rr was {rr_ratio:.3})"
+        );
+        assert!(
+            range_ratio < rr_ratio,
+            "range ({range_ratio:.3}) should beat round-robin ({rr_ratio:.3})"
+        );
     }
 }

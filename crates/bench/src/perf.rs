@@ -16,14 +16,14 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use gpmr_core::{run_job_instrumented, EngineTuning};
+use gpmr_core::{derive_splitters, run_job_instrumented, EngineTuning, PartitionMode};
 use gpmr_telemetry::analyze::{analyze, Analysis};
 use gpmr_telemetry::baseline::{BaselineSet, BenchBaseline};
 use gpmr_telemetry::Telemetry;
 
 use gpmr_apps::sio::{self, SioJob};
-use gpmr_apps::text::chunk_text;
-use gpmr_apps::wo::WoJob;
+use gpmr_apps::text::{chunk_text, generate_zipf_text};
+use gpmr_apps::wo::{sample_word_keys, WoJob};
 
 use crate::harness::chunk_bytes_tuned;
 use crate::runners::{corpus_for, scaled_cluster, shared_dictionary};
@@ -61,6 +61,11 @@ pub struct PerfScenario {
     pub depth: u32,
     /// Shuffle pairs directly between GPUs instead of bouncing via hosts.
     pub gpu_direct: bool,
+    /// Draw the workload from a Zipf distribution with this exponent
+    /// instead of uniform (the skewed-shuffle scenarios).
+    pub zipf: Option<f64>,
+    /// Shuffle with sampled range splitters instead of round-robin.
+    pub range_partition: bool,
 }
 
 impl PerfScenario {
@@ -71,6 +76,8 @@ impl PerfScenario {
             gpus,
             depth: 4,
             gpu_direct: false,
+            zipf: None,
+            range_partition: false,
         }
     }
 
@@ -84,9 +91,21 @@ impl PerfScenario {
     }
 }
 
+/// Zipf exponent of the skewed-shuffle scenarios (hot word near 13% of
+/// the corpus — heavy enough to unbalance round-robin, small enough that
+/// key-granularity splitters can reach balance).
+const ZIPF_S: f64 = 1.05;
+
+/// Sampling stride for the range-partitioned scenario's splitters.
+const SPLITTER_STRIDE: usize = 101;
+
 /// The gate suite: WO + SIO at 1, 4, and 8 ranks at the default tuning,
-/// plus the GPU-direct and pipelining-off variants of the 8-rank runs.
-pub const SCENARIOS: [PerfScenario; 9] = [
+/// plus the GPU-direct and pipelining-off variants of the 8-rank runs,
+/// plus the skewed-shuffle pair — the same Zipf corpus shuffled
+/// round-robin (`wo_8rank_zipf`) and with sampled range splitters
+/// (`wo_8rank_zipf_range`), pinning the skew-aware partitioner's win
+/// into the gate.
+pub const SCENARIOS: [PerfScenario; 11] = [
     PerfScenario::new("wo_1rank", PerfApp::Wo, 1),
     PerfScenario::new("wo_4rank", PerfApp::Wo, 4),
     PerfScenario::new("wo_8rank", PerfApp::Wo, 8),
@@ -97,6 +116,15 @@ pub const SCENARIOS: [PerfScenario; 9] = [
     PerfScenario {
         depth: 1,
         ..PerfScenario::new("wo_8rank_k1", PerfApp::Wo, 8)
+    },
+    PerfScenario {
+        zipf: Some(ZIPF_S),
+        ..PerfScenario::new("wo_8rank_zipf", PerfApp::Wo, 8)
+    },
+    PerfScenario {
+        zipf: Some(ZIPF_S),
+        range_partition: true,
+        ..PerfScenario::new("wo_8rank_zipf_range", PerfApp::Wo, 8)
     },
     PerfScenario::new("sio_1rank", PerfApp::Sio, 1),
     PerfScenario::new("sio_4rank", PerfApp::Sio, 4),
@@ -123,12 +151,21 @@ pub fn run_scenario(sc: &PerfScenario, scale: u64) -> (BenchBaseline, Analysis) 
         PerfApp::Wo => {
             let dict = shared_dictionary(scale);
             let bytes = (WO_FULL_BYTES / scale).max(64 * 1024) as usize;
-            let text = corpus_for(&dict, bytes, SEED);
+            let text = match sc.zipf {
+                Some(s) => Arc::new(generate_zipf_text(&dict, bytes, s, SEED)),
+                None => corpus_for(&dict, bytes, SEED),
+            };
             let chunks = chunk_text(
                 &text,
                 chunk_bytes_tuned(bytes as u64, sc.gpus, scale, sc.depth),
             );
-            let job = WoJob::new(Arc::clone(&dict), sc.gpus);
+            let mut job = WoJob::new(Arc::clone(&dict), sc.gpus);
+            if sc.range_partition {
+                let samples = sample_word_keys(&dict, &text, SPLITTER_STRIDE);
+                job = job.with_partition(PartitionMode::Range {
+                    splitters: derive_splitters(&samples, sc.gpus),
+                });
+            }
             run_job_instrumented(&mut cluster, &job, chunks, &tuning, &tel)
                 .expect("WO perf scenario failed");
         }

@@ -7,12 +7,12 @@ use gpmr_apps::kmc::{self, KmcJob};
 use gpmr_apps::lr::{self, LrJob};
 use gpmr_apps::mm::{run_mm_auto, Matrix};
 use gpmr_apps::sio::{self, SioJob};
-use gpmr_apps::text::{chunk_text, generate_text, Dictionary};
-use gpmr_apps::wo::WoJob;
+use gpmr_apps::text::{chunk_text, generate_text, generate_zipf_text, Dictionary};
+use gpmr_apps::wo::{sample_word_keys, WoJob};
 use gpmr_bench::perf as perfsuite;
 use gpmr_core::{
-    run_job_instrumented, run_job_journaled, EngineTuning, GpmrJob, JobResult, JobTrace, Journal,
-    Pod,
+    derive_splitters, run_job_instrumented, run_job_journaled, EngineTuning, GpmrJob, JobResult,
+    JobTrace, Journal, PartitionMode, Pod,
 };
 use gpmr_sim_gpu::{FaultPlan, GpuSpec, PcieLink};
 use gpmr_sim_net::{Cluster, CpuSpec, Nic, Topology};
@@ -29,11 +29,13 @@ gpmr — Multi-GPU MapReduce on a simulated GPU cluster
 USAGE:
     gpmr run    --benchmark <mm|sio|wo|kmc|lr> [--gpus N] [--size X]
                 [--scale K] [--seed S] [--trace]
+                [--partition <rr|range>] [--zipf S]
                 [--pipeline-depth K] [--gpu-direct]
                 [--metrics-out F] [--trace-out F] [--events-out F]
                 [--fault-plan SPEC | --fault-seed S]
                 [--journal F [--resume] [--checkpoint-every N]]
     gpmr kmeans [--points N] [--k K] [--gpus N] [--iterations I] [--seed S]
+                [--journal F [--resume] [--checkpoint-every N]]
     gpmr analyze --events events.jsonl [--json]
     gpmr analyze --benchmark <sio|wo|kmc|lr> [run options] [--json]
     gpmr trace  export --in events.jsonl --out trace.json
@@ -54,6 +56,13 @@ RUN OPTIONS:
     --scale       workload/hardware scale divisor         [default: 1]
     --seed        workload generator seed                 [default: 42]
     --trace       print an ASCII Gantt chart of the schedule
+    --partition   shuffle partitioner for sio/wo: rr hashes keys
+                  round-robin; range samples the input, derives
+                  load-balancing splitters, and routes by key range
+                  (the skew-aware choice)                 [default: rr]
+    --zipf        draw the sio/wo workload from a Zipf(S) distribution
+                  instead of uniform — a few hot keys dominate, the
+                  workload --partition=range exists for
     --pipeline-depth
                   upload pipeline depth: H2D copy buffers in flight per
                   rank; 1 disables pipelining             [default: 4]
@@ -179,6 +188,8 @@ pub const VALUED: &[&str] = &[
     "queue-depth",
     "batch-window",
     "batch-max",
+    "partition",
+    "zipf",
 ];
 /// Boolean flags.
 pub const BOOLEAN: &[&str] = &["trace", "json", "gpu-direct", "resume"];
@@ -724,20 +735,69 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
     }
     let mut journal = jopts.open()?;
 
+    let partition = args.get("partition").unwrap_or("rr").to_ascii_lowercase();
+    let range_partition = match partition.as_str() {
+        "rr" | "roundrobin" => false,
+        "range" => true,
+        other => {
+            return Err(CliError::Invalid(format!(
+                "unknown --partition {other:?}; expected rr or range"
+            )))
+        }
+    };
+    let zipf: Option<f64> = if args.get("zipf").is_some() {
+        let s: f64 = args.get_or("zipf", 1.05)?;
+        if !s.is_finite() || s <= 0.0 {
+            return Err(CliError::Invalid(
+                "--zipf must be a positive exponent".into(),
+            ));
+        }
+        Some(s)
+    } else {
+        None
+    };
+    if (range_partition || zipf.is_some()) && !matches!(bench.as_str(), "sio" | "wo") {
+        return Err(CliError::Invalid(
+            "--partition=range/--zipf apply only to the shuffling benchmarks (sio, wo)".into(),
+        ));
+    }
+    // Sampling stride for `--partition=range` splitter derivation.
+    const SPLITTER_STRIDE: usize = 101;
+
     match bench.as_str() {
         "sio" => {
             let n: usize = args.get_or("size", 1_000_000)?;
-            let data = sio::generate_integers(n, seed);
+            let data = match zipf {
+                Some(s) => sio::generate_zipf_integers(n, 1 << 16, s, seed),
+                None => sio::generate_integers(n, seed),
+            };
             let chunks = gpmr_core::SliceChunk::split(&data, chunk_items(4, n));
+            let mut job = SioJob::default();
+            let mut partition_note = String::new();
+            if range_partition {
+                let samples: Vec<u64> = data
+                    .iter()
+                    .step_by(SPLITTER_STRIDE)
+                    .map(|&v| u64::from(v))
+                    .collect();
+                let splitters = derive_splitters(&samples, gpus);
+                partition_note = format!(
+                    "partition      : range ({} splitters from {} samples)\n",
+                    splitters.len(),
+                    samples.len()
+                );
+                job = job.with_range_partition(splitters);
+            }
             let (result, tel) = run_with_tel(
                 &mut cluster,
-                &SioJob::default(),
+                &job,
                 chunks,
                 &tuning,
                 need_tel,
                 journal.as_mut(),
             )?;
             let mut out = report("Sparse Integer Occurrence", gpus, n as u64, &result);
+            out.push_str(&partition_note);
             journal_line(&mut out, &journal);
             finish_run(&mut out, &tel, want_trace, &outs, gpus)?;
             Ok(out)
@@ -748,9 +808,23 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
                 (43_000 / scale.max(1) as usize).max(64),
                 seed,
             ));
-            let text = generate_text(&dict, n, seed + 1);
+            let text = match zipf {
+                Some(s) => generate_zipf_text(&dict, n, s, seed + 1),
+                None => generate_text(&dict, n, seed + 1),
+            };
             let chunks = chunk_text(&text, chunk_items(1, n));
-            let job = WoJob::new(dict, gpus);
+            let mut job = WoJob::new(dict.clone(), gpus);
+            let mut partition_note = String::new();
+            if range_partition {
+                let samples = sample_word_keys(&dict, &text, SPLITTER_STRIDE);
+                let splitters = derive_splitters(&samples, gpus);
+                partition_note = format!(
+                    "partition      : range ({} splitters from {} samples)\n",
+                    splitters.len(),
+                    samples.len()
+                );
+                job = job.with_partition(PartitionMode::Range { splitters });
+            }
             let (result, tel) = run_with_tel(
                 &mut cluster,
                 &job,
@@ -760,6 +834,7 @@ fn cmd_run(args: &Args) -> Result<String, CliError> {
                 journal.as_mut(),
             )?;
             let mut out = report("Word Occurrence", gpus, n as u64, &result);
+            out.push_str(&partition_note);
             journal_line(&mut out, &journal);
             finish_run(&mut out, &tel, want_trace, &outs, gpus)?;
             Ok(out)
@@ -858,17 +933,37 @@ fn cmd_kmeans(args: &Args) -> Result<String, CliError> {
     let init = kmc::initial_centers(k, seed + 1);
     let mut cluster = Cluster::accelerator(gpus, GpuSpec::gt200());
     let chunk_points = (points / (4 * gpus as usize)).max(1024);
-    let result =
-        gpmr_apps::iterative::run_kmeans(&mut cluster, &data, init, chunk_points, iterations, 1e-4)
-            .map_err(|e| CliError::Invalid(e.to_string()))?;
+    let jopts = JournalOpts::from_args(args)?;
+    let mut journal = jopts.open()?;
+    let result = match journal.as_mut() {
+        Some(j) => gpmr_apps::iterative::run_kmeans_journaled(
+            &mut cluster,
+            &data,
+            init,
+            chunk_points,
+            iterations,
+            1e-4,
+            j,
+        ),
+        None => gpmr_apps::iterative::run_kmeans(
+            &mut cluster,
+            &data,
+            init,
+            chunk_points,
+            iterations,
+            1e-4,
+        ),
+    }
+    .map_err(|e| CliError::Invalid(e.to_string()))?;
     let mut out = format!(
         "Iterative K-Means: {points} points, k={k}, {gpus} GPU(s)
-         iterations     : {} (tolerance 1e-4)
+         iterations     : {} (tolerance 1e-4, {} device-resident)
          simulated time : {}
          convergence    : {:?}
          final centers  :
 ",
         result.iterations,
+        result.resident_rounds,
         result.total_time,
         result
             .movement
@@ -883,6 +978,7 @@ fn cmd_kmeans(args: &Args) -> Result<String, CliError> {
             c[0], c[1], c[2], c[3]
         ));
     }
+    journal_line(&mut out, &journal);
     Ok(out)
 }
 

@@ -132,6 +132,15 @@ pub struct RunControl {
     /// [`EngineError::Cancelled`] with conservation accounting instead of
     /// running Bin/Sort/Reduce.
     pub stop_at: Option<SimTime>,
+    /// The input chunks are already resident in device memory on the rank
+    /// that dequeues them (the round driver's chained rounds: round k's
+    /// reduce output never left the cluster, so round k+1's map reads it
+    /// in place). Chunks that *move* ranks — steals and fault-plan
+    /// requeues — are displaced from their home device and pay the full
+    /// H2D upload as usual; only stationary chunks skip it. The caller is
+    /// responsible for the claim being true (the driver checks a per-rank
+    /// fit bound before setting this).
+    pub inputs_resident: bool,
 }
 
 impl RunControl {
@@ -142,7 +151,18 @@ impl RunControl {
 
     /// Stop (cancel) the job at simulated instant `t`.
     pub fn stop_at(t: SimTime) -> Self {
-        RunControl { stop_at: Some(t) }
+        RunControl {
+            stop_at: Some(t),
+            ..RunControl::default()
+        }
+    }
+
+    /// Inputs are device-resident on their home ranks (round chaining).
+    pub fn resident() -> Self {
+        RunControl {
+            inputs_resident: true,
+            ..RunControl::default()
+        }
     }
 }
 
@@ -467,6 +487,7 @@ fn kill_rank<K: crate::types::Key, V: crate::types::Value, C: Chunk>(
     tuning: &EngineTuning,
     tel: &EngineTel,
     jctx: &mut Option<JournalCtx<'_, K, V>>,
+    displaced: &mut std::collections::HashSet<u64>,
 ) -> EngineResult<()> {
     let ri = r as usize;
     tel.gpus_lost.inc();
@@ -495,6 +516,8 @@ fn kill_rank<K: crate::types::Key, V: crate::types::Value, C: Chunk>(
     let first = live.iter().position(|&x| x > r).unwrap_or(0);
     for (i, (id, chunk)) in orphans.into_iter().enumerate() {
         let dest = live[(first + i) % live.len()];
+        // The chunk leaves its home rank: any device residency is gone.
+        displaced.insert(id);
         let bytes = chunk.serialize().len() as u64;
         let arrival = transfer_with_retry(cluster.fabric(), r, dest, now, bytes, tuning, tel)?;
         tel.event(r, TraceKind::Requeue, now, arrival, || {
@@ -805,7 +828,13 @@ fn run_job_impl<J: GpmrJob>(
         fp.write_u64(u64::from(gpu_direct));
         fp.write_u64(cfg.map_mode as u64);
         fp.write_u64(u64::from(cfg.combine));
-        fp.write_u64(cfg.partition as u64);
+        fp.write_u64(cfg.partition.discriminant());
+        if let PartitionMode::Range { splitters } = &cfg.partition {
+            fp.write_u64(splitters.len() as u64);
+            for &s in splitters {
+                fp.write_u64(s);
+            }
+        }
         fp.write_u64(cfg.sort as u64);
         fp.write_u64(u64::from(cfg.sort_and_reduce));
         for (_, c) in &ids {
@@ -857,6 +886,10 @@ fn run_job_impl<J: GpmrJob>(
         });
     }
     let mut mailbox: Mailbox<ShuffleMsg<J::Key, J::Value>> = Mailbox::new(ranks);
+    // Chunk ids that moved off their home rank (steals, fault-plan
+    // requeues): under `RunControl::inputs_resident` these still pay the
+    // full upload — residency only holds where the chunk was born.
+    let mut displaced: std::collections::HashSet<u64> = std::collections::HashSet::new();
 
     // --- Map stage -------------------------------------------------------
     if cfg.map_mode == MapMode::Accumulate {
@@ -923,6 +956,7 @@ fn run_job_impl<J: GpmrJob>(
                 tuning,
                 &tel,
                 &mut jctx,
+                &mut displaced,
             )?;
             continue;
         }
@@ -976,6 +1010,7 @@ fn run_job_impl<J: GpmrJob>(
             None => match queues.steal_profitable(r, |c| c.1.size_bytes()) {
                 Some((victim, c)) => {
                     tel.stolen.inc();
+                    displaced.insert(c.0);
                     // Migration: serialized chunk crosses the fabric from the
                     // victim's host memory to the thief's.
                     let bytes = c.1.serialize().len() as u64;
@@ -1038,7 +1073,16 @@ fn run_job_impl<J: GpmrJob>(
         let chunk_span = tel.tel.reserve_span_id();
 
         let gpu = cluster.gpu(r);
-        let up = gpu.h2d_gated(cursor, gate, chunk.size_bytes());
+        // Round chaining: a chunk the driver left resident on this device
+        // skips its upload entirely — the window collapses to the gated
+        // dispatch instant. Displaced chunks (steals, requeues) moved
+        // hosts, so they pay the full transfer like any cold chunk.
+        let up = if control.inputs_resident && !displaced.contains(&chunk_id) {
+            let at = cursor.max(gate);
+            gpmr_sim_gpu::Reservation { start: at, end: at }
+        } else {
+            gpu.h2d_gated(cursor, gate, chunk.size_bytes())
+        };
         gpu.note_resident(staging_slots * chunk.size_bytes());
         tel.child_event(r, TraceKind::Upload, up.start, up.end, chunk_span, || {
             format!("{} bytes", chunk.size_bytes())
@@ -1063,6 +1107,7 @@ fn run_job_impl<J: GpmrJob>(
                         tuning,
                         &tel,
                         &mut jctx,
+                        &mut displaced,
                     )?;
                     continue;
                 }
@@ -1131,6 +1176,7 @@ fn run_job_impl<J: GpmrJob>(
                         tuning,
                         &tel,
                         &mut jctx,
+                        &mut displaced,
                     )?;
                     continue;
                 }
@@ -1207,7 +1253,7 @@ fn run_job_impl<J: GpmrJob>(
                         String::new()
                     });
                     tel.pairs_shuffled.add(pairs.len() as u64);
-                    let buckets = route_pairs(job, cfg.partition, pairs, &reducers, ranks);
+                    let buckets = route_pairs(job, &cfg.partition, pairs, &reducers, ranks);
                     let mut bin_done = st[ri].bin_done;
                     let mut chunk_end = send_ready;
                     for (dest, bucket) in buckets.into_iter().enumerate() {
@@ -1299,7 +1345,7 @@ fn run_job_impl<J: GpmrJob>(
                 } else {
                     gpu.d2h(t_part, state.size_bytes()).end
                 };
-                let buckets = route_pairs(job, cfg.partition, state, &reducers, ranks);
+                let buckets = route_pairs(job, &cfg.partition, state, &reducers, ranks);
                 let mut bin_done = st[ri].bin_done;
                 for (dest, bucket) in buckets.into_iter().enumerate() {
                     if bucket.pairs.is_empty() {
@@ -1359,7 +1405,7 @@ fn run_job_impl<J: GpmrJob>(
                 } else {
                     gpu.d2h(t_part, combined.size_bytes()).end
                 };
-                let buckets = route_pairs(job, cfg.partition, combined, &reducers, ranks);
+                let buckets = route_pairs(job, &cfg.partition, combined, &reducers, ranks);
                 let mut bin_done = st[ri].bin_done;
                 for (dest, bucket) in buckets.into_iter().enumerate() {
                     if bucket.pairs.is_empty() {
@@ -1731,7 +1777,7 @@ struct Inbound<K, V> {
 /// the classic placement.
 fn route_pairs<J: GpmrJob>(
     job: &J,
-    mode: PartitionMode,
+    mode: &PartitionMode,
     pairs: KvSet<J::Key, J::Value>,
     reducers: &[u32],
     ranks: u32,
@@ -1775,6 +1821,13 @@ fn route_pairs<J: GpmrJob>(
             reducers,
             ranks,
         ),
+        PartitionMode::Range { splitters } => scatter(
+            split_buckets_bounded(pairs, nred, |k| {
+                splitters.partition_point(|&s| s <= k.radix()) as u32
+            }),
+            reducers,
+            ranks,
+        ),
     }
 }
 
@@ -1803,7 +1856,7 @@ mod tests {
         type Value = u32;
 
         fn pipeline(&self) -> PipelineConfig {
-            self.cfg
+            self.cfg.clone()
         }
 
         fn map(
@@ -1972,7 +2025,7 @@ mod tests {
             PipelineConfig::default().map_only(),
         ] {
             let mut cl = Cluster::accelerator(1, GpuSpec::gt200());
-            let result = run_job(&mut cl, &TestJob::with(cfg), input(3000)).unwrap();
+            let result = run_job(&mut cl, &TestJob::with(cfg.clone()), input(3000)).unwrap();
             let total: u32 = result.merged_output().vals.iter().sum();
             assert_eq!(total, 3000, "{cfg:?}");
         }

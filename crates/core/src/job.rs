@@ -46,7 +46,7 @@ pub enum MapMode {
 }
 
 /// How emitted pairs are routed to reducer ranks.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PartitionMode {
     /// No partitioner: every pair goes to rank 0 (paper: "best for jobs
     /// with small intermediate data").
@@ -56,6 +56,111 @@ pub enum PartitionMode {
     RoundRobin,
     /// Route through the job's [`GpmrJob::partition`] override.
     Custom,
+    /// Skew-aware range partitioning over sampled splitters: key radix
+    /// `k` routes to `splitters.partition_point(|s| s <= k)` — the count
+    /// of splitters at or below `k` — so `splitters` (sorted ascending,
+    /// at most `ranks - 1` entries) cuts the key space into contiguous
+    /// ranges of roughly equal *observed* mass. Derive the splitters with
+    /// [`derive_splitters`] from a sampling pass; this is the
+    /// Afrati/Ullman-style answer to power-law keys serializing on one
+    /// reducer under round-robin.
+    Range {
+        /// Ascending radix boundaries; range `i` is keys in
+        /// `(splitters[i-1], splitters[i]]`-style cuts (`<=` goes right).
+        splitters: Vec<u64>,
+    },
+}
+
+impl PartitionMode {
+    /// Stable small integer identifying the variant, for fingerprints and
+    /// journal hashing (splitter *contents* are hashed separately).
+    pub fn discriminant(&self) -> u64 {
+        match self {
+            PartitionMode::None => 0,
+            PartitionMode::RoundRobin => 1,
+            PartitionMode::Custom => 2,
+            PartitionMode::Range { .. } => 3,
+        }
+    }
+
+    /// Route a key radix under this mode's host-side rules. `Custom`
+    /// cannot be resolved here (it needs the job); callers handle it
+    /// before falling through. Returns `None` for `Custom`.
+    pub fn route_radix(&self, radix: u64, ranks: u32) -> Option<u32> {
+        match self {
+            PartitionMode::None => Some(0),
+            PartitionMode::RoundRobin => Some((radix % u64::from(ranks.max(1))) as u32),
+            PartitionMode::Custom => None,
+            PartitionMode::Range { splitters } => {
+                Some(splitters.partition_point(|&s| s <= radix) as u32)
+            }
+        }
+    }
+}
+
+/// Derive range splitters from a sample of key radixes, minimizing the
+/// heaviest band. The sample is collapsed to a run-length histogram of
+/// distinct keys; a binary search then finds the smallest per-band load
+/// `L` for which first-fit packing of the runs needs at most `reducers`
+/// contiguous bands (the classic parametric solution to contiguous
+/// makespan partitioning — naive quantile cuts hand a heavy key's band
+/// its neighbours too, inflating the maximum). The emitted packing is
+/// optimal for the sample: no contiguous-range cut has a smaller max
+/// band. The result has at most `reducers - 1` ascending entries,
+/// suitable for [`PartitionMode::Range`]. Fewer entries (one key
+/// dominating the sample) simply leaves trailing reducers idle — under
+/// extreme skew no key-granularity cut can do better.
+pub fn derive_splitters(samples: &[u64], reducers: u32) -> Vec<u64> {
+    let reducers = reducers.max(1) as usize;
+    if samples.is_empty() || reducers == 1 {
+        return Vec::new();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let mut runs: Vec<(u64, usize)> = Vec::new();
+    for &k in &sorted {
+        match runs.last_mut() {
+            Some((key, c)) if *key == k => *c += 1,
+            _ => runs.push((k, 1)),
+        }
+    }
+    // First-fit band count at a given load limit. A single run larger
+    // than the limit is unsplittable and occupies one band by itself.
+    let bands_needed = |limit: usize| -> usize {
+        let mut bands = 1usize;
+        let mut band = 0usize;
+        for &(_, c) in &runs {
+            if band > 0 && band + c > limit {
+                bands += 1;
+                band = 0;
+            }
+            band += c;
+        }
+        bands
+    };
+    // The limit can't beat the heaviest single run or the mean.
+    let max_run = runs.iter().map(|&(_, c)| c).max().unwrap_or(1);
+    let mut lo = max_run.max(sorted.len().div_ceil(reducers));
+    let mut hi = sorted.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if bands_needed(mid) <= reducers {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let limit = lo;
+    let mut splitters = Vec::with_capacity(reducers - 1);
+    let mut band = 0usize;
+    for &(key, c) in &runs {
+        if band > 0 && band + c > limit && splitters.len() < reducers - 1 {
+            splitters.push(key);
+            band = 0;
+        }
+        band += c;
+    }
+    splitters
 }
 
 /// Which Sorter the Sort stage uses.
@@ -68,7 +173,7 @@ pub enum SortMode {
 }
 
 /// Per-job pipeline shape.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PipelineConfig {
     /// Map-stage reduction substage.
     pub map_mode: MapMode,
@@ -368,5 +473,65 @@ mod tests {
         assert_eq!(j.partition(&10, 1), 0);
         // ranks=0 is clamped rather than dividing by zero
         assert_eq!(j.partition(&10, 0), 0);
+    }
+
+    #[test]
+    fn derive_splitters_cuts_uniform_samples_evenly() {
+        let samples: Vec<u64> = (0..1000).collect();
+        let splitters = derive_splitters(&samples, 4);
+        assert_eq!(splitters.len(), 3);
+        assert!(splitters.windows(2).all(|w| w[0] < w[1]));
+        // Each quarter of the sample mass lands in its own range.
+        let mode = PartitionMode::Range { splitters };
+        let mut counts = [0u32; 4];
+        for k in 0..1000u64 {
+            counts[mode.route_radix(k, 4).unwrap() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((200..=300).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn derive_splitters_isolates_heavy_duplicates() {
+        // 90% of the sample is one key: the greedy walk must give it a
+        // band of its own ([7, 8)) rather than lumping neighbours in.
+        let mut samples = vec![7u64; 900];
+        samples.extend(0..100u64);
+        let splitters = derive_splitters(&samples, 8);
+        assert!(splitters.len() <= 7);
+        assert!(splitters.windows(2).all(|w| w[0] < w[1]));
+        let mode = PartitionMode::Range {
+            splitters: splitters.clone(),
+        };
+        let heavy = mode.route_radix(7, 8).unwrap();
+        for k in (0..100u64).filter(|&k| k != 7) {
+            assert_ne!(
+                mode.route_radix(k, 8).unwrap(),
+                heavy,
+                "key {k} shares a band with the heavy key ({splitters:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn derive_splitters_degenerate_inputs() {
+        assert!(derive_splitters(&[], 4).is_empty());
+        assert!(derive_splitters(&[1, 2, 3], 1).is_empty());
+        assert!(derive_splitters(&[1, 2, 3], 0).is_empty());
+    }
+
+    #[test]
+    fn range_mode_routes_by_partition_point() {
+        let mode = PartitionMode::Range {
+            splitters: vec![10, 20],
+        };
+        assert_eq!(mode.route_radix(0, 3), Some(0));
+        assert_eq!(mode.route_radix(10, 3), Some(1)); // <= goes right
+        assert_eq!(mode.route_radix(15, 3), Some(1));
+        assert_eq!(mode.route_radix(20, 3), Some(2));
+        assert_eq!(mode.route_radix(u64::MAX, 3), Some(2));
+        assert_eq!(mode.discriminant(), 3);
+        assert_eq!(PartitionMode::Custom.route_radix(5, 3), None);
     }
 }

@@ -185,6 +185,28 @@ pub enum JournalRecord {
         /// `f64::to_bits` of the makespan in seconds (bit-exact).
         makespan_bits: u64,
     },
+    /// A round of a multi-round (chained) job is starting. Written by the
+    /// round driver before the round's own `JobStart`, so a resumed run
+    /// detects divergence at round granularity — a different convergence
+    /// trajectory (changed centers, changed splitters) diverges here, on
+    /// the control hash, before any per-chunk record could mislead.
+    RoundStart {
+        /// Zero-based round index.
+        round: u32,
+        /// FNV-1a over the round's control state (the host-visible scalar
+        /// the previous round broadcast: centers, splitters, thresholds).
+        control_hash: u64,
+    },
+    /// A round of a multi-round job completed.
+    RoundEnd {
+        /// Zero-based round index.
+        round: u32,
+        /// FNV-1a fold of every rank's round-output hash, in rank order.
+        output_hash: u64,
+        /// `f64::to_bits` of the driver's accumulated cross-round clock
+        /// at the end of this round (bit-exact).
+        clock_bits: u64,
+    },
 }
 
 impl JournalRecord {
@@ -199,6 +221,8 @@ impl JournalRecord {
                 | JournalRecord::BinSorted { .. }
                 | JournalRecord::BinReduced { .. }
                 | JournalRecord::JobEnd { .. }
+                | JournalRecord::RoundStart { .. }
+                | JournalRecord::RoundEnd { .. }
         )
     }
 
@@ -214,6 +238,8 @@ impl JournalRecord {
             JournalRecord::BinSorted { .. } => 8,
             JournalRecord::BinReduced { .. } => 9,
             JournalRecord::JobEnd { .. } => 10,
+            JournalRecord::RoundStart { .. } => 11,
+            JournalRecord::RoundEnd { .. } => 12,
         }
     }
 
@@ -286,6 +312,22 @@ impl JournalRecord {
                 output_hash.write_le(out);
                 makespan_bits.write_le(out);
             }
+            JournalRecord::RoundStart {
+                round,
+                control_hash,
+            } => {
+                round.write_le(out);
+                control_hash.write_le(out);
+            }
+            JournalRecord::RoundEnd {
+                round,
+                output_hash,
+                clock_bits,
+            } => {
+                round.write_le(out);
+                output_hash.write_le(out);
+                clock_bits.write_le(out);
+            }
         }
     }
 
@@ -350,6 +392,15 @@ impl JournalRecord {
             10 => JournalRecord::JobEnd {
                 output_hash: next_u64(&mut off)?,
                 makespan_bits: next_u64(&mut off)?,
+            },
+            11 => JournalRecord::RoundStart {
+                round: next_u32(&mut off)?,
+                control_hash: next_u64(&mut off)?,
+            },
+            12 => JournalRecord::RoundEnd {
+                round: next_u32(&mut off)?,
+                output_hash: next_u64(&mut off)?,
+                clock_bits: next_u64(&mut off)?,
             },
             _ => return None,
         };
@@ -639,6 +690,10 @@ pub struct JournalSummary {
     pub bins_reduced: Vec<u32>,
     /// The job-end record, if the run completed.
     pub ended: Option<JournalRecord>,
+    /// Round-start records seen (multi-round jobs).
+    pub rounds_started: u64,
+    /// Round indices with a committed `RoundEnd`, in journal order.
+    pub rounds_completed: Vec<u32>,
 }
 
 impl JournalSummary {
@@ -657,6 +712,8 @@ impl JournalSummary {
                 JournalRecord::BinSorted { rank, .. } => s.bins_sorted.push(rank),
                 JournalRecord::BinReduced { rank, .. } => s.bins_reduced.push(rank),
                 JournalRecord::JobEnd { .. } => s.ended = Some(rec),
+                JournalRecord::RoundStart { .. } => s.rounds_started += 1,
+                JournalRecord::RoundEnd { round, .. } => s.rounds_completed.push(round),
             }
         }
         s.committed_chunks.sort_unstable();
@@ -713,6 +770,15 @@ mod tests {
             JournalRecord::JobEnd {
                 output_hash: 11,
                 makespan_bits: 2.5f64.to_bits(),
+            },
+            JournalRecord::RoundStart {
+                round: 3,
+                control_hash: 0xc0ff_ee00,
+            },
+            JournalRecord::RoundEnd {
+                round: 3,
+                output_hash: 13,
+                clock_bits: 7.25f64.to_bits(),
             },
         ]
     }
@@ -870,6 +936,8 @@ mod tests {
         assert_eq!(s.bins_sorted, vec![0]);
         assert_eq!(s.bins_reduced, vec![0]);
         assert!(s.ended.is_some());
+        assert_eq!(s.rounds_started, 1);
+        assert_eq!(s.rounds_completed, vec![3]);
     }
 
     #[test]

@@ -89,23 +89,30 @@ pub mod helpers;
 pub mod job;
 pub mod journal;
 pub mod pod;
+pub mod rounds;
 pub mod scheduler;
 pub mod stats;
 pub mod trace;
 pub mod types;
 
-pub use chunk::{Chunk, SliceChunk};
+pub use chunk::{Chunk, PairChunk, SliceChunk};
 pub use engine::{
     run_job, run_job_analyzed, run_job_controlled, run_job_controlled_journaled,
     run_job_instrumented, run_job_journaled, run_job_traced, run_job_tuned, EngineTuning,
     JobResult, RunControl,
 };
 pub use error::{EngineError, EngineResult};
-pub use job::{block_partition, GpmrJob, MapMode, PartitionMode, PipelineConfig, SortMode};
+pub use job::{
+    block_partition, derive_splitters, GpmrJob, MapMode, PartitionMode, PipelineConfig, SortMode,
+};
 pub use journal::{
     scan_bytes, Journal, JournalError, JournalRecord, JournalResult, JournalSummary, RecordOutcome,
 };
 pub use pod::Pod;
+pub use rounds::{
+    max_resident_chunk_bytes, rechunk_interleaved, run_rounds, run_rounds_journaled, RoundDecision,
+    RoundJob, RoundStats, RoundStep, RoundsResult,
+};
 pub use scheduler::WorkQueues;
 pub use stats::{efficiency, speedup, JobTimings, StageTimes};
 pub use trace::{JobTrace, TraceEvent, TraceKind};

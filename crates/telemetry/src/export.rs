@@ -443,8 +443,7 @@ pub fn validate_perfetto(text: &str) -> Result<PerfettoStats, String> {
             other => return Err(format!("event {i}: unsupported ph {other:?}")),
         }
     }
-    named.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    named.dedup();
+    sort_tids(&mut named);
     for tid in &used {
         if !named.contains(tid) {
             return Err(format!("tid {tid} has timed events but no thread_name"));
@@ -452,6 +451,15 @@ pub fn validate_perfetto(text: &str) -> Result<PerfettoStats, String> {
     }
     stats.named_tracks = named.len();
     Ok(stats)
+}
+
+/// Sort-and-dedup a tid list. Uses [`f64::total_cmp`], not
+/// `partial_cmp().unwrap()`: tids come from untrusted trace documents, and
+/// a NaN must fail validation downstream (as an unmatched tid), not panic
+/// the validator itself.
+fn sort_tids(named: &mut Vec<f64>) {
+    named.sort_by(f64::total_cmp);
+    named.dedup_by(|a, b| a.total_cmp(b).is_eq());
 }
 
 #[cfg(test)]
@@ -559,5 +567,29 @@ mod tests {
         let text = report.render_text();
         assert!(text.contains("rank 0"));
         assert!(text.contains("Upload"));
+    }
+
+    #[test]
+    fn tid_sort_survives_nan_and_non_finite() {
+        // Regression: this used to be `partial_cmp().unwrap()`, which
+        // panics the moment a NaN tid reaches the validator. NaN must be
+        // kept (so an unmatched-tid check can reject it), sorted last,
+        // and deduplicated like any other tid.
+        let mut tids = vec![2.0, f64::NAN, 1.0, f64::NAN, f64::INFINITY, 1.0, -0.0];
+        sort_tids(&mut tids);
+        assert_eq!(tids.len(), 5);
+        assert_eq!(&tids[..3], &[-0.0, 1.0, 2.0]);
+        assert_eq!(tids[3], f64::INFINITY);
+        assert!(tids[4].is_nan());
+
+        // Non-finite tids still parse out of a real document (1e999
+        // overflows to +inf) and validate without panicking.
+        let doc = r#"{"traceEvents":[
+            {"name":"thread_name","ph":"M","pid":0,"tid":1e999,"args":{"name":"t"}},
+            {"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"u"}},
+            {"name":"x","ph":"X","pid":0,"tid":0,"ts":0,"dur":1}
+        ]}"#;
+        let stats = validate_perfetto(doc).unwrap();
+        assert_eq!(stats.named_tracks, 2);
     }
 }
