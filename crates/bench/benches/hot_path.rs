@@ -10,7 +10,7 @@ use gpmr_core::{run_job_instrumented, EngineTuning, KvSet};
 use gpmr_primitives::sort_pairs;
 use gpmr_sim_gpu::{set_exec_backend, ExecBackend, Gpu, GpuSpec, LaunchConfig, SimTime};
 use gpmr_sim_net::Cluster;
-use gpmr_telemetry::Telemetry;
+use gpmr_telemetry::{AlertEngine, AlertRule, Telemetry, TimeSeriesStore};
 
 fn pseudo_random(n: usize, seed: u64) -> Vec<u32> {
     let mut x = seed | 1;
@@ -91,17 +91,31 @@ fn bench_shuffle_throughput(c: &mut Criterion) {
 }
 
 /// Full engine run of a small SIO job with telemetry disabled vs
-/// enabled. "disabled" is the default `run_job` path and must stay within
-/// a few percent of the pre-telemetry engine; "enabled" shows the full
-/// recording cost (spans + counters + samples).
+/// enabled vs enabled-plus-continuous-observability. "disabled" is the
+/// default `run_job` path and must stay within a few percent of the
+/// pre-telemetry engine; "enabled" shows the full recording cost
+/// (spans, counters, samples); "timeseries" adds the SLO observability layer
+/// on top — a windowed collect plus an alert evaluation per iteration,
+/// the per-event-boundary work the job service does — and must stay
+/// within a few percent of plain "enabled".
 fn bench_telemetry_overhead(c: &mut Criterion) {
     let n = 200_000usize;
     let data = gpmr_apps::sio::generate_integers(n, 7);
     let mut group = c.benchmark_group("telemetry_overhead");
     group.throughput(Throughput::Elements(n as u64));
-    for (name, enabled) in [("disabled", false), ("enabled", true)] {
+    for (name, enabled) in [("disabled", false), ("enabled", true), ("timeseries", true)] {
         group.bench_function(name, |b| {
             let mut cluster = Cluster::accelerator(4, GpuSpec::gt200());
+            let observe = name == "timeseries";
+            let mut store = TimeSeriesStore::new(1.0, 20);
+            let mut alerts = AlertEngine::new(
+                AlertRule::parse_list(
+                    "dispatch: rate(engine.chunks_dispatched) > 1e12; \
+                     stolen: sum(engine.chunks_stolen) > 1e12",
+                )
+                .expect("rules parse"),
+            );
+            let mut t = 0.0;
             b.iter(|| {
                 let tel = if enabled {
                     Telemetry::enabled()
@@ -109,14 +123,22 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
                     Telemetry::disabled()
                 };
                 let chunks = gpmr_apps::sio::sio_chunks(&data, 64 * 1024);
-                run_job_instrumented(
+                let out = run_job_instrumented(
                     &mut cluster,
                     &gpmr_apps::sio::SioJob::default(),
                     chunks,
                     &EngineTuning::default(),
                     &tel,
                 )
-                .unwrap()
+                .unwrap();
+                if observe {
+                    t += 1e-3;
+                    if let Some(reg) = tel.registry() {
+                        store.collect(t, &reg.snapshot());
+                    }
+                    alerts.eval(t, &store);
+                }
+                out
             });
         });
     }

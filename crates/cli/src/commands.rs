@@ -44,8 +44,13 @@ USAGE:
     gpmr perf   record [--out F] [--scale N]
     gpmr perf   diff --baseline F [--against F] [--tolerance T] [--json]
     gpmr serve  --workload FILE [--gpus N] [--engines N] [--queue-depth N]
-                [--batch-window S] [--batch-max N]
+                [--batch-window S] [--batch-max N] [--slo-target T]
+                [--alerts RULES] [--flight-dir DIR]
                 [--metrics-out F] [--trace-out F] [--events-out F]
+    gpmr slo    report --workload FILE [serve options] [--json | --html]
+                [--out F]
+    gpmr metrics export --workload FILE [serve options]
+                [--format prom|json] [--out F]
     gpmr info   [--gpus N]
     gpmr help
 
@@ -123,8 +128,35 @@ SERVE:
     [default: 2]; --queue-depth admission limit [default: 64];
     --batch-window seconds [default: 0.05]; --batch-max members
     [default: 4]. Prints one line per action and per job, then tenant
-    and service summaries; per-tenant activity exports as separate
-    Perfetto tracks via --trace-out/--events-out.
+    and service summaries, the per-tenant SLO report, and any alert and
+    postmortem lines; per-tenant activity exports as separate Perfetto
+    tracks via --trace-out/--events-out.
+    --slo-target  deadline hit-rate objective; 1 - T is the error
+                  budget in the SLO report               [default: 0.95]
+    --alerts      `;`-separated alert rules evaluated at every event
+                  boundary over sliding-window series, e.g.
+                  'deep: last(service.queue_depth) > 8 for 0.001;
+                   misses: sum(service.deadline_missed) > 0'
+                  (fn: rate|sum|last|pNN|ratio; implies telemetry)
+    --flight-dir  keep a flight-recorder ring and write a Perfetto
+                  postmortem trace into DIR on every deadline miss,
+                  GPU loss, cancellation, and alert firing
+
+SLO SUBCOMMAND:
+    report        run a workload and print the per-tenant SLO report:
+                  deadline hit/miss/cancel/fail rates, queue-wait and
+                  end-to-end latency percentiles (p50/p95/p99),
+                  GPU-seconds burnt, and the error-budget verdict
+                  against --slo-target. --json emits the machine-
+                  readable twin, --html a self-contained page; --out
+                  writes to a file instead of stdout.
+
+METRICS SUBCOMMAND:
+    export        run a workload and export its final metrics snapshot.
+                  --format prom renders Prometheus text exposition
+                  (counters, gauges, histogram _bucket/_sum/_count
+                  series, and labeled per-tenant SLO gauges); --format
+                  json the raw snapshot                [default: prom]
 
 PERF SUBCOMMAND:
     record        run the WO+SIO gate suite — 1/4/8 ranks plus the
@@ -190,6 +222,9 @@ pub const VALUED: &[&str] = &[
     "batch-max",
     "partition",
     "zipf",
+    "slo-target",
+    "alerts",
+    "flight-dir",
 ];
 /// Boolean flags.
 pub const BOOLEAN: &[&str] = &["trace", "json", "gpu-direct", "resume"];
@@ -209,6 +244,13 @@ where
     // `perf` takes a mode positional too (`record`/`diff`).
     if tokens.first().map(String::as_str) == Some("perf") {
         return cmd_perf(&tokens[1..]);
+    }
+    // So do `slo` (`report`) and `metrics` (`export`).
+    if tokens.first().map(String::as_str) == Some("slo") {
+        return cmd_slo(&tokens[1..]);
+    }
+    if tokens.first().map(String::as_str) == Some("metrics") {
+        return cmd_metrics(&tokens[1..]);
     }
     let args = match Args::parse(tokens, VALUED, BOOLEAN) {
         Ok(a) => a,
@@ -982,38 +1024,173 @@ fn cmd_kmeans(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_serve(args: &Args) -> Result<String, CliError> {
-    use gpmr_service::{run_script, ServiceConfig};
-    let path = args
-        .get("workload")
-        .ok_or_else(|| CliError::Invalid("serve needs --workload <file>".into()))?;
-    let script = read_file(path)?;
-    let cfg = ServiceConfig {
+/// The service + observability config shared by `serve`, `slo report`,
+/// and `metrics export`: cluster/queue/batch knobs plus `--slo-target`,
+/// `--alerts`, and a flight ring when `--flight-dir` is given.
+fn service_cfg_from_args(args: &Args) -> Result<gpmr_service::ServiceConfig, CliError> {
+    use gpmr_service::{ObsConfig, ServiceConfig, SloPolicy};
+    let alerts = match args.get("alerts") {
+        Some(spec) => gpmr_telemetry::AlertRule::parse_list(spec)
+            .map_err(|e| CliError::Invalid(format!("invalid --alerts: {e}")))?,
+        None => Vec::new(),
+    };
+    let deadline_target: f64 = args.get_or("slo-target", SloPolicy::default().deadline_target)?;
+    if !(0.0..1.0).contains(&deadline_target) {
+        return Err(CliError::Invalid("--slo-target must be in [0, 1)".into()));
+    }
+    Ok(ServiceConfig {
         gpus: args.get_or("gpus", 4u32)?,
         engines: args.get_or("engines", 2usize)?,
         max_queue_depth: args.get_or("queue-depth", 64usize)?,
         batch_window_s: args.get_or("batch-window", 0.05f64)?,
         batch_max: args.get_or("batch-max", 4usize)?,
         tuning: EngineTuning::default(),
-    };
-    let outs = OutFiles::from_args(args);
-    let tel = if outs.any() {
+        obs: ObsConfig {
+            alerts,
+            flight_capacity: if args.get("flight-dir").is_some() {
+                4096
+            } else {
+                0
+            },
+            slo: SloPolicy { deadline_target },
+            ..ObsConfig::default()
+        },
+    })
+}
+
+/// Run the `--workload` script through a [`gpmr_service::JobService`].
+/// `need_tel` forces an enabled telemetry handle (windowed series and
+/// alert evaluation feed off the metrics registry).
+fn run_service_workload(
+    args: &Args,
+    label: &str,
+    need_tel: bool,
+) -> Result<(gpmr_service::JobService, Vec<String>), CliError> {
+    let path = args
+        .get("workload")
+        .ok_or_else(|| CliError::Invalid(format!("{label} needs --workload <file>")))?;
+    let script = read_file(path)?;
+    let cfg = service_cfg_from_args(args)?;
+    let tel = if need_tel || !cfg.obs.alerts.is_empty() {
         Telemetry::enabled()
     } else {
         Telemetry::disabled()
     };
-    let (svc, lines) =
-        run_script(&script, cfg, tel).map_err(|e| CliError::Invalid(e.to_string()))?;
+    gpmr_service::run_script(&script, cfg, tel).map_err(|e| CliError::Invalid(e.to_string()))
+}
+
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let outs = OutFiles::from_args(args);
+    let (svc, lines) = run_service_workload(args, "serve", outs.any())?;
     let mut out = String::new();
     for line in lines {
         out.push_str(&line);
         out.push('\n');
+    }
+    if let Some(dir) = args.get("flight-dir") {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Invalid(format!("cannot create {dir}: {e}")))?;
+        for pm in svc.postmortems() {
+            let path = std::path::Path::new(dir).join(pm.file_name());
+            let path = path.to_string_lossy();
+            write_file(&path, &pm.trace_json)?;
+            out.push_str(&format!("postmortem     : written to {path}\n"));
+        }
     }
     if outs.any() {
         let snap = svc.telemetry().snapshot();
         write_outputs(&mut out, &snap, &outs)?;
     }
     Ok(out)
+}
+
+/// Render to stdout or, with `--out`, to a file.
+fn emit_report(args: &Args, label: &str, body: String) -> Result<String, CliError> {
+    match args.get("out") {
+        Some(path) => {
+            write_file(path, &body)?;
+            Ok(format!("{label} written to {path}\n"))
+        }
+        None => Ok(body),
+    }
+}
+
+/// `gpmr slo report`: per-tenant SLO accounting over a workload.
+fn cmd_slo(tokens: &[String]) -> Result<String, CliError> {
+    const SLO_VALUED: &[&str] = &[
+        "workload",
+        "out",
+        "gpus",
+        "engines",
+        "queue-depth",
+        "batch-window",
+        "batch-max",
+        "slo-target",
+        "alerts",
+    ];
+    const SLO_BOOLEAN: &[&str] = &["json", "html"];
+    let args =
+        Args::parse(tokens.iter().cloned(), SLO_VALUED, SLO_BOOLEAN).map_err(|e| match e {
+            ArgError::MissingSubcommand => CliError::Invalid("slo needs a mode: report".into()),
+            other => CliError::Args(other),
+        })?;
+    match args.subcommand.as_str() {
+        "report" => {
+            let (svc, _) = run_service_workload(&args, "slo report", false)?;
+            let report = svc.slo_report();
+            let body = if args.flag("json") {
+                report.to_json()
+            } else if args.flag("html") {
+                report.render_html()
+            } else {
+                report.render_text()
+            };
+            emit_report(&args, "slo report", body)
+        }
+        other => Err(CliError::Invalid(format!(
+            "unknown slo mode {other:?}; expected report"
+        ))),
+    }
+}
+
+/// `gpmr metrics export`: the final metrics snapshot of a workload run,
+/// as Prometheus text exposition or raw JSON.
+fn cmd_metrics(tokens: &[String]) -> Result<String, CliError> {
+    const METRICS_VALUED: &[&str] = &[
+        "workload",
+        "format",
+        "out",
+        "gpus",
+        "engines",
+        "queue-depth",
+        "batch-window",
+        "batch-max",
+        "slo-target",
+        "alerts",
+    ];
+    let args = Args::parse(tokens.iter().cloned(), METRICS_VALUED, &[]).map_err(|e| match e {
+        ArgError::MissingSubcommand => CliError::Invalid("metrics needs a mode: export".into()),
+        other => CliError::Args(other),
+    })?;
+    match args.subcommand.as_str() {
+        "export" => {
+            let (svc, _) = run_service_workload(&args, "metrics export", true)?;
+            let snap = svc.telemetry().snapshot();
+            let body = match args.get("format").unwrap_or("prom") {
+                "prom" => gpmr_service::render_prometheus(&snap.metrics, Some(&svc.slo_report())),
+                "json" => snap.metrics.to_json(),
+                other => {
+                    return Err(CliError::Invalid(format!(
+                        "unknown --format {other:?}; expected prom or json"
+                    )))
+                }
+            };
+            emit_report(&args, "metrics", body)
+        }
+        other => Err(CliError::Invalid(format!(
+            "unknown metrics mode {other:?}; expected export"
+        ))),
+    }
 }
 
 fn cmd_info(args: &Args) -> Result<String, CliError> {
@@ -1666,5 +1843,150 @@ mod tests {
         );
         // The recovery line only reports losses; a pure add shows none.
         assert!(!out.contains("recovery"), "{out}");
+    }
+
+    const DEMO_WL: &str = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../workloads/service_demo.wl"
+    );
+
+    #[test]
+    fn serve_prints_slo_report() {
+        let out = run(&["serve", "--workload", DEMO_WL]).unwrap();
+        assert!(out.contains("service passes="), "{out}");
+        assert!(out.contains("slo report at="), "{out}");
+        assert!(out.contains("slo tenant alice"), "{out}");
+        assert!(out.contains("wait_p99="), "{out}");
+    }
+
+    #[test]
+    fn serve_alerts_and_flight_dir_write_postmortems() {
+        let dir = std::env::temp_dir().join("gpmr_cli_flight_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let out = run(&[
+            "serve",
+            "--workload",
+            DEMO_WL,
+            "--alerts",
+            "misses: sum(service.deadline_missed) > 0",
+            "--flight-dir",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        // The demo workload misses a deadline, cancels a job, and kills a
+        // GPU: the alert fires and the recorder dumps postmortems.
+        assert!(out.contains("alert fired rule=misses"), "{out}");
+        assert!(out.contains("flight postmortem-"), "{out}");
+        assert!(out.contains("postmortem     : written to"), "{out}");
+        let mut wrote = 0;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let trace = std::fs::read_to_string(&path).unwrap();
+            gpmr_telemetry::export::validate_perfetto(&trace)
+                .unwrap_or_else(|e| panic!("{path:?}: {e}"));
+            wrote += 1;
+        }
+        assert!(wrote >= 3, "expected miss+cancel+gpu-lost+alert dumps");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn slo_report_text_json_and_html() {
+        let text = run(&["slo", "report", "--workload", DEMO_WL]).unwrap();
+        assert!(text.contains("slo tenant bob"), "{text}");
+        assert!(text.contains("budget="), "{text}");
+
+        let json = run(&["slo", "report", "--workload", DEMO_WL, "--json"]).unwrap();
+        let v = gpmr_telemetry::json::parse(&json).unwrap();
+        let tenants = v.get("tenants").and_then(|t| t.as_arr()).unwrap();
+        assert_eq!(tenants.len(), 3);
+        // Terminal outcomes partition: the four rates sum to exactly 1.
+        for t in tenants {
+            let num = |k: &str| t.get(k).and_then(|x| x.as_f64()).unwrap();
+            let terminal =
+                num("completed") + num("cancelled") + num("deadline_missed") + num("failed");
+            if terminal > 0.0 {
+                let sum =
+                    num("hit_rate") + num("miss_rate") + num("cancel_rate") + num("fail_rate");
+                assert!((sum - 1.0).abs() < 1e-12, "rates sum to {sum}");
+            }
+        }
+
+        let html = run(&["slo", "report", "--workload", DEMO_WL, "--html"]).unwrap();
+        assert!(html.contains("<html"), "{html}");
+        assert!(html.contains("alice"), "{html}");
+    }
+
+    #[test]
+    fn slo_report_is_deterministic() {
+        let a = run(&["slo", "report", "--workload", DEMO_WL, "--json"]).unwrap();
+        let b = run(&["slo", "report", "--workload", DEMO_WL, "--json"]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metrics_export_prom_and_json() {
+        let prom = run(&["metrics", "export", "--workload", DEMO_WL]).unwrap();
+        assert!(
+            prom.contains("# TYPE gpmr_service_jobs_completed counter"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("gpmr_slo_hit_rate{tenant=\"alice\"}"),
+            "{prom}"
+        );
+        assert!(prom.contains("_bucket{le=\"+Inf\"}"), "{prom}");
+
+        let json = run(&[
+            "metrics",
+            "export",
+            "--workload",
+            DEMO_WL,
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        let v = gpmr_telemetry::json::parse(&json).unwrap();
+        assert!(v.get("counters").is_some());
+    }
+
+    #[test]
+    fn slo_and_metrics_validate_usage() {
+        assert!(run(&["slo"]).unwrap_err().to_string().contains("report"));
+        assert!(run(&["slo", "frob", "--workload", DEMO_WL])
+            .unwrap_err()
+            .to_string()
+            .contains("unknown slo mode"));
+        assert!(run(&["slo", "report"])
+            .unwrap_err()
+            .to_string()
+            .contains("--workload"));
+        assert!(run(&["metrics"])
+            .unwrap_err()
+            .to_string()
+            .contains("export"));
+        assert!(run(&[
+            "metrics",
+            "export",
+            "--workload",
+            DEMO_WL,
+            "--format",
+            "xml"
+        ])
+        .unwrap_err()
+        .to_string()
+        .contains("unknown --format"));
+        assert!(
+            run(&["serve", "--workload", DEMO_WL, "--slo-target", "1.5"])
+                .unwrap_err()
+                .to_string()
+                .contains("--slo-target")
+        );
+        assert!(
+            run(&["serve", "--workload", DEMO_WL, "--alerts", "nonsense"])
+                .unwrap_err()
+                .to_string()
+                .contains("invalid --alerts")
+        );
     }
 }

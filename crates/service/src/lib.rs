@@ -36,10 +36,12 @@
 
 pub mod batch;
 pub mod service;
+pub mod slo;
 pub mod spec;
 pub mod workload;
 
 pub use batch::{BatchChunk, SioBatchJob};
-pub use service::{JobService, ServiceConfig, ServiceStats, QUEUE_WAIT_BOUNDS};
+pub use service::{JobService, ObsConfig, ServiceConfig, ServiceStats, QUEUE_WAIT_BOUNDS};
+pub use slo::{render_prometheus, SloAccountant, SloPolicy, SloReport, TenantSlo};
 pub use spec::{JobId, JobKind, JobSpec, JobStatus, RejectReason, ServiceError, TenantConfig};
 pub use workload::{parse, run, run_script, Action, Workload, WorkloadError};

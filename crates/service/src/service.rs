@@ -34,9 +34,14 @@ use gpmr_core::{
 };
 use gpmr_sim_gpu::{FaultPlan, GpuSpec, SimTime};
 use gpmr_sim_net::Cluster;
-use gpmr_telemetry::{Counter, Telemetry};
+use gpmr_telemetry::alerts::Alert;
+use gpmr_telemetry::{
+    AlertEngine, AlertRule, Counter, FlightRecorder, Postmortem, Telemetry, TelemetrySnapshot,
+    TimeSeriesStore,
+};
 
 use crate::batch::{split_outputs, tag_chunks, SioBatchJob};
+use crate::slo::{SloAccountant, SloPolicy, SloReport};
 use crate::spec::{JobId, JobKind, JobSpec, JobStatus, RejectReason, ServiceError, TenantConfig};
 
 /// Histogram bucket bounds for `service.queue_wait_s` (seconds).
@@ -61,6 +66,9 @@ pub struct ServiceConfig {
     pub batch_max: usize,
     /// Engine tuning shared by every pass.
     pub tuning: EngineTuning,
+    /// Continuous-observability layer: time series, alerts, SLO policy,
+    /// flight recorder.
+    pub obs: ObsConfig,
 }
 
 impl Default for ServiceConfig {
@@ -72,6 +80,38 @@ impl Default for ServiceConfig {
             batch_window_s: 0.05,
             batch_max: 4,
             tuning: EngineTuning::default(),
+            obs: ObsConfig::default(),
+        }
+    }
+}
+
+/// Observability configuration. The windowed time-series layer (and with
+/// it the alert engine) is active only when the service's [`Telemetry`]
+/// handle is enabled — disabled telemetry keeps the pre-observability
+/// fast path bit-for-bit. The flight recorder owns its own bounded ring
+/// and works regardless.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObsConfig {
+    /// Sliding-window length for windowed series, simulated seconds.
+    pub window_s: f64,
+    /// Ring buckets per window (time resolution of windowed queries).
+    pub resolution: usize,
+    /// Alert rules evaluated at every event boundary.
+    pub alerts: Vec<AlertRule>,
+    /// Flight-recorder ring capacity in spans; 0 disables postmortems.
+    pub flight_capacity: usize,
+    /// Error-budget policy for SLO reports.
+    pub slo: SloPolicy,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            window_s: 1.0,
+            resolution: 20,
+            alerts: Vec::new(),
+            flight_capacity: 0,
+            slo: SloPolicy::default(),
         }
     }
 }
@@ -100,6 +140,9 @@ struct Pass {
     batched: bool,
     /// Speculative per-member, per-rank outputs, aligned with `members`.
     results: Vec<Vec<KvSet<u32, u32>>>,
+    /// Engine-scoped telemetry captured for the pass (flight recorder
+    /// enabled and the solo spec injects a fault), for postmortem splice.
+    capture: Option<TelemetrySnapshot>,
 }
 
 /// Plain pass/batch tallies, kept independently of telemetry so reports
@@ -112,6 +155,20 @@ pub struct ServiceStats {
     pub batches_formed: u64,
     /// Jobs that rode in a batched pass.
     pub batched_jobs: u64,
+    /// Jobs that reached [`JobStatus::Completed`].
+    pub completed: u64,
+    /// Jobs that reached [`JobStatus::Cancelled`].
+    pub cancelled: u64,
+    /// Jobs that reached [`JobStatus::DeadlineMissed`].
+    pub deadline_missed: u64,
+    /// Jobs that reached [`JobStatus::Failed`].
+    pub failed: u64,
+    /// Submissions rejected at admission.
+    pub rejected: u64,
+    /// Alerts fired so far.
+    pub alerts_fired: u64,
+    /// Postmortem traces dumped so far.
+    pub postmortems: u64,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -136,6 +193,10 @@ pub struct JobService {
     running: Vec<Option<Pass>>,
     service_track: u32,
     stats: ServiceStats,
+    slo: SloAccountant,
+    ts: Option<TimeSeriesStore>,
+    alert_eng: Option<AlertEngine>,
+    flight: Option<FlightRecorder>,
 }
 
 impl JobService {
@@ -164,6 +225,21 @@ impl JobService {
             .collect();
         let service_track = tenants.len() as u32;
         tel.set_track_name(service_track, "service");
+        let names: Vec<String> = tenants.iter().map(|t| t.cfg.name.clone()).collect();
+        let slo = SloAccountant::new(cfg.obs.slo, &names);
+        let ts = (cfg.obs.window_s > 0.0 && tel.is_enabled())
+            .then(|| TimeSeriesStore::new(cfg.obs.window_s, cfg.obs.resolution));
+        let alert_eng = (ts.is_some() && !cfg.obs.alerts.is_empty())
+            .then(|| AlertEngine::new(cfg.obs.alerts.clone()));
+        let flight = (cfg.obs.flight_capacity > 0).then(|| {
+            let fr = FlightRecorder::new(cfg.obs.flight_capacity);
+            for t in &tenants {
+                fr.ring()
+                    .set_track_name(t.track, &format!("tenant {}", t.cfg.name));
+            }
+            fr.ring().set_track_name(service_track, "service");
+            fr
+        });
         JobService {
             cfg,
             tel,
@@ -176,6 +252,10 @@ impl JobService {
             running: (0..engines).map(|_| None).collect(),
             service_track,
             stats: ServiceStats::default(),
+            slo,
+            ts,
+            alert_eng,
+            flight,
         }
     }
 
@@ -211,6 +291,29 @@ impl JobService {
         &self.tel
     }
 
+    /// Point-in-time per-tenant SLO report as of the current clock.
+    pub fn slo_report(&self) -> SloReport {
+        self.slo.report(self.now)
+    }
+
+    /// Alerts fired so far, in firing order (empty when no rules).
+    pub fn alerts(&self) -> &[Alert] {
+        self.alert_eng.as_ref().map_or(&[], AlertEngine::fired)
+    }
+
+    /// Postmortem traces dumped so far (empty when the flight recorder
+    /// is off).
+    pub fn postmortems(&self) -> &[Postmortem] {
+        self.flight
+            .as_ref()
+            .map_or(&[], FlightRecorder::postmortems)
+    }
+
+    /// The windowed time-series store, when observability is active.
+    pub fn timeseries(&self) -> Option<&TimeSeriesStore> {
+        self.ts.as_ref()
+    }
+
     /// Submit a job. Always returns an id; rejected submissions surface
     /// through [`JobService::poll`] as [`JobStatus::Rejected`].
     pub fn submit(&mut self, spec: JobSpec) -> JobId {
@@ -236,13 +339,18 @@ impl JobService {
                     .inc();
             }
         }
+        if let Some(t) = self.tenant_of(id) {
+            self.slo.record_submit(t, admitted);
+        }
         if admitted {
             self.queue.push(id);
             self.sample_queue_depth();
             self.try_dispatch();
         } else {
+            self.stats.rejected += 1;
             self.counter("service.jobs_rejected").inc();
         }
+        self.observe_boundary();
         id
     }
 
@@ -277,9 +385,10 @@ impl JobService {
                     None,
                     0.0,
                 );
+                self.dump_postmortem("cancelled", id, at, None);
             }
             JobStatus::Running { started_s } => {
-                let (committed, released, cost) = self.stop_running(id, started_s, at);
+                let (committed, released, cost, capture) = self.stop_running(id, started_s, at);
                 self.finalize(
                     id,
                     JobStatus::Cancelled {
@@ -290,11 +399,14 @@ impl JobService {
                     Some(started_s),
                     cost,
                 );
+                self.dump_postmortem("cancelled", id, at, capture.map(|c| (c, started_s)));
                 self.try_dispatch();
             }
             _ => unreachable!("is_live checked above"),
         }
+        self.stats.cancelled += 1;
         self.counter("service.jobs_cancelled").inc();
+        self.observe_boundary();
         Ok(())
     }
 
@@ -334,6 +446,11 @@ impl JobService {
         while let Some((te, ev)) = self.next_event_at_or_before(t) {
             self.now = self.now.max(te);
             self.handle(ev);
+            // Sample at every event boundary, not just on transitions:
+            // the queue-depth series must integrate to the total queue
+            // wait (Little's law) rather than going stale between events.
+            self.sample_queue_depth();
+            self.observe_boundary();
         }
         self.now = self.now.max(t);
     }
@@ -346,6 +463,8 @@ impl JobService {
         while let Some((te, ev)) = self.next_event_at_or_before(f64::INFINITY) {
             self.now = self.now.max(te);
             self.handle(ev);
+            self.sample_queue_depth();
+            self.observe_boundary();
         }
         self.now
     }
@@ -440,6 +559,7 @@ impl JobService {
                 continue;
             }
             let submit_s = rec.submit_s;
+            let lost_gpu = rec.spec.kill.is_some();
             self.jobs[(member.0 - 1) as usize].outputs = Some(outputs);
             self.finalize(
                 *member,
@@ -452,7 +572,18 @@ impl JobService {
                 Some(pass.started_s),
                 pass_cost / n,
             );
+            self.stats.completed += 1;
             self.counter("service.jobs_completed").inc();
+            // The pass survived a GPU fail-stop: the job completed, but
+            // the loss itself is postmortem-worthy.
+            if lost_gpu {
+                self.dump_postmortem(
+                    "gpu-lost",
+                    *member,
+                    pass.finish_s,
+                    pass.capture.clone().map(|c| (c, pass.started_s)),
+                );
+            }
         }
     }
 
@@ -473,9 +604,13 @@ impl JobService {
                     None,
                     0.0,
                 );
+                // No engine pass to splice; the service ring already
+                // holds the job's QueueWait span.
+                self.dump_postmortem("deadline-missed", id, deadline_s, None);
             }
             JobStatus::Running { started_s } => {
-                let (committed, released, cost) = self.stop_running(id, started_s, deadline_s);
+                let (committed, released, cost, capture) =
+                    self.stop_running(id, started_s, deadline_s);
                 self.finalize(
                     id,
                     JobStatus::DeadlineMissed {
@@ -486,9 +621,17 @@ impl JobService {
                     Some(started_s),
                     cost,
                 );
+                self.dump_postmortem(
+                    "deadline-missed",
+                    id,
+                    deadline_s,
+                    capture.map(|c| (c, started_s)),
+                );
             }
             _ => return,
         }
+        self.stats.deadline_missed += 1;
+        self.counter("service.deadline_missed").inc();
         if let Some(track) = track {
             self.counter(&format!("service.tenant{track}.deadline_missed"))
                 .inc();
@@ -499,8 +642,15 @@ impl JobService {
     /// pass the engine re-runs deterministically with `stop_at` and the
     /// slot frees at the stop instant; a batched member is discarded from
     /// its pass (which keeps running for the other members). Returns the
-    /// engine's conservation accounting plus the GPU-seconds to charge.
-    fn stop_running(&mut self, id: JobId, started_s: f64, at: f64) -> (u32, u32, f64) {
+    /// engine's conservation accounting, the GPU-seconds to charge, and —
+    /// when the flight recorder is on — the engine-scoped telemetry of
+    /// the stopped pass for the postmortem splice.
+    fn stop_running(
+        &mut self,
+        id: JobId,
+        started_s: f64,
+        at: f64,
+    ) -> (u32, u32, f64, Option<TelemetrySnapshot>) {
         let slot = self
             .running
             .iter()
@@ -513,28 +663,32 @@ impl JobService {
             let ix = pass.members.iter().position(|m| *m == id).expect("member");
             pass.results[ix] = Vec::new();
             let cost = elapsed * f64::from(self.cfg.gpus) / members as f64;
-            return (0, 0, cost);
+            return (0, 0, cost, None);
         }
         self.running[slot] = None;
         let spec = self.jobs[(id.0 - 1) as usize].spec.clone();
         let control = RunControl::stop_at(SimTime::from_secs(elapsed));
         let cost = elapsed * f64::from(self.cfg.gpus);
-        match run_solo(
+        let capture = self.engine_capture();
+        let outcome = run_solo(
             &mut self.clusters[slot],
             &spec,
             self.cfg.gpus,
             &self.cfg.tuning,
+            &capture,
             &control,
-        ) {
+        );
+        let snap = capture.is_enabled().then(|| capture.snapshot());
+        match outcome {
             Err(EngineError::Cancelled {
                 chunks_committed,
                 chunks_released,
                 ..
-            }) => (chunks_committed, chunks_released, cost),
+            }) => (chunks_committed, chunks_released, cost, snap),
             // The stop instant landed after the job's own completion or
             // the job failed before reaching it; nothing left to release.
-            Ok(result) => (result.timings.chunks_per_rank.iter().sum(), 0, cost),
-            Err(_) => (0, 0, cost),
+            Ok(result) => (result.timings.chunks_per_rank.iter().sum(), 0, cost, snap),
+            Err(_) => (0, 0, cost, snap),
         }
     }
 
@@ -619,6 +773,7 @@ impl JobService {
             self.remove_queued(id);
         }
         let batched = members.len() > 1;
+        let mut capture = None;
         let outcome = if batched {
             let specs: Vec<JobSpec> = members
                 .iter()
@@ -627,14 +782,23 @@ impl JobService {
             run_batch(&mut self.clusters[slot], &specs, &self.cfg.tuning)
         } else {
             let spec = self.jobs[(members[0].0 - 1) as usize].spec.clone();
-            run_solo(
+            // Capture engine telemetry only for fault-injected passes —
+            // they are the GpuLost postmortem candidates.
+            let tel = if spec.kill.is_some() || spec.stall.is_some() {
+                self.engine_capture()
+            } else {
+                Telemetry::disabled()
+            };
+            let result = run_solo(
                 &mut self.clusters[slot],
                 &spec,
                 self.cfg.gpus,
                 &self.cfg.tuning,
+                &tel,
                 &RunControl::unrestricted(),
-            )
-            .map(|r| {
+            );
+            capture = tel.is_enabled().then(|| tel.snapshot());
+            result.map(|r| {
                 let makespan = r.timings.total.as_secs();
                 (vec![r.outputs], makespan)
             })
@@ -666,6 +830,7 @@ impl JobService {
                     finish_s: started_s + makespan_s,
                     batched,
                     results,
+                    capture,
                 });
             }
             Err(e) => {
@@ -678,6 +843,7 @@ impl JobService {
                         Some(started_s),
                         0.0,
                     );
+                    self.stats.failed += 1;
                     self.counter("service.jobs_failed").inc();
                 }
             }
@@ -711,23 +877,31 @@ impl JobService {
             JobStatus::DeadlineMissed { deadline_s, .. } => deadline_s,
             _ => self.now,
         };
+        self.slo
+            .record_terminal(t, &status, submit_s, started_s, end_s, gpu_seconds);
         // Queue wait is a first-class stage: `gpmr analyze` attributes it
-        // separately from engine execution time.
+        // separately from engine execution time. The same spans are
+        // mirrored into the flight ring so a postmortem dump always
+        // carries the triggering job.
         let wait_end = started_s.unwrap_or(end_s).max(submit_s);
-        self.tel
-            .span(track, "QueueWait", submit_s, wait_end)
-            .name(format!("{id} wait"))
-            .attr("job", id.to_string())
-            .attr("kind", kind)
-            .record();
-        if let Some(s) = started_s {
-            self.tel
-                .span(track, "Job", s.min(end_s), end_s)
-                .name(id.to_string())
+        let emit = |tel: &Telemetry| {
+            tel.span(track, "QueueWait", submit_s, wait_end)
+                .name(format!("{id} wait"))
                 .attr("job", id.to_string())
                 .attr("kind", kind)
-                .attr("outcome", status.word())
                 .record();
+            if let Some(s) = started_s {
+                tel.span(track, "Job", s.min(end_s), end_s)
+                    .name(id.to_string())
+                    .attr("job", id.to_string())
+                    .attr("kind", kind)
+                    .attr("outcome", status.word())
+                    .record();
+            }
+        };
+        emit(&self.tel);
+        if let Some(f) = &self.flight {
+            emit(f.ring());
         }
     }
 
@@ -741,6 +915,65 @@ impl JobService {
         self.tel.gauge("service.queue_depth").set(depth);
         self.tel
             .sample(self.service_track, "service.queue_depth", self.now, depth);
+        if let Some(f) = &self.flight {
+            f.ring()
+                .sample(self.service_track, "service.queue_depth", self.now, depth);
+        }
+    }
+
+    /// Feed the windowed time series from the registry and evaluate the
+    /// alert rules. Called at every event boundary (submit, cancel, and
+    /// each replayed completion/deadline event), so windows and alert
+    /// firings are a deterministic function of the virtual clock.
+    fn observe_boundary(&mut self) {
+        let Some(ts) = &mut self.ts else {
+            return;
+        };
+        if let Some(reg) = self.tel.registry() {
+            ts.collect(self.now, &reg.snapshot());
+        }
+        let Some(eng) = &mut self.alert_eng else {
+            return;
+        };
+        for alert in eng.eval(self.now, ts) {
+            self.stats.alerts_fired += 1;
+            if let Some(f) = &mut self.flight {
+                f.dump("alert", &alert.rule, alert.at_s, None);
+                self.stats.postmortems += 1;
+            }
+        }
+    }
+
+    /// A bounded telemetry handle for capturing one engine pass when the
+    /// flight recorder is on; disabled otherwise (zero engine overhead).
+    fn engine_capture(&self) -> Telemetry {
+        match &self.flight {
+            Some(_) => Telemetry::with_capacity(self.cfg.obs.flight_capacity),
+            None => Telemetry::disabled(),
+        }
+    }
+
+    /// Dump a postmortem for `id`, splicing in the engine telemetry of
+    /// the triggering pass when captured (`started_s` places the engine's
+    /// zero-based clock on the service timeline; engine rank tracks land
+    /// past the service track).
+    fn dump_postmortem(
+        &mut self,
+        reason: &str,
+        id: JobId,
+        at_s: f64,
+        engine: Option<(TelemetrySnapshot, f64)>,
+    ) {
+        let track_offset = self.service_track + 1;
+        let Some(f) = &mut self.flight else {
+            return;
+        };
+        let subject = id.to_string();
+        let engine = engine
+            .as_ref()
+            .map(|(snap, started_s)| (snap, *started_s, track_offset));
+        f.dump(reason, &subject, at_s, engine);
+        self.stats.postmortems += 1;
     }
 
     fn counter(&self, name: &str) -> Counter {
@@ -774,6 +1007,7 @@ fn run_engine<J>(
     job: &J,
     chunks: Vec<J::Chunk>,
     tuning: &EngineTuning,
+    tel: &Telemetry,
     journaled: bool,
     control: &RunControl,
 ) -> EngineResult<JobResult<J::Key, J::Value>>
@@ -782,19 +1016,18 @@ where
     J::Key: Pod,
     J::Value: Pod,
 {
-    let tel = Telemetry::disabled();
     if journaled {
         // The journal layer is file-based; service-managed jobs journal
         // into a throwaway path that lives only for the pass.
         let path = journal_temp_path();
         let mut journal = Journal::create(&path, 1)?;
         let result =
-            run_job_controlled_journaled(cluster, job, chunks, tuning, &tel, &mut journal, control);
+            run_job_controlled_journaled(cluster, job, chunks, tuning, tel, &mut journal, control);
         drop(journal);
         let _ = std::fs::remove_file(&path);
         result
     } else {
-        run_job_controlled(cluster, job, chunks, tuning, &tel, control)
+        run_job_controlled(cluster, job, chunks, tuning, tel, control)
     }
 }
 
@@ -805,6 +1038,7 @@ fn run_solo(
     spec: &JobSpec,
     gpus: u32,
     tuning: &EngineTuning,
+    tel: &Telemetry,
     control: &RunControl,
 ) -> EngineResult<JobResult<u32, u32>> {
     let mut plan: Option<FaultPlan> = None;
@@ -824,6 +1058,7 @@ fn run_solo(
                 &SioJob::default(),
                 chunks,
                 tuning,
+                tel,
                 spec.journal,
                 control,
             )
@@ -838,7 +1073,7 @@ fn run_solo(
             let text = generate_text(&dict, bytes, seed + 1);
             let chunks = chunk_text(&text, chunk_kb * 1024);
             let job = WoJob::new(dict, gpus);
-            run_engine(cluster, &job, chunks, tuning, spec.journal, control)
+            run_engine(cluster, &job, chunks, tuning, tel, spec.journal, control)
         }
     };
     cluster.set_fault_plan(None);
@@ -872,6 +1107,7 @@ fn run_batch(
         &SioBatchJob,
         all,
         tuning,
+        &Telemetry::disabled(),
         false,
         &RunControl::unrestricted(),
     )?;

@@ -292,6 +292,23 @@ pub fn run(wl: &Workload, cfg: ServiceConfig, tel: Telemetry) -> (JobService, Ve
         svc.queue_depth(),
         final_t,
     ));
+    for line in svc.slo_report().render_text().lines() {
+        lines.push(line.to_string());
+    }
+    for a in svc.alerts() {
+        lines.push(format!(
+            "alert fired rule={} at={:.6} value={} threshold={}",
+            a.rule, a.at_s, a.value, a.threshold
+        ));
+    }
+    for pm in svc.postmortems() {
+        lines.push(format!(
+            "flight {} reason={} at={:.6}",
+            pm.file_name(),
+            pm.reason,
+            pm.at_s
+        ));
+    }
     (svc, lines)
 }
 

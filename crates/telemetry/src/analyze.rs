@@ -213,6 +213,17 @@ pub enum Finding {
         /// Retry spans on that track.
         worst_track_retries: u64,
     },
+    /// A declarative alert rule fired (see [`crate::alerts`]).
+    Alert {
+        /// Name of the rule that fired.
+        rule: String,
+        /// Virtual instant it fired.
+        at_s: f64,
+        /// The breaching value.
+        value: f64,
+        /// The rule's threshold.
+        threshold: f64,
+    },
 }
 
 impl Finding {
@@ -223,6 +234,7 @@ impl Finding {
             Finding::PoorOverlap { .. } => "PoorOverlap".to_string(),
             Finding::SortBound { .. } => "SortBound".to_string(),
             Finding::TransferRetryHotspot { .. } => "TransferRetryHotspot".to_string(),
+            Finding::Alert { rule, .. } => format!("Alert({rule})"),
         }
     }
 
@@ -254,6 +266,15 @@ impl Finding {
             } => format!(
                 "{retries} transfer retries ({worst_track_retries} on track \
                  {worst_track}) — the fabric is lossy or contended"
+            ),
+            Finding::Alert {
+                rule,
+                at_s,
+                value,
+                threshold,
+            } => format!(
+                "alert rule {rule} fired at {at_s:.6}s: observed {value} \
+                 against threshold {threshold}"
             ),
         }
     }

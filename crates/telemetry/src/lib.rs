@@ -2,7 +2,12 @@
 //! span recorder, exporters (Perfetto JSON, JSONL, utilization summaries),
 //! and a performance-diagnosis layer ([`analyze`]: critical-path
 //! extraction, straggler/imbalance findings; [`baseline`]: benchmark
-//! baselines with a pass/warn/fail regression gate).
+//! baselines with a pass/warn/fail regression gate). On top of the
+//! registry sit a continuous-observability layer ([`timeseries`]:
+//! ring-buffered windowed aggregation over the virtual clock;
+//! [`alerts`]: declarative threshold/burn-rate rules evaluated at event
+//! boundaries) and a crash-scoped [`flight`] recorder that dumps
+//! Perfetto-valid postmortem traces.
 //!
 //! The entry point is [`Telemetry`], a cheaply cloneable handle that is
 //! either *enabled* (backed by a shared [`Registry`] and [`SpanRecorder`])
@@ -26,17 +31,23 @@
 
 #![warn(missing_docs)]
 
+pub mod alerts;
 pub mod analyze;
 pub mod baseline;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod span;
+pub mod timeseries;
 
 use std::sync::Arc;
 
+pub use alerts::{Alert, AlertEngine, AlertRule};
+pub use flight::{FlightRecorder, Postmortem};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use span::{CounterSample, SpanRecord, SpanRecorder, TelemetrySnapshot};
+pub use timeseries::TimeSeriesStore;
 
 /// Default ring-buffer capacity for spans and counter samples.
 pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;

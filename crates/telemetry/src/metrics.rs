@@ -262,6 +262,78 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile with linear interpolation inside the bucket
+    /// the target rank lands in (Prometheus convention: the first bucket
+    /// interpolates up from zero, or from its bound when that is negative).
+    ///
+    /// Returns `None` for an empty histogram or a non-finite `q`; `q` is
+    /// otherwise clamped to `[0, 1]`. A rank landing in the overflow
+    /// bucket clamps to the last finite bound (there is no upper edge to
+    /// interpolate toward); a histogram with no finite buckets at all
+    /// falls back to the mean, which is exact when every observation is
+    /// identical.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !q.is_finite() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0.0f64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let below = cum;
+            cum += c as f64;
+            if cum < target {
+                continue;
+            }
+            if i == self.bounds.len() {
+                // Overflow bucket: clamp rather than extrapolate.
+                return Some(match self.bounds.last() {
+                    Some(&b) => b,
+                    None => self.mean(),
+                });
+            }
+            let lo = if i == 0 {
+                self.bounds[0].min(0.0)
+            } else {
+                self.bounds[i - 1]
+            };
+            let hi = self.bounds[i];
+            let frac = ((target - below) / c as f64).clamp(0.0, 1.0);
+            return Some(lo + (hi - lo) * frac);
+        }
+        // Float rounding pushed `target` past the final cumulative count;
+        // clamp to the top of the distribution.
+        Some(match self.bounds.last() {
+            Some(&b) => b,
+            None => self.mean(),
+        })
+    }
+
+    /// Fold another capture into this one (windowed time series merge
+    /// bucket rings this way). An empty receiver adopts `other` wholesale;
+    /// matching bounds add per-bucket counts; mismatched bounds (distinct
+    /// series mixed by the caller) merge only the totals, keeping `mean`
+    /// meaningful while dropping per-bucket resolution.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 && self.bounds.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        if self.bounds == other.bounds {
+            for (c, &oc) in self.counts.iter_mut().zip(&other.counts) {
+                *c += oc;
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
 }
 
 /// Point-in-time capture of a whole [`Registry`].
@@ -306,7 +378,11 @@ impl MetricsSnapshot {
                             *c = c.saturating_sub(ec);
                         }
                         h.count = h.count.saturating_sub(e.count);
-                        h.sum -= e.sum;
+                        // Like the counts: a restarted registry (or a NaN
+                        // that leaked into a sum) must not produce a
+                        // nonsensical negative interval.
+                        let d = h.sum - e.sum;
+                        h.sum = if d.is_finite() { d.max(0.0) } else { 0.0 };
                     }
                 }
                 (k.clone(), h)
@@ -461,6 +537,132 @@ mod tests {
         assert_eq!(d.counter("sends"), 2);
         assert_eq!(d.histograms["lat"].count, 1);
         assert_eq!(d.histograms["lat"].counts, vec![0, 1]);
+    }
+
+    #[test]
+    fn diff_keeps_gauges_as_last_value_not_deltas() {
+        // Regression: gauges are last-value, not monotonic. Diffing them
+        // as deltas would report negative "drift" for any gauge that went
+        // down between snapshots (queue depth, memory in use).
+        let reg = Registry::new();
+        let g = reg.gauge("service.queue_depth");
+        g.set(7.0);
+        let before = reg.snapshot();
+        g.set(3.0);
+        let d = reg.snapshot().diff(&before);
+        assert_eq!(d.gauge("service.queue_depth"), 3.0, "last value, not -4");
+        // A gauge that rose keeps its later value too.
+        g.set(9.0);
+        let d2 = reg.snapshot().diff(&before);
+        assert_eq!(d2.gauge("service.queue_depth"), 9.0);
+        // And the render never shows a negative delta for it.
+        assert!(!d.render_text().contains("-4"));
+    }
+
+    #[test]
+    fn diff_guards_histogram_sums_like_counts() {
+        // A "later" snapshot from a restarted registry has smaller sums;
+        // the interval must clamp to zero, not go negative.
+        let old_reg = Registry::new();
+        old_reg.histogram("lat", &[1.0]).observe(5.0);
+        let earlier = old_reg.snapshot();
+        let new_reg = Registry::new();
+        new_reg.histogram("lat", &[1.0]).observe(0.5);
+        let d = new_reg.snapshot().diff(&earlier);
+        assert_eq!(d.histograms["lat"].count, 0);
+        assert_eq!(d.histograms["lat"].sum, 0.0, "sum clamps like counts");
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 1.5, 3.0] {
+            h.observe(v);
+        }
+        let hs = reg.snapshot().histograms["lat"].clone();
+        // Rank 2 of 4 lands at the top of the (1, 2] bucket's first half.
+        let p50 = hs.quantile(0.5).unwrap();
+        assert!((1.0..=2.0).contains(&p50), "p50 {p50}");
+        let p100 = hs.quantile(1.0).unwrap();
+        assert!((2.0..=4.0).contains(&p100), "p100 {p100}");
+        // Quantiles are monotone in q.
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = hs.quantile(q).unwrap();
+            assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty histogram: no quantile.
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.quantile(0.5), None);
+
+        // Non-finite q is guarded (the PR 9 span_ms NaN rule).
+        let reg = Registry::new();
+        let h = reg.histogram("one", &[10.0]);
+        h.observe(5.0);
+        let hs = reg.snapshot().histograms["one"].clone();
+        assert_eq!(hs.quantile(f64::NAN), None);
+        assert_eq!(hs.quantile(f64::INFINITY), None);
+        // Out-of-range q clamps instead of failing.
+        assert_eq!(hs.quantile(-3.0), hs.quantile(0.0));
+        assert_eq!(hs.quantile(7.0), hs.quantile(1.0));
+
+        // Single bucket: every quantile stays inside [0, bound].
+        for q in [0.0, 0.5, 1.0] {
+            let v = hs.quantile(q).unwrap();
+            assert!((0.0..=10.0).contains(&v), "quantile({q}) = {v}");
+        }
+
+        // All values in the overflow bucket: clamp to the last bound.
+        let reg2 = Registry::new();
+        let h2 = reg2.histogram("over", &[1.0, 2.0]);
+        h2.observe(100.0);
+        h2.observe(200.0);
+        let hs2 = reg2.snapshot().histograms["over"].clone();
+        assert_eq!(hs2.quantile(0.5), Some(2.0));
+        assert_eq!(hs2.quantile(1.0), Some(2.0));
+
+        // No finite buckets at all: fall back to the mean (exact when all
+        // observations are identical).
+        let boundless = HistogramSnapshot {
+            bounds: vec![],
+            counts: vec![3],
+            count: 3,
+            sum: 21.0,
+        };
+        assert_eq!(boundless.quantile(0.5), Some(7.0));
+    }
+
+    #[test]
+    fn merge_folds_counts_and_sums() {
+        let reg = Registry::new();
+        let h = reg.histogram("a", &[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        let a = reg.snapshot().histograms["a"].clone();
+        let reg2 = Registry::new();
+        let h2 = reg2.histogram("a", &[1.0, 2.0]);
+        h2.observe(1.5);
+        h2.observe(5.0);
+        let b = reg2.snapshot().histograms["a"].clone();
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.count, 4);
+        assert_eq!(m.counts, vec![1, 2, 1]);
+        assert!((m.sum - 8.5).abs() < 1e-12);
+        // Merging into an empty snapshot adopts the other side.
+        let mut fresh = HistogramSnapshot::default();
+        fresh.merge(&b);
+        assert_eq!(fresh, b);
+        // Merging an empty snapshot is a no-op.
+        let mut unchanged = a.clone();
+        unchanged.merge(&HistogramSnapshot::default());
+        assert_eq!(unchanged, a);
     }
 
     #[test]

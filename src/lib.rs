@@ -21,10 +21,14 @@
 //! * [`baselines`] — Phoenix-style CPU MapReduce and Mars-style
 //!   single-GPU MapReduce;
 //! * [`service`] — the multi-tenant job service: submit/poll/cancel,
-//!   admission control, per-tenant quotas, deadlines, and small-job
-//!   batching on a shared engine pool;
-//! * [`telemetry`] — metrics registry, structured spans, and trace
-//!   exporters (Perfetto/Chrome `trace.json`, JSONL, text summaries).
+//!   admission control, per-tenant quotas, deadlines, small-job
+//!   batching on a shared engine pool, and per-tenant SLO accounting
+//!   (hit rates, exact wait/e2e percentiles, error-budget burn,
+//!   Prometheus export);
+//! * [`telemetry`] — metrics registry, structured spans, trace
+//!   exporters (Perfetto/Chrome `trace.json`, JSONL, text summaries),
+//!   windowed time series, declarative alert rules, and the
+//!   crash-scoped flight recorder that dumps postmortem traces.
 //!
 //! ## Quick start
 //!

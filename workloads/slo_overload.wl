@@ -1,0 +1,26 @@
+# The rho = 4.26 overload point from EXPERIMENTS.md: sixteen identical
+# SIO jobs (n=40000, chunk_kb=16 — solo makespan 1.706 ms on 4 GPUs)
+# at 200 us inter-arrival into the default 2-engine pool, alternating
+# between two tenants. Drive `gpmr slo report --workload <this file>`
+# for the per-tenant queue-wait percentiles, or `gpmr serve --alerts`
+# to watch the backlog alert fire.
+
+tenant a
+tenant b
+
+at 0.0000 submit a sio n=40000 seed=11 chunk_kb=16
+at 0.0002 submit b sio n=40000 seed=11 chunk_kb=16
+at 0.0004 submit a sio n=40000 seed=11 chunk_kb=16
+at 0.0006 submit b sio n=40000 seed=11 chunk_kb=16
+at 0.0008 submit a sio n=40000 seed=11 chunk_kb=16
+at 0.0010 submit b sio n=40000 seed=11 chunk_kb=16
+at 0.0012 submit a sio n=40000 seed=11 chunk_kb=16
+at 0.0014 submit b sio n=40000 seed=11 chunk_kb=16
+at 0.0016 submit a sio n=40000 seed=11 chunk_kb=16
+at 0.0018 submit b sio n=40000 seed=11 chunk_kb=16
+at 0.0020 submit a sio n=40000 seed=11 chunk_kb=16
+at 0.0022 submit b sio n=40000 seed=11 chunk_kb=16
+at 0.0024 submit a sio n=40000 seed=11 chunk_kb=16
+at 0.0026 submit b sio n=40000 seed=11 chunk_kb=16
+at 0.0028 submit a sio n=40000 seed=11 chunk_kb=16
+at 0.0030 submit b sio n=40000 seed=11 chunk_kb=16
